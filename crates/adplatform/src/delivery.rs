@@ -1,0 +1,368 @@
+//! The delivery engine: impression opportunities → auctions → impressions.
+//!
+//! When a user generates an impression opportunity (by browsing — `websim`
+//! produces these), the engine:
+//!
+//! 1. collects the **eligible** ads — approved, account active, campaign
+//!    within budget, under the per-user frequency cap, and whose targeting
+//!    spec matches the user (the delivery contract);
+//! 2. runs the second-price [`crate::auction`] against background
+//!    competition;
+//! 3. on a win, records the impression, charges billing, and bumps the
+//!    frequency counter.
+//!
+//! The "delivery iff targeting match" property is enforced at step 1 and is
+//! what makes a received Tread a proof about the recipient's own profile —
+//! the integration tests assert it end-to-end.
+
+use crate::audience::AudienceStore;
+use crate::auction::{run_auction, AuctionConfig, AuctionOutcome, Bid};
+use crate::billing::BillingLedger;
+use crate::campaign::CampaignStore;
+use crate::profile::UserProfile;
+use crate::reporting::{Impression, ImpressionLog};
+use adsim_types::{AccountId, AdId, SimTime, UserId};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-user frequency capping state.
+#[derive(Debug, Clone, Default)]
+pub struct FrequencyCaps {
+    counts: HashMap<(AdId, UserId), u32>,
+    /// Maximum impressions of one ad a single user is shown.
+    pub cap: u32,
+}
+
+impl FrequencyCaps {
+    /// Frequency caps with the given per-(ad, user) limit.
+    pub fn new(cap: u32) -> Self {
+        Self {
+            counts: HashMap::new(),
+            cap,
+        }
+    }
+
+    /// True if `ad` may still be shown to `user`.
+    pub fn allows(&self, ad: AdId, user: UserId) -> bool {
+        self.counts.get(&(ad, user)).copied().unwrap_or(0) < self.cap
+    }
+
+    /// Records one more impression of `ad` to `user`.
+    pub fn bump(&mut self, ad: AdId, user: UserId) {
+        *self.counts.entry((ad, user)).or_insert(0) += 1;
+    }
+
+    /// Impressions of `ad` that `user` has seen.
+    pub fn count(&self, ad: AdId, user: UserId) -> u32 {
+        self.counts.get(&(ad, user)).copied().unwrap_or(0)
+    }
+}
+
+/// Delivery-loop statistics (per simulation run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryStats {
+    /// Opportunities processed.
+    pub opportunities: u64,
+    /// Auctions won by one of our advertisers' ads.
+    pub won: u64,
+    /// Auctions lost to background competition.
+    pub lost_to_background: u64,
+    /// Opportunities with no bids above reserve.
+    pub unfilled: u64,
+}
+
+/// Collects the bids eligible for an opportunity shown to `user`.
+///
+/// Eligibility = ad approved ∧ owning account active ∧ campaign within
+/// budget ∧ frequency cap allows ∧ targeting spec matches the user.
+pub fn eligible_bids(
+    user: &UserProfile,
+    campaigns: &CampaignStore,
+    audiences: &AudienceStore,
+    suspended: &BTreeSet<AccountId>,
+    billing: &BillingLedger,
+    freq: &FrequencyCaps,
+) -> Vec<Bid> {
+    let mut bids = Vec::new();
+    for ad in campaigns.ads() {
+        if !ad.is_servable() {
+            continue;
+        }
+        let campaign = match campaigns.campaign(ad.campaign) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if suspended.contains(&campaign.account) {
+            continue;
+        }
+        if !billing.within_budget(campaign.id, campaign.budget) {
+            continue;
+        }
+        if !freq.allows(ad.id, user.id) {
+            continue;
+        }
+        if !ad.targeting.matches(user, audiences) {
+            continue;
+        }
+        bids.push(Bid {
+            ad: ad.id,
+            cpm: campaign.bid_cpm,
+        });
+    }
+    bids
+}
+
+/// Processes one impression opportunity end to end. Returns the auction
+/// outcome (the caller can ignore it; all bookkeeping is done here).
+#[allow(clippy::too_many_arguments)]
+pub fn handle_opportunity(
+    user: &UserProfile,
+    at: SimTime,
+    campaigns: &CampaignStore,
+    audiences: &AudienceStore,
+    suspended: &BTreeSet<AccountId>,
+    billing: &mut BillingLedger,
+    freq: &mut FrequencyCaps,
+    log: &mut ImpressionLog,
+    stats: &mut DeliveryStats,
+    auction_cfg: &AuctionConfig,
+    rng: &mut StdRng,
+) -> AuctionOutcome {
+    stats.opportunities += 1;
+    let bids = eligible_bids(user, campaigns, audiences, suspended, billing, freq);
+    let outcome = run_auction(&bids, auction_cfg, rng);
+    match outcome {
+        AuctionOutcome::Won { ad, clearing_cpm } => {
+            stats.won += 1;
+            // The ad and campaign must exist: they produced a bid above.
+            let campaign = campaigns
+                .ad(ad)
+                .and_then(|a| campaigns.campaign(a.campaign))
+                .expect("winning ad resolves");
+            let price = billing.charge_impression(campaign.account, campaign.id, ad, clearing_cpm);
+            freq.bump(ad, user.id);
+            log.record(Impression {
+                ad,
+                campaign: campaign.id,
+                account: campaign.account,
+                user: user.id,
+                at,
+                price,
+            });
+        }
+        AuctionOutcome::LostToBackground => stats.lost_to_background += 1,
+        AuctionOutcome::Unfilled => stats.unfilled += 1,
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{AdCreative, AdStatus};
+    use crate::profile::{Gender, ProfileStore};
+    use crate::targeting::{TargetingExpr, TargetingSpec};
+    use adsim_types::rng::substream;
+    use adsim_types::{AttributeId, Money};
+
+    struct Rig {
+        profiles: ProfileStore,
+        campaigns: CampaignStore,
+        audiences: AudienceStore,
+        billing: BillingLedger,
+        freq: FrequencyCaps,
+        log: ImpressionLog,
+        stats: DeliveryStats,
+        suspended: BTreeSet<AccountId>,
+        cfg: AuctionConfig,
+        rng: StdRng,
+    }
+
+    fn rig() -> Rig {
+        Rig {
+            profiles: ProfileStore::new(),
+            campaigns: CampaignStore::new(),
+            audiences: AudienceStore::new(20, 1000, 100),
+            billing: BillingLedger::new(Money::ZERO),
+            freq: FrequencyCaps::new(2),
+            log: ImpressionLog::new(),
+            stats: DeliveryStats::default(),
+            suspended: BTreeSet::new(),
+            // No background competition → deterministic outcomes.
+            cfg: AuctionConfig {
+                competitor_rate: 0.0,
+                ..AuctionConfig::default()
+            },
+            rng: substream(1, "delivery-test"),
+        }
+    }
+
+    fn approved_ad(r: &mut Rig, account: u64, bid: Money, targeting: TargetingSpec) -> AdId {
+        let camp = r
+            .campaigns
+            .create_campaign(AccountId(account), "c", bid, None);
+        let ad = r
+            .campaigns
+            .create_ad(camp, AdCreative::text("h", "b"), targeting)
+            .expect("ad");
+        r.campaigns.ad_mut(ad).expect("ad").status = AdStatus::Approved;
+        ad
+    }
+
+    fn drive(r: &mut Rig, user: UserId, at: u64) -> AuctionOutcome {
+        let profile = r.profiles.get(user).expect("user").clone();
+        handle_opportunity(
+            &profile,
+            SimTime(at),
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &mut r.billing,
+            &mut r.freq,
+            &mut r.log,
+            &mut r.stats,
+            &r.cfg,
+            &mut r.rng,
+        )
+    }
+
+    #[test]
+    fn targeted_ad_delivers_only_to_matching_users() {
+        let mut r = rig();
+        let matching = r.profiles.register(30, Gender::Female, "Ohio", "43004");
+        let other = r.profiles.register(30, Gender::Female, "Ohio", "43004");
+        r.profiles
+            .grant_attribute(matching, AttributeId(1))
+            .expect("grant");
+        approved_ad(
+            &mut r,
+            1,
+            Money::dollars(10),
+            TargetingSpec::including(TargetingExpr::Attr(AttributeId(1))),
+        );
+        assert!(matches!(
+            drive(&mut r, matching, 0),
+            AuctionOutcome::Won { .. }
+        ));
+        assert!(matches!(drive(&mut r, other, 1), AuctionOutcome::Unfilled));
+        // The impression log shows only the matching user.
+        assert_eq!(r.log.len(), 1);
+        assert_eq!(r.log.all()[0].user, matching);
+    }
+
+    #[test]
+    fn frequency_cap_limits_repeats() {
+        let mut r = rig();
+        let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
+        approved_ad(
+            &mut r,
+            1,
+            Money::dollars(10),
+            TargetingSpec::including(TargetingExpr::Everyone),
+        );
+        // Cap is 2: third opportunity goes unfilled.
+        assert!(matches!(drive(&mut r, user, 0), AuctionOutcome::Won { .. }));
+        assert!(matches!(drive(&mut r, user, 1), AuctionOutcome::Won { .. }));
+        assert!(matches!(drive(&mut r, user, 2), AuctionOutcome::Unfilled));
+        assert_eq!(r.freq.count(AdId(1), user), 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_delivery() {
+        let mut r = rig();
+        r.freq = FrequencyCaps::new(100);
+        let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
+        let camp = r.campaigns.create_campaign(
+            AccountId(1),
+            "c",
+            Money::dollars(10),
+            // Budget of one impression at the reserve price (10¢ CPM →
+            // $0.0001/imp)… use $0.0001 so a single impression exhausts it.
+            Some(Money::micros(100)),
+        );
+        let ad = r
+            .campaigns
+            .create_ad(
+                camp,
+                AdCreative::text("h", "b"),
+                TargetingSpec::including(TargetingExpr::Everyone),
+            )
+            .expect("ad");
+        r.campaigns.ad_mut(ad).expect("ad").status = AdStatus::Approved;
+        assert!(matches!(drive(&mut r, user, 0), AuctionOutcome::Won { .. }));
+        // Clearing at reserve (10¢ CPM) charges $0.0001, hitting the budget.
+        assert!(matches!(drive(&mut r, user, 1), AuctionOutcome::Unfilled));
+        assert_eq!(r.stats.won, 1);
+        assert_eq!(r.stats.unfilled, 1);
+    }
+
+    #[test]
+    fn suspended_accounts_do_not_serve() {
+        let mut r = rig();
+        let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
+        approved_ad(
+            &mut r,
+            1,
+            Money::dollars(10),
+            TargetingSpec::including(TargetingExpr::Everyone),
+        );
+        r.suspended.insert(AccountId(1));
+        assert!(matches!(drive(&mut r, user, 0), AuctionOutcome::Unfilled));
+    }
+
+    #[test]
+    fn unapproved_ads_do_not_serve() {
+        let mut r = rig();
+        let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
+        let camp = r
+            .campaigns
+            .create_campaign(AccountId(1), "c", Money::dollars(10), None);
+        r.campaigns
+            .create_ad(
+                camp,
+                AdCreative::text("h", "b"),
+                TargetingSpec::including(TargetingExpr::Everyone),
+            )
+            .expect("ad");
+        // Still PendingReview.
+        assert!(matches!(drive(&mut r, user, 0), AuctionOutcome::Unfilled));
+    }
+
+    #[test]
+    fn highest_bidder_wins_and_pays_second_price() {
+        let mut r = rig();
+        let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
+        let everyone = TargetingSpec::including(TargetingExpr::Everyone);
+        approved_ad(&mut r, 1, Money::dollars(2), everyone.clone());
+        let high = approved_ad(&mut r, 2, Money::dollars(10), everyone);
+        match drive(&mut r, user, 0) {
+            AuctionOutcome::Won { ad, clearing_cpm } => {
+                assert_eq!(ad, high);
+                assert_eq!(clearing_cpm, Money::dollars(2));
+            }
+            other => panic!("expected win, got {other:?}"),
+        }
+        // Billing charged $2 CPM / 1000 = $0.002 to account 2.
+        assert_eq!(r.billing.account_spend(AccountId(2)), Money::micros(2_000));
+        assert_eq!(r.billing.account_spend(AccountId(1)), Money::ZERO);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut r = rig();
+        let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
+        approved_ad(
+            &mut r,
+            1,
+            Money::dollars(10),
+            TargetingSpec::including(TargetingExpr::Everyone),
+        );
+        drive(&mut r, user, 0);
+        drive(&mut r, user, 1);
+        drive(&mut r, user, 2); // frequency-capped → unfilled
+        assert_eq!(r.stats.opportunities, 3);
+        assert_eq!(r.stats.won, 2);
+        assert_eq!(r.stats.unfilled, 1);
+    }
+}

@@ -1,0 +1,583 @@
+//! A small textual DSL for targeting expressions.
+//!
+//! Real platforms give advertisers a UI for composing boolean targeting;
+//! our library equivalent is a compact expression language, convenient in
+//! examples, tests, and experiment configs:
+//!
+//! ```text
+//! age 24-39 AND zip:60601 AND attr:'Interest: musicals (Music)'
+//!     AND NOT attr:'Relationship: in a relationship'
+//! ```
+//!
+//! Grammar (case-sensitive keywords, whitespace-insensitive):
+//!
+//! ```text
+//! expr    := and ( "OR" and )*
+//! and     := unary ( "AND" unary )*
+//! unary   := "NOT" unary | primary
+//! primary := "(" expr ")" | leaf
+//! leaf    := "everyone"
+//!          | "attr:" name          (name = 'quoted' or bare token)
+//!          | "age" INT "-" INT
+//!          | "gender:" ("female" | "male" | "unspecified")
+//!          | "state:" name
+//!          | "zip:" token
+//!          | "visited-zip:" token
+//!          | "radius:" FLOAT "," FLOAT "," FLOAT   (lat, lon, km)
+//!          | "audience:" INT
+//! ```
+//!
+//! `attr:` takes attribute *names*; [`parse`] resolves them against the
+//! platform catalog, so misspelled attributes fail at parse time rather
+//! than silently matching nobody. [`render`] produces canonical DSL; the
+//! proptests check `parse(render(e)) == e`.
+
+use crate::attributes::AttributeCatalog;
+use crate::profile::Gender;
+use crate::targeting::TargetingExpr;
+use adsim_types::{AudienceId, Error, Result};
+
+/// Parses a DSL string into a targeting expression, resolving attribute
+/// names via `catalog`.
+pub fn parse(input: &str, catalog: &AttributeCatalog) -> Result<TargetingExpr> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        catalog,
+    };
+    let expr = parser.parse_or()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(Error::invalid(format!(
+            "unexpected trailing input at token {:?}",
+            parser.tokens[parser.pos]
+        )));
+    }
+    Ok(expr)
+}
+
+/// Renders an expression in canonical DSL (parseable by [`parse`] given
+/// the same catalog).
+pub fn render(expr: &TargetingExpr, catalog: &AttributeCatalog) -> String {
+    match expr {
+        TargetingExpr::Everyone => "everyone".into(),
+        TargetingExpr::Attr(id) => {
+            let name = catalog
+                .get(*id)
+                .map(|d| d.name.clone())
+                .unwrap_or_else(|| format!("#{}", id.raw()));
+            format!("attr:'{name}'")
+        }
+        TargetingExpr::AgeRange { min, max } => format!("age {min}-{max}"),
+        TargetingExpr::GenderIs(g) => format!(
+            "gender:{}",
+            match g {
+                Gender::Female => "female",
+                Gender::Male => "male",
+                Gender::Unspecified => "unspecified",
+            }
+        ),
+        TargetingExpr::InState(s) => format!("state:'{s}'"),
+        TargetingExpr::InZip(z) => format!("zip:{z}"),
+        TargetingExpr::VisitedZip(z) => format!("visited-zip:{z}"),
+        TargetingExpr::WithinRadius { lat, lon, km } => format!("radius:{lat},{lon},{km}"),
+        TargetingExpr::InAudience(a) => format!("audience:{}", a.raw()),
+        TargetingExpr::And(subs) => {
+            if subs.is_empty() {
+                // Empty AND is vacuously true.
+                "everyone".into()
+            } else {
+                let parts: Vec<String> = subs.iter().map(|s| render_grouped(s, catalog)).collect();
+                parts.join(" AND ")
+            }
+        }
+        TargetingExpr::Or(subs) => {
+            if subs.is_empty() {
+                // Empty OR is vacuously false.
+                "NOT everyone".into()
+            } else {
+                let parts: Vec<String> = subs.iter().map(|s| render_grouped(s, catalog)).collect();
+                parts.join(" OR ")
+            }
+        }
+        TargetingExpr::Not(sub) => format!("NOT {}", render_grouped(sub, catalog)),
+    }
+}
+
+fn render_grouped(expr: &TargetingExpr, catalog: &AttributeCatalog) -> String {
+    match expr {
+        TargetingExpr::And(s) | TargetingExpr::Or(s) if !s.is_empty() => {
+            format!("({})", render(expr, catalog))
+        }
+        _ => render(expr, catalog),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+    Everyone,
+    Attr(String),
+    Age(u8, u8),
+    Gender(Gender),
+    State(String),
+    Zip(String),
+    VisitedZip(String),
+    Radius { lat: f64, lon: f64, km: f64 },
+    Audience(u64),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        if c == '(' {
+            chars.next();
+            tokens.push(Token::LParen);
+            continue;
+        }
+        if c == ')' {
+            chars.next();
+            tokens.push(Token::RParen);
+            continue;
+        }
+        // Read a word up to whitespace or paren.
+        let mut word = String::new();
+        while let Some(&c) = chars.peek() {
+            if c.is_whitespace() || c == '(' || c == ')' {
+                break;
+            }
+            word.push(c);
+            chars.next();
+            // Quoted payloads may contain anything up to the closing quote.
+            if word.ends_with(":'") {
+                let mut payload = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    payload.push(c);
+                }
+                if !closed {
+                    return Err(Error::invalid("unterminated quoted name"));
+                }
+                word.push_str(&payload);
+                word.push('\'');
+                break;
+            }
+        }
+        tokens.push(parse_word(&word, &mut chars)?);
+    }
+    Ok(tokens)
+}
+
+fn parse_word(
+    word: &str,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<Token> {
+    match word {
+        "AND" => return Ok(Token::And),
+        "OR" => return Ok(Token::Or),
+        "NOT" => return Ok(Token::Not),
+        "everyone" => return Ok(Token::Everyone),
+        "age" => {
+            // Expect "<min>-<max>" as the next word.
+            while chars.peek().is_some_and(|c| c.is_whitespace()) {
+                chars.next();
+            }
+            let mut range = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() || c == '(' || c == ')' {
+                    break;
+                }
+                range.push(c);
+                chars.next();
+            }
+            let (min, max) = range
+                .split_once('-')
+                .ok_or_else(|| Error::invalid("age expects <min>-<max>"))?;
+            let min: u8 = min
+                .parse()
+                .map_err(|_| Error::invalid("age min must be 0-255"))?;
+            let max: u8 = max
+                .parse()
+                .map_err(|_| Error::invalid("age max must be 0-255"))?;
+            return Ok(Token::Age(min, max));
+        }
+        _ => {}
+    }
+    let unquote = |payload: &str| -> String {
+        payload
+            .strip_prefix('\'')
+            .and_then(|p| p.strip_suffix('\''))
+            .map(str::to_string)
+            .unwrap_or_else(|| payload.to_string())
+    };
+    if let Some(payload) = word.strip_prefix("attr:") {
+        return Ok(Token::Attr(unquote(payload)));
+    }
+    if let Some(payload) = word.strip_prefix("gender:") {
+        return match payload {
+            "female" => Ok(Token::Gender(Gender::Female)),
+            "male" => Ok(Token::Gender(Gender::Male)),
+            "unspecified" => Ok(Token::Gender(Gender::Unspecified)),
+            other => Err(Error::invalid(format!("unknown gender {other:?}"))),
+        };
+    }
+    if let Some(payload) = word.strip_prefix("state:") {
+        return Ok(Token::State(unquote(payload)));
+    }
+    if let Some(payload) = word.strip_prefix("visited-zip:") {
+        return Ok(Token::VisitedZip(unquote(payload)));
+    }
+    if let Some(payload) = word.strip_prefix("zip:") {
+        return Ok(Token::Zip(unquote(payload)));
+    }
+    if let Some(payload) = word.strip_prefix("radius:") {
+        let parts: Vec<&str> = payload.split(',').collect();
+        if parts.len() != 3 {
+            return Err(Error::invalid("radius expects lat,lon,km"));
+        }
+        let lat: f64 = parts[0]
+            .parse()
+            .map_err(|_| Error::invalid("radius lat must be a number"))?;
+        let lon: f64 = parts[1]
+            .parse()
+            .map_err(|_| Error::invalid("radius lon must be a number"))?;
+        let km: f64 = parts[2]
+            .parse()
+            .map_err(|_| Error::invalid("radius km must be a number"))?;
+        return Ok(Token::Radius { lat, lon, km });
+    }
+    if let Some(payload) = word.strip_prefix("audience:") {
+        let id: u64 = payload
+            .parse()
+            .map_err(|_| Error::invalid("audience expects a numeric id"))?;
+        return Ok(Token::Audience(id));
+    }
+    Err(Error::invalid(format!("unrecognized token {word:?}")))
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    catalog: &'a AttributeCatalog,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_or(&mut self) -> Result<TargetingExpr> {
+        let mut parts = vec![self.parse_and()?];
+        while self.peek() == Some(&Token::Or) {
+            self.next();
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            TargetingExpr::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<TargetingExpr> {
+        let mut parts = vec![self.parse_unary()?];
+        while self.peek() == Some(&Token::And) {
+            self.next();
+            parts.push(self.parse_unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            TargetingExpr::And(parts)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<TargetingExpr> {
+        if self.peek() == Some(&Token::Not) {
+            self.next();
+            return Ok(TargetingExpr::Not(Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<TargetingExpr> {
+        match self.next() {
+            Some(Token::LParen) => {
+                let inner = self.parse_or()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(Error::invalid("expected ')'")),
+                }
+            }
+            Some(Token::Everyone) => Ok(TargetingExpr::Everyone),
+            Some(Token::Attr(name)) => {
+                let id = self
+                    .catalog
+                    .id_of(&name)
+                    .ok_or_else(|| Error::invalid(format!("unknown attribute {name:?}")))?;
+                Ok(TargetingExpr::Attr(id))
+            }
+            Some(Token::Age(min, max)) => Ok(TargetingExpr::AgeRange { min, max }),
+            Some(Token::Gender(g)) => Ok(TargetingExpr::GenderIs(g)),
+            Some(Token::State(s)) => Ok(TargetingExpr::InState(s)),
+            Some(Token::Zip(z)) => Ok(TargetingExpr::InZip(z)),
+            Some(Token::VisitedZip(z)) => Ok(TargetingExpr::VisitedZip(z)),
+            Some(Token::Radius { lat, lon, km }) => {
+                Ok(TargetingExpr::WithinRadius { lat, lon, km })
+            }
+            Some(Token::Audience(id)) => Ok(TargetingExpr::InAudience(AudienceId(id))),
+            other => Err(Error::invalid(format!("expected a targeting term, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::AttributeSource;
+    use adsim_types::AttributeId;
+
+    fn catalog() -> AttributeCatalog {
+        let mut c = AttributeCatalog::new();
+        c.register(
+            "Interest: musicals (Music)",
+            AttributeSource::Platform,
+            None,
+            0.05,
+        );
+        c.register(
+            "Relationship: in a relationship",
+            AttributeSource::Platform,
+            None,
+            0.3,
+        );
+        c
+    }
+
+    #[test]
+    fn paper_chicago_example_parses() {
+        let c = catalog();
+        let expr = parse(
+            "age 24-39 AND zip:60601 AND attr:'Interest: musicals (Music)' \
+             AND NOT attr:'Relationship: in a relationship'",
+            &c,
+        )
+        .expect("parses");
+        match &expr {
+            TargetingExpr::And(parts) => {
+                assert_eq!(parts.len(), 4);
+                assert_eq!(parts[0], TargetingExpr::AgeRange { min: 24, max: 39 });
+                assert_eq!(parts[1], TargetingExpr::InZip("60601".into()));
+                assert_eq!(parts[2], TargetingExpr::Attr(AttributeId(1)));
+                assert_eq!(
+                    parts[3],
+                    TargetingExpr::Not(Box::new(TargetingExpr::Attr(AttributeId(2))))
+                );
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let c = catalog();
+        let expr = parse("everyone OR everyone AND zip:1", &c).expect("parses");
+        assert_eq!(
+            expr,
+            TargetingExpr::Or(vec![
+                TargetingExpr::Everyone,
+                TargetingExpr::And(vec![
+                    TargetingExpr::Everyone,
+                    TargetingExpr::InZip("1".into())
+                ]),
+            ])
+        );
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let c = catalog();
+        let expr = parse("(everyone OR zip:1) AND gender:female", &c).expect("parses");
+        assert_eq!(
+            expr,
+            TargetingExpr::And(vec![
+                TargetingExpr::Or(vec![
+                    TargetingExpr::Everyone,
+                    TargetingExpr::InZip("1".into())
+                ]),
+                TargetingExpr::GenderIs(Gender::Female),
+            ])
+        );
+    }
+
+    #[test]
+    fn all_leaf_kinds_parse() {
+        let c = catalog();
+        for (src, expected) in [
+            ("everyone", TargetingExpr::Everyone),
+            ("age 18-65", TargetingExpr::AgeRange { min: 18, max: 65 }),
+            ("gender:male", TargetingExpr::GenderIs(Gender::Male)),
+            ("state:'New York'", TargetingExpr::InState("New York".into())),
+            ("zip:02115", TargetingExpr::InZip("02115".into())),
+            (
+                "visited-zip:10001",
+                TargetingExpr::VisitedZip("10001".into()),
+            ),
+            (
+                "audience:7",
+                TargetingExpr::InAudience(AudienceId(7)),
+            ),
+            (
+                "radius:42.36,-71.06,25",
+                TargetingExpr::WithinRadius {
+                    lat: 42.36,
+                    lon: -71.06,
+                    km: 25.0,
+                },
+            ),
+        ] {
+            assert_eq!(parse(src, &c).expect(src), expected, "{src}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let c = catalog();
+        for bad in [
+            "",
+            "attr:'No such attribute'",
+            "age 30",
+            "age x-40",
+            "gender:other",
+            "audience:xyz",
+            "radius:1,2",
+            "radius:a,b,c",
+            "(everyone",
+            "everyone extra",
+            "attr:'unterminated",
+            "AND everyone",
+        ] {
+            assert!(parse(bad, &c).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn render_round_trips_the_paper_example() {
+        let c = catalog();
+        let src = "age 24-39 AND zip:60601 AND attr:'Interest: musicals (Music)' \
+                   AND NOT attr:'Relationship: in a relationship'";
+        let expr = parse(src, &c).expect("parses");
+        let rendered = render(&expr, &c);
+        assert_eq!(parse(&rendered, &c).expect("reparses"), expr);
+    }
+
+    #[test]
+    fn render_groups_nested_connectives() {
+        let c = catalog();
+        let expr = TargetingExpr::And(vec![
+            TargetingExpr::Or(vec![TargetingExpr::Everyone, TargetingExpr::Everyone]),
+            TargetingExpr::Everyone,
+        ]);
+        let rendered = render(&expr, &c);
+        assert_eq!(rendered, "(everyone OR everyone) AND everyone");
+        assert_eq!(parse(&rendered, &c).expect("reparses"), expr);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::attributes::AttributeSource;
+    use proptest::prelude::*;
+
+    fn catalog() -> AttributeCatalog {
+        let mut c = AttributeCatalog::new();
+        for i in 0..10 {
+            c.register(format!("Attr {i}"), AttributeSource::Platform, None, 0.1);
+        }
+        c
+    }
+
+    fn arb_expr() -> impl Strategy<Value = TargetingExpr> {
+        let leaf = prop_oneof![
+            Just(TargetingExpr::Everyone),
+            (1u64..=10).prop_map(|i| TargetingExpr::Attr(adsim_types::AttributeId(i))),
+            (0u8..100, 0u8..100).prop_map(|(a, b)| TargetingExpr::AgeRange {
+                min: a.min(b),
+                max: a.max(b),
+            }),
+            prop_oneof![
+                Just(Gender::Female),
+                Just(Gender::Male),
+                Just(Gender::Unspecified)
+            ]
+            .prop_map(TargetingExpr::GenderIs),
+            "[A-Za-z][A-Za-z ]{0,12}[A-Za-z]".prop_map(TargetingExpr::InState),
+            "[0-9]{5}".prop_map(TargetingExpr::InZip),
+            "[0-9]{5}".prop_map(TargetingExpr::VisitedZip),
+            // Rust float Display is shortest-round-trip, so rendered
+            // coordinates reparse to exactly the same f64.
+            (-90.0f64..90.0, -180.0f64..180.0, 0.1f64..500.0)
+                .prop_map(|(lat, lon, km)| TargetingExpr::WithinRadius { lat, lon, km }),
+            (1u64..100).prop_map(|i| TargetingExpr::InAudience(adsim_types::AudienceId(i))),
+        ];
+        leaf.prop_recursive(3, 20, 3, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 1..4).prop_map(TargetingExpr::And),
+                prop::collection::vec(inner.clone(), 1..4).prop_map(TargetingExpr::Or),
+                inner.prop_map(|e| TargetingExpr::Not(Box::new(e))),
+            ]
+        })
+    }
+
+    /// Flattens 1-element And/Or, which parse back as their single child.
+    fn normalize(e: &TargetingExpr) -> TargetingExpr {
+        match e {
+            TargetingExpr::And(s) if s.len() == 1 => normalize(&s[0]),
+            TargetingExpr::Or(s) if s.len() == 1 => normalize(&s[0]),
+            TargetingExpr::And(s) => TargetingExpr::And(s.iter().map(normalize).collect()),
+            TargetingExpr::Or(s) => TargetingExpr::Or(s.iter().map(normalize).collect()),
+            TargetingExpr::Not(s) => TargetingExpr::Not(Box::new(normalize(s))),
+            other => other.clone(),
+        }
+    }
+
+    proptest! {
+        /// The parser never panics, whatever bytes arrive (errors only).
+        #[test]
+        fn parser_never_panics(input in ".{0,80}") {
+            let c = catalog();
+            let _ = parse(&input, &c);
+        }
+
+        /// parse(render(e)) is the identity up to connective flattening.
+        #[test]
+        fn render_parse_round_trip(expr in arb_expr()) {
+            let c = catalog();
+            let rendered = render(&expr, &c);
+            let reparsed = parse(&rendered, &c).expect("rendered DSL must parse");
+            prop_assert_eq!(normalize(&reparsed), normalize(&expr), "src: {}", rendered);
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! The platform's user store.
+//!
+//! Each user carries demographics, the set of targeting attributes the
+//! platform holds about them (platform-computed and partner-sourced), page
+//! likes, and **hashed PII with provenance**. PII provenance models the
+//! finding the paper cites (Venkatadri et al., PETS 2019) that platforms
+//! use PII from surprising sources — phone numbers provided for two-factor
+//! authentication, numbers synced from friends' address books — for ad
+//! targeting; experiment E7 surfaces exactly that.
+
+use adsim_types::hash::{hash_pii, Digest};
+use adsim_types::{AttributeId, Error, Result, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Self-reported gender (used for demographic targeting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gender {
+    /// Female.
+    Female,
+    /// Male.
+    Male,
+    /// Not specified.
+    Unspecified,
+}
+
+/// How a piece of PII reached the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PiiProvenance {
+    /// The user typed it into their own profile.
+    UserProvided,
+    /// Provided for two-factor authentication / account security.
+    TwoFactor,
+    /// Synced from a friend's contact list — the user never gave it.
+    ContactSync,
+}
+
+/// Kind of personally-identifying identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PiiKind {
+    /// An email address.
+    Email,
+    /// A phone number.
+    Phone,
+}
+
+/// A hashed PII record attached to a user.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PiiRecord {
+    /// The normalized, hashed identifier.
+    pub digest: Digest,
+    /// What kind of identifier this is.
+    pub kind: PiiKind,
+    /// How the platform obtained it.
+    pub provenance: PiiProvenance,
+}
+
+/// One platform user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Platform-assigned id.
+    pub id: UserId,
+    /// Age in years.
+    pub age: u8,
+    /// Self-reported gender.
+    pub gender: Gender,
+    /// U.S. state of residence.
+    pub state: String,
+    /// ZIP code of residence.
+    pub zip: String,
+    /// Targeting attributes the platform holds for this user.
+    pub attributes: BTreeSet<AttributeId>,
+    /// Hashed PII records with provenance.
+    pub pii: Vec<PiiRecord>,
+    /// Pages this user has liked (page ids are advertiser-created; see
+    /// `crate::pages`).
+    pub liked_pages: BTreeSet<u64>,
+    /// ZIP codes the platform has recently located the user in (the paper
+    /// notes platforms let advertisers target "users in a ZIP code" and
+    /// reveal "whether a user is determined to have recently visited a
+    /// particular ZIP code").
+    pub recent_zips: BTreeSet<String>,
+    /// Home coordinates, if the platform has located the user precisely
+    /// (degrees). Enables the paper's "within a radius around any latitude
+    /// and longitude" targeting.
+    pub coordinates: Option<(f64, f64)>,
+}
+
+impl UserProfile {
+    /// True if the user holds targeting attribute `attr`.
+    pub fn has_attribute(&self, attr: AttributeId) -> bool {
+        self.attributes.contains(&attr)
+    }
+
+    /// The user's hashed emails, in insertion order.
+    pub fn hashed_emails(&self) -> Vec<&Digest> {
+        self.pii
+            .iter()
+            .filter(|p| p.kind == PiiKind::Email)
+            .map(|p| &p.digest)
+            .collect()
+    }
+
+    /// The user's hashed phone numbers, in insertion order.
+    pub fn hashed_phones(&self) -> Vec<&Digest> {
+        self.pii
+            .iter()
+            .filter(|p| p.kind == PiiKind::Phone)
+            .map(|p| &p.digest)
+            .collect()
+    }
+
+    /// True if the platform holds this exact hashed identifier for the
+    /// user, regardless of kind or provenance.
+    pub fn holds_pii(&self, digest: &Digest) -> bool {
+        self.pii.iter().any(|p| &p.digest == digest)
+    }
+}
+
+/// The store of all platform users.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileStore {
+    users: BTreeMap<UserId, UserProfile>,
+    next_id: u64,
+    by_pii: HashMap<Digest, Vec<UserId>>,
+}
+
+impl ProfileStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new user and returns their id.
+    pub fn register(&mut self, age: u8, gender: Gender, state: &str, zip: &str) -> UserId {
+        self.next_id += 1;
+        let id = UserId(self.next_id);
+        self.users.insert(
+            id,
+            UserProfile {
+                id,
+                age,
+                gender,
+                state: state.to_string(),
+                zip: zip.to_string(),
+                attributes: BTreeSet::new(),
+                pii: Vec::new(),
+                liked_pages: BTreeSet::new(),
+                recent_zips: BTreeSet::new(),
+                coordinates: None,
+            },
+        );
+        id
+    }
+
+    /// Number of registered users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True if no users are registered.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Looks up a user.
+    pub fn get(&self, id: UserId) -> Result<&UserProfile> {
+        self.users.get(&id).ok_or_else(|| Error::not_found("user", id))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, id: UserId) -> Result<&mut UserProfile> {
+        self.users
+            .get_mut(&id)
+            .ok_or_else(|| Error::not_found("user", id))
+    }
+
+    /// Iterates over all users in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &UserProfile> {
+        self.users.values()
+    }
+
+    /// All user ids, in order.
+    pub fn ids(&self) -> Vec<UserId> {
+        self.users.keys().copied().collect()
+    }
+
+    /// Grants a targeting attribute to a user.
+    pub fn grant_attribute(&mut self, user: UserId, attr: AttributeId) -> Result<()> {
+        self.get_mut(user)?.attributes.insert(attr);
+        Ok(())
+    }
+
+    /// Attaches raw PII to a user: the store normalizes and hashes it, and
+    /// indexes the digest for custom-audience matching.
+    pub fn attach_pii(
+        &mut self,
+        user: UserId,
+        kind: PiiKind,
+        raw: &str,
+        provenance: PiiProvenance,
+    ) -> Result<Digest> {
+        let digest = hash_pii(raw);
+        let profile = self.get_mut(user)?;
+        if !profile.holds_pii(&digest) {
+            profile.pii.push(PiiRecord {
+                digest,
+                kind,
+                provenance,
+            });
+            self.by_pii.entry(digest).or_default().push(user);
+        }
+        Ok(digest)
+    }
+
+    /// Users matching a hashed identifier — the custom-audience match
+    /// primitive. Matches across *all* provenances: this is precisely the
+    /// behaviour (2FA numbers being targetable) that E7 exposes.
+    pub fn match_pii(&self, digest: &Digest) -> &[UserId] {
+        self.by_pii.get(digest).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Records that `user` liked `page`.
+    pub fn like_page(&mut self, user: UserId, page: u64) -> Result<()> {
+        self.get_mut(user)?.liked_pages.insert(page);
+        Ok(())
+    }
+
+    /// Records a recent location observation: the platform located `user`
+    /// in `zip`.
+    pub fn record_zip_visit(&mut self, user: UserId, zip: &str) -> Result<()> {
+        self.get_mut(user)?.recent_zips.insert(zip.to_string());
+        Ok(())
+    }
+
+    /// Sets the user's precise home coordinates (degrees).
+    pub fn set_coordinates(&mut self, user: UserId, lat: f64, lon: f64) -> Result<()> {
+        self.get_mut(user)?.coordinates = Some((lat, lon));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_user() -> (ProfileStore, UserId) {
+        let mut store = ProfileStore::new();
+        let id = store.register(34, Gender::Female, "Massachusetts", "02115");
+        (store, id)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let (store, id) = store_with_user();
+        let u = store.get(id).expect("exists");
+        assert_eq!(u.age, 34);
+        assert_eq!(u.state, "Massachusetts");
+        assert_eq!(store.len(), 1);
+        assert!(store.get(UserId(999)).is_err());
+    }
+
+    #[test]
+    fn attribute_grants() {
+        let (mut store, id) = store_with_user();
+        store.grant_attribute(id, AttributeId(5)).expect("grant");
+        store.grant_attribute(id, AttributeId(5)).expect("idempotent");
+        let u = store.get(id).expect("exists");
+        assert!(u.has_attribute(AttributeId(5)));
+        assert!(!u.has_attribute(AttributeId(6)));
+        assert_eq!(u.attributes.len(), 1);
+    }
+
+    #[test]
+    fn pii_attach_and_match() {
+        let (mut store, id) = store_with_user();
+        let digest = store
+            .attach_pii(id, PiiKind::Email, "Alice@Example.com ", PiiProvenance::UserProvided)
+            .expect("attach");
+        // Matching is on normalized hashes.
+        assert_eq!(store.match_pii(&hash_pii("alice@example.com")), &[id]);
+        assert_eq!(digest, hash_pii("alice@example.com"));
+        // Unknown digests match nothing.
+        assert!(store.match_pii(&hash_pii("nobody@example.com")).is_empty());
+    }
+
+    #[test]
+    fn pii_attach_is_idempotent_per_digest() {
+        let (mut store, id) = store_with_user();
+        store
+            .attach_pii(id, PiiKind::Email, "a@example.com", PiiProvenance::UserProvided)
+            .expect("attach");
+        store
+            .attach_pii(id, PiiKind::Email, "A@EXAMPLE.COM", PiiProvenance::ContactSync)
+            .expect("attach dup");
+        let u = store.get(id).expect("exists");
+        assert_eq!(u.pii.len(), 1, "same normalized digest stored once");
+        assert_eq!(store.match_pii(&hash_pii("a@example.com")).len(), 1);
+    }
+
+    #[test]
+    fn two_factor_phone_is_matchable() {
+        // The PETS 2019 finding the paper cites: PII provided for account
+        // security is still used for ad targeting.
+        let (mut store, id) = store_with_user();
+        store
+            .attach_pii(id, PiiKind::Phone, "+1-617-555-0100", PiiProvenance::TwoFactor)
+            .expect("attach");
+        assert_eq!(store.match_pii(&hash_pii("+1-617-555-0100")), &[id]);
+        let u = store.get(id).expect("exists");
+        assert_eq!(u.pii[0].provenance, PiiProvenance::TwoFactor);
+        assert_eq!(u.hashed_phones().len(), 1);
+        assert!(u.hashed_emails().is_empty());
+    }
+
+    #[test]
+    fn shared_pii_matches_multiple_users() {
+        // A shared household landline attached to two accounts.
+        let mut store = ProfileStore::new();
+        let a = store.register(40, Gender::Male, "Ohio", "43004");
+        let b = store.register(38, Gender::Female, "Ohio", "43004");
+        store
+            .attach_pii(a, PiiKind::Phone, "+1-614-555-0199", PiiProvenance::UserProvided)
+            .expect("attach a");
+        store
+            .attach_pii(b, PiiKind::Phone, "+1-614-555-0199", PiiProvenance::ContactSync)
+            .expect("attach b");
+        assert_eq!(store.match_pii(&hash_pii("+1-614-555-0199")), &[a, b]);
+    }
+
+    #[test]
+    fn page_likes() {
+        let (mut store, id) = store_with_user();
+        store.like_page(id, 42).expect("like");
+        store.like_page(id, 42).expect("idempotent");
+        assert!(store.get(id).expect("exists").liked_pages.contains(&42));
+    }
+
+    #[test]
+    fn coordinates_are_settable() {
+        let (mut store, id) = store_with_user();
+        assert!(store.get(id).expect("exists").coordinates.is_none());
+        store.set_coordinates(id, 42.36, -71.06).expect("set");
+        assert_eq!(store.get(id).expect("exists").coordinates, Some((42.36, -71.06)));
+    }
+
+    #[test]
+    fn recent_zip_visits_accumulate() {
+        let (mut store, id) = store_with_user();
+        store.record_zip_visit(id, "10001").expect("record");
+        store.record_zip_visit(id, "10001").expect("idempotent");
+        store.record_zip_visit(id, "94103").expect("record");
+        let u = store.get(id).expect("exists");
+        assert_eq!(u.recent_zips.len(), 2);
+        assert!(u.recent_zips.contains("94103"));
+    }
+
+    #[test]
+    fn iteration_is_in_id_order() {
+        let mut store = ProfileStore::new();
+        let ids: Vec<UserId> = (0..5)
+            .map(|_| store.register(30, Gender::Unspecified, "Texas", "73301"))
+            .collect();
+        let iterated: Vec<UserId> = store.iter().map(|u| u.id).collect();
+        assert_eq!(iterated, ids);
+        assert_eq!(store.ids(), ids);
+    }
+}

@@ -1,0 +1,35 @@
+//! Correlation-based targeting inference — the external-transparency
+//! baseline Treads are compared against.
+//!
+//! The paper's related work (§5) describes systems like XRay (USENIX Sec
+//! '14) and Sunlight (CCS '15) that "work by correlating information about
+//! users with the ads that they see", and notes they are "challenging to
+//! deploy, requiring either a large diverse population to sign-up … or a
+//! large number of (fake) control accounts … to make statistically
+//! significant claims". To make that comparison quantitative (experiment
+//! E10), this crate implements the approach from scratch:
+//!
+//! * [`controls`] — control-account population design: fake platform
+//!   accounts with independently randomized attribute assignments.
+//! * [`observe`] — the exposure matrix: which control account saw which
+//!   ad, collected by driving browsing sessions.
+//! * [`infer`] — differential-correlation inference: per (ad, attribute)
+//!   association tests (Pearson chi-square on the 2×2 exposure table) with
+//!   Bonferroni or Benjamini–Hochberg multiple-testing correction —
+//!   Sunlight's methodological core.
+//! * [`costmodel`] — what the deployment costs: accounts created,
+//!   browsing volume, impressions observed; compared against the Treads
+//!   numbers in E10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controls;
+pub mod costmodel;
+pub mod infer;
+pub mod observe;
+
+pub use controls::{spawn_controls, ControlDesign, ControlPopulation};
+pub use costmodel::BaselineCost;
+pub use infer::{infer_targeting, Correction, InferredTargeting};
+pub use observe::{collect_exposures, ExposureMatrix};

@@ -1,0 +1,64 @@
+//! Auction micro-bench, including the delivery-rate-vs-bid ablation from
+//! DESIGN.md design choice 2: the paper raises its bid 5× "to increase the
+//! chances of these ads winning the ad auction", and this bench's
+//! `win_rate` group measures exactly that curve (printed as the measured
+//! win probability per bid level, via the bench's own side report).
+
+use adplatform::auction::{run_auction, AuctionConfig, AuctionOutcome, Bid};
+use adsim_types::rng::substream;
+use adsim_types::{AdId, Money};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_auction(c: &mut Criterion) {
+    let config = AuctionConfig::default();
+    let mut group = c.benchmark_group("auction/run");
+    for n_bids in [1usize, 8, 64, 512] {
+        let bids: Vec<Bid> = (0..n_bids as u64)
+            .map(|i| Bid {
+                ad: AdId(i + 1),
+                cpm: Money::dollars(2) + Money::cents(i as i64 % 100),
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n_bids as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n_bids), &bids, |b, bids| {
+            let mut rng = substream(1, "bench-auction");
+            b.iter(|| run_auction(black_box(bids), black_box(&config), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+/// The bid-elevation ablation: measured win rates at $1/$2/$5/$10 CPM
+/// against the default background, printed once, then the $10 case is
+/// benched.
+fn bench_win_rate_vs_bid(c: &mut Criterion) {
+    let config = AuctionConfig::default();
+    println!("\nauction win-rate vs bid (paper: 5x bid to win reliably):");
+    for dollars in [1i64, 2, 5, 10] {
+        let mut rng = substream(7, "bench-winrate");
+        let bids = [Bid {
+            ad: AdId(1),
+            cpm: Money::dollars(dollars),
+        }];
+        let wins = (0..10_000)
+            .filter(|_| {
+                matches!(
+                    run_auction(&bids, &config, &mut rng),
+                    AuctionOutcome::Won { .. }
+                )
+            })
+            .count();
+        println!("  ${dollars} CPM -> {:.1}% win", wins as f64 / 100.0);
+    }
+    let bids = [Bid {
+        ad: AdId(1),
+        cpm: Money::dollars(10),
+    }];
+    c.bench_function("auction/single_bid_10cpm", |b| {
+        let mut rng = substream(9, "bench-10cpm");
+        b.iter(|| run_auction(black_box(&bids), black_box(&AuctionConfig::default()), &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_auction, bench_win_rate_vs_bid);
+criterion_main!(benches);

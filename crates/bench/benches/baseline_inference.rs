@@ -1,0 +1,110 @@
+//! E10 companion bench: the correlation baseline's inference cost as the
+//! control population grows — the deployment burden the paper contrasts
+//! Treads against scales in both accounts *and* compute.
+
+use adplatform::attributes::{AttributeCatalog, AttributeSource};
+use adplatform::auction::AuctionConfig;
+use adplatform::campaign::AdCreative;
+use adplatform::targeting::{TargetingExpr, TargetingSpec};
+use adplatform::{Platform, PlatformConfig};
+use adsim_types::rng::substream;
+use adsim_types::{AttributeId, Money};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use treads_baseline::infer::{infer_targeting, Correction};
+use treads_baseline::observe::ExposureMatrix;
+use treads_baseline::{collect_exposures, spawn_controls, ControlDesign, ControlPopulation};
+
+fn staged(n_accounts: usize, n_attrs: usize) -> (ExposureMatrix, ControlPopulation) {
+    let mut catalog = AttributeCatalog::new();
+    let attrs: Vec<AttributeId> = (0..n_attrs)
+        .map(|i| catalog.register(format!("Cand {i}"), AttributeSource::Platform, None, 0.1))
+        .collect();
+    let mut platform = Platform::new(
+        PlatformConfig {
+            auction: AuctionConfig {
+                competitor_rate: 0.0,
+                ..AuctionConfig::default()
+            },
+            frequency_cap: 4,
+            ..PlatformConfig::default()
+        },
+        catalog,
+    );
+    let adv = platform.register_advertiser("adv");
+    let acct = platform.open_account(adv).expect("account");
+    let camp = platform
+        .create_campaign(acct, "c", Money::dollars(10), None)
+        .expect("campaign");
+    for &attr in &attrs {
+        platform
+            .submit_ad(
+                camp,
+                AdCreative::text(format!("ad {attr}"), "b"),
+                TargetingSpec::including(TargetingExpr::Attr(attr)),
+            )
+            .expect("ad");
+    }
+    let mut rng = substream(n_accounts as u64, "bench-baseline");
+    let pop = spawn_controls(
+        &mut platform,
+        &attrs,
+        &ControlDesign {
+            accounts: n_accounts,
+            assignment_probability: 0.5,
+        },
+        &mut rng,
+    );
+    let matrix = collect_exposures(&mut platform, &pop.accounts, 2 * n_attrs);
+    (matrix, pop)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline/infer");
+    group.sample_size(20);
+    for n in [16usize, 64, 128] {
+        let (matrix, pop) = staged(n, 8);
+        group.bench_with_input(
+            BenchmarkId::new("bonferroni_accounts", n),
+            &(&matrix, &pop),
+            |b, (matrix, pop)| {
+                b.iter(|| {
+                    infer_targeting(
+                        black_box(matrix),
+                        black_box(pop),
+                        Correction::Bonferroni { alpha: 0.05 },
+                    )
+                })
+            },
+        );
+    }
+    // Hypothesis count scaling: attributes sweep at fixed population.
+    for n_attrs in [4usize, 16] {
+        let (matrix, pop) = staged(48, n_attrs);
+        group.bench_with_input(
+            BenchmarkId::new("bh_attributes", n_attrs),
+            &(&matrix, &pop),
+            |b, (matrix, pop)| {
+                b.iter(|| {
+                    infer_targeting(
+                        black_box(matrix),
+                        black_box(pop),
+                        Correction::BenjaminiHochberg { q: 0.05 },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_collection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline/collect");
+    group.sample_size(10);
+    group.bench_function("spawn_and_observe_64x8", |b| {
+        b.iter(|| black_box(staged(64, 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_collection);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E2 companion bench: the cost model's arithmetic across CPMs and
+//! attribute counts, plus the multi-value plan comparison (paper §3.1
+//! "Cost"). The absolute numbers are asserted in `exp_e2_cost`; this bench
+//! characterizes the model's evaluation cost and sweeps the series the
+//! paper reports.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use adsim_types::Money;
+use treads_core::cost;
+
+fn bench_per_user_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost/per_user");
+    for attrs in [1usize, 11, 50, 507] {
+        group.bench_with_input(BenchmarkId::from_parameter(attrs), &attrs, |b, &n| {
+            b.iter(|| cost::per_user_cost(black_box(n), black_box(Money::dollars(2))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_value_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost/multi_value_plan");
+    for m in [9usize, 42, 507] {
+        group.bench_with_input(BenchmarkId::new("per_value", m), &m, |b, &m| {
+            b.iter(|| cost::per_value_plan(black_box(m), Money::dollars(2)))
+        });
+        group.bench_with_input(BenchmarkId::new("bit_slice", m), &m, |b, &m| {
+            b.iter(|| cost::bit_slice_plan(black_box(m), Money::dollars(2)))
+        });
+        group.bench_with_input(BenchmarkId::new("expected_impressions", m), &m, |b, &m| {
+            b.iter(|| cost::bit_slice_expected_impressions(black_box(m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    c.bench_function("cost/project_10k_cohort", |b| {
+        b.iter(|| {
+            cost::project(
+                black_box(10_000),
+                black_box(50),
+                Money::dollars(2),
+                cost::FundingModel::UserFee {
+                    fee: Money::cents(10),
+                },
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_per_user_cost, bench_multi_value_plans, bench_projection);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! End-to-end delivery-loop bench: the full browse → eligibility →
+//! auction → billing → logging path, on a platform loaded with the
+//! validation-scale workload (507 Treads + control, two opted-in users)
+//! and on a larger 100-user cohort. This is the simulator's hot loop; the
+//! validation experiment and every cohort experiment run through it.
+
+use adplatform::auction::AuctionConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use treads_core::encoding::Encoding;
+use treads_core::planner::CampaignPlan;
+use treads_workload::{CohortScenario, ValidationScenario};
+
+fn bench_validation_browse(c: &mut Criterion) {
+    // Stage once; browsing mutates clock/logs but stays representative.
+    let mut s = ValidationScenario::setup(42);
+    let names = s.partner_attribute_names();
+    let plan = CampaignPlan::binary_in_ad("us-partner", &names, Encoding::CodebookToken);
+    s.provider
+        .run_plan(&mut s.platform, &plan, s.optin_audience)
+        .expect("plan runs");
+    s.platform.config.frequency_cap = u32::MAX; // keep ads eligible forever
+
+    let mut group = c.benchmark_group("delivery/browse");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("validation_507_ads", |b| {
+        let user = s.author_a;
+        b.iter(|| black_box(s.platform.browse(user).expect("user exists")))
+    });
+    group.finish();
+}
+
+fn bench_cohort_round(c: &mut Criterion) {
+    let mut s = CohortScenario::setup(42, 100, 100);
+    s.platform.config.auction = AuctionConfig {
+        competitor_rate: 1.0,
+        ..AuctionConfig::default()
+    };
+    let names: Vec<String> = s
+        .platform
+        .attributes
+        .partner_attributes()
+        .iter()
+        .take(100)
+        .map(|d| d.name.clone())
+        .collect();
+    let plan = CampaignPlan::binary_in_ad("cohort", &names, Encoding::CodebookToken);
+    s.provider
+        .run_plan(&mut s.platform, &plan, s.optin_audience)
+        .expect("plan runs");
+    s.platform.config.frequency_cap = u32::MAX;
+    let users = s.opted_in.clone();
+
+    let mut group = c.benchmark_group("delivery/cohort_round");
+    group.throughput(Throughput::Elements(users.len() as u64));
+    group.bench_function("100_users_100_ads", |b| {
+        b.iter(|| {
+            for &u in &users {
+                black_box(s.platform.browse(u).expect("user exists"));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_scenario_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delivery/setup");
+    group.sample_size(10);
+    group.bench_function("validation_scenario", |b| {
+        b.iter(|| black_box(ValidationScenario::setup(42)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_validation_browse,
+    bench_cohort_round,
+    bench_scenario_setup
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Encoding-channel bench: encode+decode cost per channel (F1/E5
+//! companion). The client decoder runs on every captured ad in a user's
+//! browser, so decode cost is the user-facing number.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use treads_core::disclosure::Disclosure;
+use treads_core::encoding::{decode, encode, Codebook, Encoding};
+
+fn sample() -> Disclosure {
+    Disclosure::HasAttribute {
+        name: "Net worth: $2M+".into(),
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding/encode");
+    for channel in Encoding::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(channel.label()),
+            &channel,
+            |b, &channel| {
+                let mut book = Codebook::new(1);
+                let d = sample();
+                b.iter(|| encode(black_box(&d), channel, &mut book))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding/decode");
+    for channel in Encoding::ALL {
+        let mut book = Codebook::new(1);
+        let payload = encode(&sample(), channel, &mut book);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(channel.label()),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    decode(
+                        black_box(&payload.body),
+                        payload.image.as_deref(),
+                        black_box(&book),
+                    )
+                })
+            },
+        );
+    }
+    // The common negative path: an ordinary (non-Tread) ad.
+    let book = Codebook::new(1);
+    group.bench_function("non_tread_ad", |b| {
+        b.iter(|| decode(black_box("Fresh coffee, 20% off this week!"), None, &book))
+    });
+    group.finish();
+}
+
+fn bench_codebook_build(c: &mut Criterion) {
+    let disclosures: Vec<Disclosure> = (0..507)
+        .map(|i| Disclosure::HasAttribute {
+            name: format!("Partner attribute {i}"),
+        })
+        .collect();
+    c.bench_function("encoding/codebook_507", |b| {
+        b.iter(|| Codebook::covering(black_box(7), black_box(&disclosures)))
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_codebook_build);
+criterion_main!(benches);

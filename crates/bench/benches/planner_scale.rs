@@ -1,0 +1,78 @@
+//! E3 companion bench: plan construction scaling (paper §3.1 "Scale").
+//!
+//! Sweeps the attribute count for the naive one-Tread-per-attribute plan
+//! and the group size for the log₂(m) bit-slice plan, demonstrating the
+//! O(m) vs O(log m) plan-size asymptotics in construction work as well.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use treads_core::encoding::Encoding;
+use treads_core::planner::{bits_needed, group_bit_members, CampaignPlan};
+
+fn bench_binary_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/binary_plan");
+    for m in [16usize, 64, 256, 507] {
+        let names: Vec<String> = (0..m).map(|i| format!("Attribute {i}")).collect();
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &names, |b, names| {
+            b.iter(|| {
+                CampaignPlan::binary_in_ad(
+                    black_box("bench"),
+                    black_box(names),
+                    Encoding::CodebookToken,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/bit_slice_plan");
+    for m in [9usize, 42, 507, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                CampaignPlan::group_bits_in_ad(
+                    black_box("bench"),
+                    black_box("group"),
+                    m,
+                    Encoding::CodebookToken,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bit_members(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/group_bit_members");
+    for m in [9usize, 507] {
+        let members: Vec<adsim_types::AttributeId> =
+            (1..=m as u64).map(adsim_types::AttributeId).collect();
+        let bits = bits_needed(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &members, |b, members| {
+            b.iter(|| {
+                for bit in 0..bits {
+                    black_box(group_bit_members(black_box(members), bit));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let names: Vec<String> = (0..507).map(|i| format!("Attribute {i}")).collect();
+    let plan = CampaignPlan::binary_in_ad("us", &names, Encoding::CodebookToken);
+    c.bench_function("planner/split_507_into_11", |b| {
+        b.iter(|| black_box(&plan).split(black_box(11)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_binary_plan,
+    bench_group_plan,
+    bench_bit_members,
+    bench_split
+);
+criterion_main!(benches);

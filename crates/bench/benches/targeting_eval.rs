@@ -1,0 +1,84 @@
+//! Targeting-evaluator micro-bench: the hot predicate of the delivery
+//! contract. Evaluated once per (eligible ad × impression opportunity), so
+//! its cost bounds platform throughput.
+
+use adplatform::attributes::AttributeCatalog;
+use adplatform::audience::AudienceStore;
+use adplatform::dsl;
+use adplatform::profile::{Gender, ProfileStore};
+use adplatform::targeting::{TargetingExpr, TargetingSpec};
+use adsim_types::{AttributeId, AudienceId};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_expression_shapes(c: &mut Criterion) {
+    let mut profiles = ProfileStore::new();
+    let user = profiles.register(33, Gender::Female, "Ohio", "43004");
+    for i in 0..120u64 {
+        profiles.grant_attribute(user, AttributeId(i)).expect("user");
+    }
+    let profile = profiles.get(user).expect("user").clone();
+    let audiences = AudienceStore::new(20, 1000, 100);
+
+    let mut group = c.benchmark_group("targeting/matches");
+    let single = TargetingSpec::including(TargetingExpr::Attr(AttributeId(50)));
+    group.bench_function("single_attr", |b| {
+        b.iter(|| black_box(&single).matches(black_box(&profile), &audiences))
+    });
+
+    // The paper's Chicago-millennials conjunction shape.
+    let conjunction = TargetingSpec::including(TargetingExpr::And(vec![
+        TargetingExpr::AgeRange { min: 24, max: 39 },
+        TargetingExpr::InZip("43004".into()),
+        TargetingExpr::Attr(AttributeId(10)),
+        TargetingExpr::Attr(AttributeId(11)),
+        TargetingExpr::Not(Box::new(TargetingExpr::Attr(AttributeId(999)))),
+    ]));
+    group.bench_function("paper_conjunction", |b| {
+        b.iter(|| black_box(&conjunction).matches(black_box(&profile), &audiences))
+    });
+
+    // Wide OR: the bit-slice Tread shape over a 507-member group.
+    for width in [9usize, 254] {
+        let or = TargetingSpec::including(TargetingExpr::And(vec![
+            TargetingExpr::InAudience(AudienceId(1)),
+            TargetingExpr::Or(
+                (0..width as u64)
+                    .map(|i| TargetingExpr::Attr(AttributeId(1000 + i)))
+                    .collect(),
+            ),
+        ]));
+        group.bench_with_input(BenchmarkId::new("bit_slice_or", width), &or, |b, or| {
+            b.iter(|| black_box(or).matches(black_box(&profile), &audiences))
+        });
+    }
+
+    // Exclusion spec (the LacksAttribute Tread shape).
+    let exclusion = TargetingSpec::including_excluding(
+        TargetingExpr::InAudience(AudienceId(1)),
+        TargetingExpr::Attr(AttributeId(50)),
+    );
+    group.bench_function("exclusion", |b| {
+        b.iter(|| black_box(&exclusion).matches(black_box(&profile), &audiences))
+    });
+    group.finish();
+}
+
+fn bench_dsl(c: &mut Criterion) {
+    let partner = treads_broker::PartnerCatalog::us();
+    let catalog = AttributeCatalog::us_2018(&partner);
+    let src = "age 24-39 AND zip:60601 AND attr:'Interest: musicals (Music)' \
+               AND NOT attr:'Relationship: in a relationship' \
+               OR (radius:42.36,-71.06,25 AND gender:female)";
+    let mut group = c.benchmark_group("targeting/dsl");
+    group.bench_function("parse_paper_expression", |b| {
+        b.iter(|| dsl::parse(black_box(src), black_box(&catalog)).expect("parses"))
+    });
+    let expr = dsl::parse(src, &catalog).expect("parses");
+    group.bench_function("render", |b| {
+        b.iter(|| dsl::render(black_box(&expr), black_box(&catalog)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_expression_shapes, bench_dsl);
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! E10 — §5: Treads vs correlation-based transparency (XRay/Sunlight
+//! style).
+//!
+//! The paper argues prior external-transparency systems are "challenging
+//! to deploy, requiring … a large number of (fake) control accounts to be
+//! created in order to make statistically significant claims", while
+//! Treads "use the targeting features of the advertising platform itself".
+//! This experiment makes the comparison quantitative on one task —
+//! *determine the targeting of K single-attribute ads* — by running both
+//! approaches on the same simulated platform:
+//!
+//! * **Baseline**: spawn N control accounts with randomized attributes,
+//!   drive browsing, run differential-correlation inference with
+//!   Bonferroni and Benjamini–Hochberg corrections; sweep N.
+//! * **Treads**: one opted-in *real* user simply receives the Treads for
+//!   the attributes they hold; zero fake accounts, statistical confidence
+//!   1 by the delivery contract.
+
+use adplatform::attributes::{AttributeCatalog, AttributeSource};
+use adplatform::auction::AuctionConfig;
+use adplatform::campaign::AdCreative;
+use adplatform::profile::Gender;
+use adplatform::targeting::{TargetingExpr, TargetingSpec};
+use adplatform::{Platform, PlatformConfig};
+use adsim_types::rng::substream;
+use adsim_types::{AdId, AttributeId, Money};
+use std::collections::BTreeMap;
+use treads_baseline::costmodel::minimum_population;
+use treads_baseline::infer::{infer_targeting, score, Correction};
+use treads_baseline::{collect_exposures, spawn_controls, ControlDesign};
+use treads_bench::{banner, pct, section, verdict, Table};
+use treads_core::encoding::Encoding;
+use treads_core::planner::CampaignPlan;
+use treads_core::provider::TransparencyProvider;
+use treads_core::TreadClient;
+use websim::extension::ExtensionLog;
+
+const K_ATTRS: usize = 8;
+
+/// Builds a platform with K candidate attributes and one hidden
+/// single-attribute ad per candidate. Returns the ground truth.
+fn build_rig(seed: u64) -> (Platform, Vec<AttributeId>, BTreeMap<AdId, AttributeId>) {
+    let mut catalog = AttributeCatalog::new();
+    let attrs: Vec<AttributeId> = (0..K_ATTRS)
+        .map(|i| {
+            catalog.register(
+                format!("Candidate attribute {i}"),
+                AttributeSource::Platform,
+                None,
+                0.1,
+            )
+        })
+        .collect();
+    let mut platform = Platform::new(
+        PlatformConfig {
+            seed,
+            auction: AuctionConfig {
+                competitor_rate: 0.0,
+                ..AuctionConfig::default()
+            },
+            frequency_cap: 4,
+            ..PlatformConfig::default()
+        },
+        catalog,
+    );
+    let adv = platform.register_advertiser("mystery advertiser");
+    let acct = platform.open_account(adv).expect("account");
+    let camp = platform
+        .create_campaign(acct, "mystery", Money::dollars(10), None)
+        .expect("campaign");
+    let mut truth = BTreeMap::new();
+    for &attr in &attrs {
+        let ad = platform
+            .submit_ad(
+                camp,
+                AdCreative::text(format!("mystery ad {attr}"), "buy things"),
+                TargetingSpec::including(TargetingExpr::Attr(attr)),
+            )
+            .expect("ad");
+        truth.insert(ad, attr);
+    }
+    (platform, attrs, truth)
+}
+
+fn main() {
+    let seed = treads_bench::experiment_seed();
+    banner(
+        "E10",
+        "Treads vs correlation baseline — accuracy and deployment cost on one task",
+    );
+
+    section(format!("Baseline sweep: infer the targeting of {K_ATTRS} hidden ads").as_str());
+    let mut t = Table::new([
+        "control accounts",
+        "opportunities",
+        "Bonferroni precision/recall",
+        "BH precision/recall",
+    ]);
+    let mut recall_at: BTreeMap<usize, f64> = BTreeMap::new();
+    for n in [8usize, 16, 32, 64, 96] {
+        let (mut platform, attrs, truth) = build_rig(seed ^ n as u64);
+        let mut rng = substream(seed ^ n as u64, "e10-controls");
+        let pop = spawn_controls(
+            &mut platform,
+            &attrs,
+            &ControlDesign {
+                accounts: n,
+                assignment_probability: 0.5,
+            },
+            &mut rng,
+        );
+        let matrix = collect_exposures(&mut platform, &pop.accounts, 3 * K_ATTRS);
+        let bonf = infer_targeting(&matrix, &pop, Correction::Bonferroni { alpha: 0.05 });
+        let bh = infer_targeting(&matrix, &pop, Correction::BenjaminiHochberg { q: 0.05 });
+        let bonf_acc = score(&bonf, &truth);
+        let bh_acc = score(&bh, &truth);
+        recall_at.insert(n, bonf_acc.recall());
+        t.row([
+            n.to_string(),
+            matrix.opportunities.to_string(),
+            format!("{} / {}", pct(bonf_acc.precision()), pct(bonf_acc.recall())),
+            format!("{} / {}", pct(bh_acc.precision()), pct(bh_acc.recall())),
+        ]);
+    }
+    t.print();
+    let hypotheses = K_ATTRS * K_ATTRS;
+    println!(
+        "  statistical-power floor: >= {} perfectly-separating accounts needed for {} hypotheses at alpha=0.05",
+        minimum_population(hypotheses, 0.05),
+        hypotheses
+    );
+
+    section("Treads on the same task: one real opted-in user, zero fake accounts");
+    let (mut platform, attrs, _truth) = build_rig(seed ^ 0xbead);
+    let mut provider =
+        TransparencyProvider::register(&mut platform, "KYD", seed, Money::dollars(10))
+            .expect("provider");
+    let (page, audience) = provider.setup_page_optin(&mut platform).expect("optin");
+    let user = platform.register_user(30, Gender::Female, "Ohio", "43004");
+    // The user holds 3 of the candidate attributes.
+    for &attr in attrs.iter().take(3) {
+        platform.profiles.grant_attribute(user, attr).expect("user");
+    }
+    platform.user_likes_page(user, page).expect("like");
+    let names: Vec<String> = attrs
+        .iter()
+        .map(|&a| platform.attributes.get(a).expect("attr").name.clone())
+        .collect();
+    let plan = CampaignPlan::binary_in_ad("kyd", &names, Encoding::CodebookToken);
+    let receipt = provider
+        .run_plan(&mut platform, &plan, audience)
+        .expect("plan runs");
+    let mut log = ExtensionLog::for_user(user);
+    for _ in 0..40 {
+        if let Ok(adplatform::auction::AuctionOutcome::Won { ad, .. }) = platform.browse(user) {
+            // The mystery advertiser's ads also serve; the extension
+            // captures everything and the decoder sorts Treads out.
+            let creative = platform.campaigns.ad(ad).expect("won").creative.clone();
+            log.observe(ad, creative, platform.clock.now());
+        }
+    }
+    let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
+    let profile = client.decode_log(&log, |_| None);
+    let tread_spend: Money = receipt
+        .placed
+        .iter()
+        .map(|p| platform.billing.ad_spend(p.ad))
+        .sum();
+
+    let mut c = Table::new(["metric", "correlation baseline (64 accts)", "Treads"]);
+    c.row([
+        "fake accounts needed".to_string(),
+        "64".to_string(),
+        "0".to_string(),
+    ]);
+    c.row([
+        "what the user learns".to_string(),
+        "ad->attribute associations (statistical)".to_string(),
+        format!(
+            "their own {} attributes, exact (delivery = proof)",
+            profile.has.len()
+        ),
+    ]);
+    c.row([
+        "confidence".to_string(),
+        "p-values after correction".to_string(),
+        "certain (platform delivery contract)".to_string(),
+    ]);
+    c.row([
+        "provider ad spend".to_string(),
+        "n/a (observes others' ads)".to_string(),
+        tread_spend.to_string(),
+    ]);
+    c.print();
+
+    section("Verdicts");
+    verdict(
+        "baseline recall rises with control-population size (power curve)",
+        recall_at[&8] < recall_at[&96],
+    );
+    verdict(
+        "baseline needs tens of fake accounts before recall passes 75%",
+        recall_at[&8] < 0.75 && recall_at[&96] >= 0.75,
+    );
+    verdict(
+        "Treads reveal the user's exact attributes with zero fake accounts",
+        profile.has.len() == 3 && profile.non_tread_ads > 0,
+    );
+    verdict(
+        "Treads cost pennies (paper: $0.002-$0.01 per attribute)",
+        tread_spend <= Money::cents(10) && tread_spend.is_positive(),
+    );
+}

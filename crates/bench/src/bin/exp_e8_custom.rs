@@ -1,0 +1,166 @@
+//! E8 — §3.1 "Supporting custom attributes": per-attribute anonymous
+//! opt-in.
+//!
+//! "The transparency provider could have users select an attribute they
+//! want to learn, and accordingly redirect them to a distinct (for each
+//! attribute) web-page on which they have placed a distinct tracking pixel
+//! … The provider then runs a Tread targeting the audience of visitors to
+//! this page (tracked by the ad platform via the tracking pixel, and
+//! anonymous to the provider) who also have the corresponding attribute."
+//!
+//! Three users, three attribute interests, three pixel pages: each user
+//! learns exactly the answer to the question they asked — and only that —
+//! while staying anonymous to the provider.
+
+use adplatform::profile::Gender;
+use adplatform::targeting::{TargetingExpr, TargetingSpec};
+use adplatform::{Platform, PlatformConfig};
+use adsim_types::Money;
+use treads_bench::{banner, section, verdict, Table};
+use treads_core::disclosure::Disclosure;
+use treads_core::encoding::{encode, Encoding};
+use treads_core::optin::{optin_by_pixel, setup_custom_attribute_optin};
+use treads_core::provider::TransparencyProvider;
+use treads_core::TreadClient;
+use websim::extension::ExtensionLog;
+
+fn main() {
+    let seed = treads_bench::experiment_seed();
+    banner("E8", "Custom attributes — distinct pixel page per attribute checked");
+
+    let mut platform = Platform::us_2018(PlatformConfig {
+        seed,
+        ..PlatformConfig::default()
+    });
+    platform.config.auction.competitor_rate = 0.0;
+    let mut provider =
+        TransparencyProvider::register(&mut platform, "KYD", seed, Money::dollars(10))
+            .expect("fresh platform accepts provider");
+
+    // Three attributes outside the provider's default plan; three users.
+    let asks = [
+        "Interest: salsa dancing (Music)",
+        "Behavior: ad clicker",
+        "Travel: frequent flyer",
+    ];
+    let mut channels = Vec::new();
+    for ask in asks {
+        channels.push(
+            setup_custom_attribute_optin(&provider, &mut platform, ask)
+                .expect("channel setup"),
+        );
+    }
+
+    // User 0 asked about salsa and HAS it; user 1 asked about ad-clicking
+    // and LACKS it; user 2 asked about frequent-flying and HAS it.
+    let mut users = Vec::new();
+    for (i, ask) in asks.iter().enumerate() {
+        let u = platform.register_user(30, Gender::Unspecified, "Ohio", "43004");
+        if i != 1 {
+            let id = platform.attributes.id_of(ask).expect("attr");
+            platform.profiles.grant_attribute(u, id).expect("fresh user");
+        }
+        optin_by_pixel(&mut platform, channels[i].pixel, &[u]).expect("optin");
+        users.push(u);
+    }
+
+    section("Running one Tread per custom channel");
+    // Each Tread targets (channel audience) ∧ (attribute) directly —
+    // the channel audience *is* the opt-in scope here.
+    let mut placed = Vec::new();
+    for channel in &channels {
+        let attr = platform.attributes.id_of(&channel.attribute).expect("attr");
+        let disclosure = Disclosure::HasAttribute {
+            name: channel.attribute.clone(),
+        };
+        let payload = encode(&disclosure, Encoding::CodebookToken, &mut provider.codebook);
+        let campaign = platform
+            .create_campaign(
+                provider.account(),
+                format!("custom:{}", channel.attribute),
+                Money::dollars(10),
+                None,
+            )
+            .expect("campaign");
+        let ad = platform
+            .submit_ad(
+                campaign,
+                adplatform::campaign::AdCreative::text(
+                    "A message from Know Your Data",
+                    payload.body,
+                ),
+                TargetingSpec::including(TargetingExpr::And(vec![
+                    TargetingExpr::InAudience(channel.audience),
+                    TargetingExpr::Attr(attr),
+                ])),
+            )
+            .expect("ad");
+        placed.push(ad);
+        println!("  {} -> {ad}", channel.attribute);
+    }
+
+    // Browse.
+    let mut extensions: std::collections::BTreeMap<_, _> = users
+        .iter()
+        .map(|&u| (u, ExtensionLog::for_user(u)))
+        .collect();
+    for _ in 0..6 {
+        for (&u, log) in extensions.iter_mut() {
+            if let Ok(adplatform::auction::AuctionOutcome::Won { ad, .. }) = platform.browse(u) {
+                let creative = platform.campaigns.ad(ad).expect("won").creative.clone();
+                log.observe(ad, creative, platform.clock.now());
+            }
+        }
+    }
+
+    let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
+    section("What each asker learned");
+    let mut t = Table::new(["user", "asked about", "truly has it", "learned 'has it'", "other reveals"]);
+    let mut outcomes = Vec::new();
+    for (i, &u) in users.iter().enumerate() {
+        let profile = client.decode_log(&extensions[&u], |_| None);
+        let learned = profile.has.contains(asks[i]);
+        let others = profile.has.len() - usize::from(learned);
+        outcomes.push((learned, others));
+        t.row([
+            u.to_string(),
+            asks[i].to_string(),
+            (i != 1).to_string(),
+            learned.to_string(),
+            others.to_string(),
+        ]);
+    }
+    t.print();
+
+    section("Anonymity check");
+    println!("  provider's knowledge of channel membership = pixel fire counts only:");
+    for channel in &channels {
+        println!(
+            "    {}: {} fire(s), audience identity never exposed",
+            channel.attribute,
+            platform.pixels.fire_count(channel.pixel)
+        );
+    }
+
+    section("Verdicts");
+    verdict(
+        "askers holding the attribute learn exactly that fact",
+        outcomes[0].0 && outcomes[2].0,
+    );
+    verdict(
+        "the asker lacking the attribute receives no Tread (absence of evidence)",
+        !outcomes[1].0,
+    );
+    verdict(
+        "no user learns anything they did not opt in to check",
+        outcomes.iter().all(|(_, others)| *others == 0),
+    );
+    verdict(
+        "channels are isolated: distinct pixels and audiences per attribute",
+        {
+            let pixels: std::collections::BTreeSet<_> =
+                channels.iter().map(|c| c.pixel).collect();
+            pixels.len() == channels.len()
+        },
+    );
+}

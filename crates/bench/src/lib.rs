@@ -1,0 +1,118 @@
+//! Shared reporting helpers for the experiment binaries.
+//!
+//! Every `exp_*` binary regenerates one table or figure from the paper and
+//! prints a "paper vs measured" report. The helpers here keep the output
+//! format uniform so EXPERIMENTS.md can quote it directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a top-level experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{id}: {title}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("--- {title} ---");
+}
+
+/// A fixed-width text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let line = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            println!("  {}", padded.join("  "));
+        };
+        line(&self.headers);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&rule);
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// The experiment seed: `TREADS_SEED` env var, defaulting to 42.
+pub fn experiment_seed() -> u64 {
+    std::env::var("TREADS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Prints a ✓/✗ verdict line comparing a measured outcome to the paper's.
+pub fn verdict(label: &str, holds: bool) {
+    println!("  [{}] {label}", if holds { "MATCH" } else { "DIVERGES" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(["only-one"]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn seed_defaults() {
+        // Cannot unset env vars safely in parallel tests; just check the
+        // parse path via the default.
+        assert!(experiment_seed() >= 1);
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

@@ -1,0 +1,35 @@
+//! Data-broker substrate.
+//!
+//! The paper's validation targets Facebook's **partner categories**: 507
+//! U.S. targeting attributes sourced from external data brokers (Acxiom,
+//! Oracle Data Cloud, …), available to advertisers but *hidden from users*
+//! by the platform's own transparency page. Those feeds are proprietary, so
+//! this crate builds the synthetic equivalent (see DESIGN.md §2):
+//!
+//! * [`catalog`] — a deterministic partner-category taxonomy generator that
+//!   produces exactly the paper's 507 U.S. attributes, organized in
+//!   segments (financial, purchase behaviour, occupation, housing,
+//!   automotive, …) with mutually-exclusive value *groups* (e.g., nine net
+//!   worth bands) used by the log₂(m) scale experiments.
+//! * [`records`] — broker person records keyed by hashed PII, carrying the
+//!   attributes the broker claims to know about a person.
+//! * [`coverage`] — the sparse-coverage model: who has a broker dossier at
+//!   all. This is what reproduces the paper's validation contrast (one
+//!   author had 11 partner attributes; the other — a recent-arrival
+//!   graduate student — had none).
+//! * [`feed`] — the broker→platform feed: matches broker records to
+//!   platform users through hashed email/phone, exactly how real partner
+//!   integrations onboard data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod coverage;
+pub mod feed;
+pub mod records;
+
+pub use catalog::{PartnerAttribute, PartnerCatalog, Segment};
+pub use coverage::CoverageModel;
+pub use feed::{BrokerFeed, MatchOutcome};
+pub use records::BrokerRecord;

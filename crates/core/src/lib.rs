@@ -1,0 +1,106 @@
+//! **Treads** — Transparency-Enhancing Advertisements.
+//!
+//! This crate is the reproduction's implementation of the paper's primary
+//! contribution: targeted advertisements in which the advertiser reveals
+//! its targeting to the recipient, and the *transparency provider* protocol
+//! built on them (Venkatadri, Mislove & Gummadi, HotNets 2018).
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`disclosure`] — what a Tread reveals: "you have attribute A", "you
+//!   lack (or the platform is missing) attribute A", "bit k of your value
+//!   for group G is 1", "the platform holds this PII of yours".
+//! * [`encoding`] — how the disclosure is carried: explicit text (Figure
+//!   1a), an obfuscating codebook of innocuous numeric tokens (Figure 1b's
+//!   "2,830,120"), zero-width-character steganography in the ad text, or
+//!   least-significant-bit steganography in the ad image.
+//! * [`tread`] — a Tread proper: disclosure + encoding + disclosure channel
+//!   (in the ad creative, or on an external landing page) + the targeting
+//!   that makes delivery a proof.
+//! * [`planner`] — campaign planning: one Tread per binary attribute,
+//!   exclusion Treads for negative disclosure, and the §3.1 "Scale"
+//!   bit-slice plans that reveal an m-valued attribute group with
+//!   ~log₂(m) Treads.
+//! * [`optin`] — the three opt-in flows: hashed-PII upload, anonymous
+//!   pixel visits, and per-attribute custom pixel pages.
+//! * [`provider`] — the transparency provider: an advertiser (or a
+//!   crowd of advertiser accounts, [`crowdsource`]) that runs plans and
+//!   sees only aggregate statistics.
+//! * [`client`] — the user-side decoder (behind the browser extension):
+//!   reconstructs the revealed profile from the Treads a user received.
+//! * [`cost`] — the paper's cost model ($0.002 per attribute at $2 CPM…).
+//! * [`privacy`] — the threat-model analyzer: what the provider's view
+//!   contains and when linkage is/isn't possible.
+//! * [`advertiser`] — advertiser-driven transparency (§4): intent
+//!   explanations attached to ordinary ads, cross-checked against the
+//!   platform's own explanations.
+//! * [`report`] — the user-facing markdown transparency report assembled
+//!   from a decoded profile.
+//!
+//! # Example
+//!
+//! One Tread, end to end:
+//!
+//! ```
+//! use adplatform::{Platform, PlatformConfig};
+//! use adplatform::profile::Gender;
+//! use adsim_types::Money;
+//! use treads_core::encoding::Encoding;
+//! use treads_core::planner::CampaignPlan;
+//! use treads_core::provider::TransparencyProvider;
+//! use treads_core::TreadClient;
+//! use websim::extension::ExtensionLog;
+//!
+//! // A platform that quietly holds partner data about a user.
+//! let mut platform = Platform::us_2018(PlatformConfig::default());
+//! platform.config.auction.competitor_rate = 0.0;
+//! let user = platform.register_user(41, Gender::Female, "Massachusetts", "02115");
+//! let net_worth = platform.attributes.id_of("Net worth: $2M+").unwrap();
+//! platform.profiles.grant_attribute(user, net_worth).unwrap();
+//!
+//! // A transparency provider; the user opts in by liking its page.
+//! let mut provider =
+//!     TransparencyProvider::register(&mut platform, "Know Your Data", 7, Money::dollars(10))
+//!         .unwrap();
+//! let (page, audience) = provider.setup_page_optin(&mut platform).unwrap();
+//! platform.user_likes_page(user, page).unwrap();
+//!
+//! // One obfuscated Tread; the user browses; the extension captures.
+//! let plan = CampaignPlan::binary_in_ad("demo", &["Net worth: $2M+"], Encoding::CodebookToken);
+//! provider.run_plan(&mut platform, &plan, audience).unwrap();
+//! let mut extension = ExtensionLog::for_user(user);
+//! for _ in 0..4 {
+//!     if let Ok(adplatform::auction::AuctionOutcome::Won { ad, .. }) = platform.browse(user) {
+//!         let creative = platform.campaigns.ad(ad).unwrap().creative.clone();
+//!         extension.observe(ad, creative, platform.clock.now());
+//!     }
+//! }
+//!
+//! // Decode: delivery is proof.
+//! let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
+//! let revealed = client.decode_log(&extension, |_| None);
+//! assert!(revealed.has.contains("Net worth: $2M+"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advertiser;
+pub mod client;
+pub mod cost;
+pub mod crowdsource;
+pub mod disclosure;
+pub mod encoding;
+pub mod optin;
+pub mod planner;
+pub mod privacy;
+pub mod provider;
+pub mod report;
+pub mod tread;
+
+pub use client::{RevealedProfile, TreadClient};
+pub use disclosure::Disclosure;
+pub use encoding::{Codebook, Encoding};
+pub use planner::{CampaignPlan, PlannedTread};
+pub use provider::{ProviderView, RunReceipt, TransparencyProvider};
+pub use tread::{DisclosureChannel, Tread};

@@ -1,0 +1,118 @@
+//! The user-side browser extension.
+//!
+//! The paper envisions users "potentially sav(ing) these (Treads) using a
+//! browser extension", which also holds the obfuscation codebook the
+//! provider shares at opt-in. The extension here is the capture half: it
+//! records every ad the user's browser rendered (ad id + the creative as
+//! displayed). Decoding is done by `treads-core`'s client, which consumes
+//! an [`ExtensionLog`].
+//!
+//! The extension sees only what the user sees — it has no platform-side
+//! access, which keeps the threat-model boundaries honest.
+
+use adplatform::campaign::AdCreative;
+use adsim_types::{AdId, SimTime, UserId};
+use serde::{Deserialize, Serialize};
+
+/// One ad observation captured by the extension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedAd {
+    /// The rendered ad's id (visible in ad markup on real platforms).
+    pub ad: AdId,
+    /// The creative as rendered.
+    pub creative: AdCreative,
+    /// When it was seen.
+    pub at: SimTime,
+}
+
+/// Per-user capture log.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtensionLog {
+    /// The user running the extension.
+    pub user: Option<UserId>,
+    observations: Vec<ObservedAd>,
+}
+
+impl ExtensionLog {
+    /// A log for one user.
+    pub fn for_user(user: UserId) -> Self {
+        Self {
+            user: Some(user),
+            observations: Vec::new(),
+        }
+    }
+
+    /// Records a rendered ad.
+    pub fn observe(&mut self, ad: AdId, creative: AdCreative, at: SimTime) {
+        self.observations.push(ObservedAd { ad, creative, at });
+    }
+
+    /// All observations, in capture order.
+    pub fn observations(&self) -> &[ObservedAd] {
+        &self.observations
+    }
+
+    /// Number of captured ads.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Observations of one specific ad.
+    pub fn of_ad(&self, ad: AdId) -> Vec<&ObservedAd> {
+        self.observations.iter().filter(|o| o.ad == ad).collect()
+    }
+
+    /// Distinct ads seen, in first-seen order.
+    pub fn distinct_ads(&self) -> Vec<AdId> {
+        let mut seen = Vec::new();
+        for o in &self.observations {
+            if !seen.contains(&o.ad) {
+                seen.push(o.ad);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn creative(n: u32) -> AdCreative {
+        AdCreative::text(format!("headline {n}"), "body")
+    }
+
+    #[test]
+    fn capture_and_query() {
+        let mut log = ExtensionLog::for_user(UserId(1));
+        log.observe(AdId(10), creative(1), SimTime(5));
+        log.observe(AdId(11), creative(2), SimTime(6));
+        log.observe(AdId(10), creative(1), SimTime(7));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.of_ad(AdId(10)).len(), 2);
+        assert_eq!(log.distinct_ads(), vec![AdId(10), AdId(11)]);
+        assert_eq!(log.user, Some(UserId(1)));
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = ExtensionLog::default();
+        assert!(log.is_empty());
+        assert!(log.distinct_ads().is_empty());
+        assert!(log.of_ad(AdId(1)).is_empty());
+    }
+
+    #[test]
+    fn observations_keep_creative_content() {
+        let mut log = ExtensionLog::for_user(UserId(2));
+        log.observe(AdId(1), AdCreative::text("Ref", "2,830,120"), SimTime(0));
+        let obs = &log.observations()[0];
+        assert_eq!(obs.creative.body, "2,830,120");
+        assert_eq!(obs.at, SimTime(0));
+    }
+}

@@ -1,0 +1,33 @@
+//! Web browsing simulation.
+//!
+//! The paper's mechanism touches the web outside the ad platform in three
+//! places, all built here:
+//!
+//! * users **browse** (feed sessions), generating the impression
+//!   opportunities the delivery engine auctions ([`site`], [`session`]);
+//! * the transparency provider hosts **opt-in pages** carrying platform
+//!   tracking pixels, and optionally **landing pages** that disclose
+//!   targeting information off-platform ([`landing`]);
+//! * users run a **browser extension** that saves and decodes the Treads
+//!   they see ([`extension`]) — "users see these Treads while browsing
+//!   normally (and can potentially save these using a browser extension)".
+//!
+//! [`cookies`] models the cookie jar that the paper's privacy analysis
+//! (§3.1) worries about: a provider cookie set on a landing page can link a
+//! user's visits to the targeting information disclosed there, unless the
+//! user clears or disables cookies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cookies;
+pub mod extension;
+pub mod landing;
+pub mod session;
+pub mod site;
+
+pub use cookies::{CookieJar, CookiePolicy};
+pub use extension::{ExtensionLog, ObservedAd};
+pub use landing::{LandingPage, LandingServer, VisitRecord};
+pub use session::{BrowsingEvent, SessionConfig, SessionSchedule};
+pub use site::{Site, SiteRegistry};

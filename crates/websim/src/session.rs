@@ -1,0 +1,464 @@
+//! Browsing sessions: the event source that drives ad delivery.
+//!
+//! "Users see these Treads while browsing normally" — this module
+//! generates that normal browsing. A [`SessionSchedule`] is a
+//! time-sorted stream of page views; driving it against a
+//! [`adplatform::Platform`] advances the simulated clock, fires the
+//! tracking pixels embedded on each visited site, runs one auction per ad
+//! slot, and feeds every rendered ad into the viewing user's browser
+//! extension.
+
+use crate::extension::ExtensionLog;
+use crate::site::SiteRegistry;
+use adplatform::auction::AuctionOutcome;
+use adplatform::Platform;
+use adsim_types::{SimTime, SiteId, UserId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One browsing event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BrowsingEvent {
+    /// `user` loads a page on `site` at `at`.
+    PageView {
+        /// The browsing user.
+        user: UserId,
+        /// The visited site.
+        site: SiteId,
+        /// The simulated instant.
+        at: SimTime,
+    },
+}
+
+impl BrowsingEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            BrowsingEvent::PageView { at, .. } => *at,
+        }
+    }
+}
+
+/// Workload shape for schedule generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Mean page views per user per simulated day.
+    pub views_per_user_per_day: f64,
+    /// Number of simulated days.
+    pub days: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            views_per_user_per_day: 20.0,
+            days: 7,
+        }
+    }
+}
+
+/// Summary of one schedule drive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriveReport {
+    /// Page views processed.
+    pub page_views: u64,
+    /// Pixel fires routed into the platform.
+    pub pixel_fires: u64,
+    /// Ad impressions delivered (auctions won by advertiser ads).
+    pub impressions: u64,
+    /// Ad clicks simulated (only by [`SessionSchedule::drive_with_clicks`]).
+    pub clicks: u64,
+}
+
+/// A time-sorted browsing workload.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionSchedule {
+    events: Vec<BrowsingEvent>,
+}
+
+impl SessionSchedule {
+    /// Builds a schedule from explicit events (sorted internally).
+    pub fn from_events(mut events: Vec<BrowsingEvent>) -> Self {
+        events.sort_by_key(|e| e.at());
+        Self { events }
+    }
+
+    /// Generates a schedule: each user makes
+    /// `views_per_user_per_day × days` page views (Poisson-rounded via a
+    /// per-view Bernoulli grid) at uniform times, each on a uniformly
+    /// chosen site.
+    pub fn generate<R: Rng>(
+        users: &[UserId],
+        sites: &[SiteId],
+        config: &SessionConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!sites.is_empty(), "schedule needs at least one site");
+        let horizon_ms = config.days * 86_400_000;
+        let mut events = Vec::new();
+        for &user in users {
+            let expected = config.views_per_user_per_day * config.days as f64;
+            // Integer part guaranteed, fractional part Bernoulli.
+            let mut n = expected.floor() as u64;
+            if rng.gen::<f64>() < expected.fract() {
+                n += 1;
+            }
+            for _ in 0..n {
+                let at = SimTime(rng.gen_range(0..horizon_ms.max(1)));
+                let site = sites[rng.gen_range(0..sites.len())];
+                events.push(BrowsingEvent::PageView { user, site, at });
+            }
+        }
+        Self::from_events(events)
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[BrowsingEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drives the schedule against a platform.
+    ///
+    /// For each page view, in time order: advance the platform clock, fire
+    /// the site's pixels, auction each ad slot, and record every rendered
+    /// ad into the viewing user's [`ExtensionLog`] (if they run one).
+    pub fn drive(
+        &self,
+        platform: &mut Platform,
+        sites: &SiteRegistry,
+        extensions: &mut BTreeMap<UserId, ExtensionLog>,
+    ) -> DriveReport {
+        self.drive_with_clicks(platform, sites, extensions, 0.0, &mut |_, _, _| {}, &mut NoRng)
+    }
+
+    /// Like [`SessionSchedule::drive`], but each delivered impression is
+    /// clicked with probability `ctr`; `on_click(user, ad, creative)`
+    /// fires for every click so the caller can route it (fetch the landing
+    /// page, record it in an advertiser's
+    /// [`adplatform::clicks::ClickLog`], …).
+    pub fn drive_with_clicks<R: rand::Rng + ?Sized>(
+        &self,
+        platform: &mut Platform,
+        sites: &SiteRegistry,
+        extensions: &mut BTreeMap<UserId, ExtensionLog>,
+        ctr: f64,
+        on_click: &mut impl FnMut(UserId, adsim_types::AdId, &adplatform::campaign::AdCreative),
+        rng: &mut R,
+    ) -> DriveReport {
+        let mut report = DriveReport::default();
+        for event in &self.events {
+            let BrowsingEvent::PageView { user, site, at } = *event;
+            if at >= platform.clock.now() {
+                platform.clock.advance_to(at);
+            }
+            let site = match sites.get(site) {
+                Some(s) => s.clone(),
+                None => continue,
+            };
+            report.page_views += 1;
+            for &pixel in &site.pixels {
+                if platform.user_fires_pixel(user, pixel).is_ok() {
+                    report.pixel_fires += 1;
+                }
+            }
+            for _ in 0..site.ad_slots_per_view {
+                if let Ok(AuctionOutcome::Won { ad, .. }) = platform.browse(user) {
+                    report.impressions += 1;
+                    let creative = platform
+                        .campaigns
+                        .ad(ad)
+                        .expect("won ad exists")
+                        .creative
+                        .clone();
+                    if let Some(log) = extensions.get_mut(&user) {
+                        log.observe(ad, creative.clone(), at);
+                    }
+                    if ctr > 0.0 && rng.gen::<f64>() < ctr {
+                        report.clicks += 1;
+                        on_click(user, ad, &creative);
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+/// RNG stand-in for the clickless [`SessionSchedule::drive`] path; never
+/// actually sampled because `ctr == 0.0` short-circuits.
+struct NoRng;
+
+impl rand::RngCore for NoRng {
+    fn next_u32(&mut self) -> u32 {
+        unreachable!("NoRng is never sampled (ctr == 0)")
+    }
+    fn next_u64(&mut self) -> u64 {
+        unreachable!("NoRng is never sampled (ctr == 0)")
+    }
+    fn fill_bytes(&mut self, _dest: &mut [u8]) {
+        unreachable!("NoRng is never sampled (ctr == 0)")
+    }
+    fn try_fill_bytes(&mut self, _dest: &mut [u8]) -> Result<(), rand::Error> {
+        unreachable!("NoRng is never sampled (ctr == 0)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adplatform::attributes::{AttributeCatalog, AttributeSource};
+    use adplatform::auction::AuctionConfig;
+    use adplatform::campaign::AdCreative;
+    use adplatform::profile::Gender;
+    use adplatform::targeting::{TargetingExpr, TargetingSpec};
+    use adplatform::PlatformConfig;
+    use adsim_types::rng::substream;
+    use adsim_types::Money;
+
+    fn platform() -> Platform {
+        let mut catalog = AttributeCatalog::new();
+        catalog.register("Interest: coffee", AttributeSource::Platform, None, 0.3);
+        Platform::new(
+            PlatformConfig {
+                auction: AuctionConfig {
+                    competitor_rate: 0.0,
+                    ..AuctionConfig::default()
+                },
+                frequency_cap: 100,
+                ..PlatformConfig::default()
+            },
+            catalog,
+        )
+    }
+
+    #[test]
+    fn generate_is_sorted_and_sized() {
+        let users: Vec<UserId> = (1..=10).map(UserId).collect();
+        let sites = vec![SiteId(1), SiteId(2)];
+        let mut rng = substream(1, "session");
+        let config = SessionConfig {
+            views_per_user_per_day: 5.0,
+            days: 2,
+        };
+        let schedule = SessionSchedule::generate(&users, &sites, &config, &mut rng);
+        assert_eq!(schedule.len(), 10 * 10); // exactly 5*2 views each
+        let times: Vec<u64> = schedule.events().iter().map(|e| e.at().millis()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn drive_delivers_and_captures() {
+        let mut p = platform();
+        let adv = p.register_advertiser("adv");
+        let acct = p.open_account(adv).expect("account");
+        let user = p.register_user(30, Gender::Female, "Ohio", "43004");
+        let camp = p
+            .create_campaign(acct, "c", Money::dollars(10), None)
+            .expect("campaign");
+        p.submit_ad(
+            camp,
+            AdCreative::text("Hello", "World"),
+            TargetingSpec::including(TargetingExpr::Everyone),
+        )
+        .expect("ad");
+
+        let mut sites = SiteRegistry::new();
+        let feed = sites.create("feed.example", 2);
+        let schedule = SessionSchedule::from_events(vec![
+            BrowsingEvent::PageView {
+                user,
+                site: feed,
+                at: SimTime(100),
+            },
+            BrowsingEvent::PageView {
+                user,
+                site: feed,
+                at: SimTime(200),
+            },
+        ]);
+        let mut extensions = BTreeMap::new();
+        extensions.insert(user, ExtensionLog::for_user(user));
+        let report = schedule.drive(&mut p, &sites, &mut extensions);
+        assert_eq!(report.page_views, 2);
+        assert_eq!(report.impressions, 4); // 2 views x 2 slots
+        assert_eq!(extensions[&user].len(), 4);
+        assert_eq!(p.clock.now(), SimTime(200));
+    }
+
+    #[test]
+    fn drive_fires_pixels_on_instrumented_sites() {
+        let mut p = platform();
+        let adv = p.register_advertiser("provider");
+        let acct = p.open_account(adv).expect("account");
+        let pixel = p.create_pixel(acct, "optin").expect("pixel");
+        let audience = p.create_pixel_audience(acct, pixel).expect("audience");
+        let user = p.register_user(30, Gender::Female, "Ohio", "43004");
+
+        let mut sites = SiteRegistry::new();
+        let optin = sites.create("optin.example", 0);
+        sites.embed_pixel(optin, pixel);
+        let schedule = SessionSchedule::from_events(vec![BrowsingEvent::PageView {
+            user,
+            site: optin,
+            at: SimTime(50),
+        }]);
+        let mut extensions = BTreeMap::new();
+        let report = schedule.drive(&mut p, &sites, &mut extensions);
+        assert_eq!(report.pixel_fires, 1);
+        assert_eq!(report.impressions, 0);
+        assert!(p.audiences.get(audience).expect("aud").contains(user));
+    }
+
+    #[test]
+    fn drive_with_clicks_fires_the_callback() {
+        let mut p = platform();
+        let adv = p.register_advertiser("adv");
+        let acct = p.open_account(adv).expect("account");
+        let user = p.register_user(30, Gender::Female, "Ohio", "43004");
+        let camp = p
+            .create_campaign(acct, "c", Money::dollars(10), None)
+            .expect("campaign");
+        let ad = p
+            .submit_ad(
+                camp,
+                AdCreative::text("Hello", "World").with_landing("https://adv.example/x"),
+                TargetingSpec::including(TargetingExpr::Everyone),
+            )
+            .expect("ad");
+        let mut sites = SiteRegistry::new();
+        let feed = sites.create("feed.example", 1);
+        let schedule = SessionSchedule::from_events(
+            (0..20)
+                .map(|i| BrowsingEvent::PageView {
+                    user,
+                    site: feed,
+                    at: SimTime(i * 100),
+                })
+                .collect(),
+        );
+        let mut extensions = BTreeMap::new();
+        let mut clicked = Vec::new();
+        let mut rng = substream(5, "ctr");
+        let report = schedule.drive_with_clicks(
+            &mut p,
+            &sites,
+            &mut extensions,
+            1.0, // always click
+            &mut |u, a, creative| {
+                assert_eq!(a, ad);
+                assert_eq!(creative.landing_url.as_deref(), Some("https://adv.example/x"));
+                clicked.push(u);
+            },
+            &mut rng,
+        );
+        assert_eq!(report.clicks, report.impressions);
+        assert_eq!(clicked.len() as u64, report.clicks);
+        // ctr 0 never clicks and never samples the RNG.
+        let report = schedule.drive(&mut p, &sites, &mut extensions);
+        assert_eq!(report.clicks, 0);
+    }
+
+    #[test]
+    fn users_without_extension_are_not_captured() {
+        let mut p = platform();
+        let adv = p.register_advertiser("adv");
+        let acct = p.open_account(adv).expect("account");
+        let user = p.register_user(30, Gender::Male, "Ohio", "43004");
+        let camp = p
+            .create_campaign(acct, "c", Money::dollars(10), None)
+            .expect("campaign");
+        p.submit_ad(
+            camp,
+            AdCreative::text("h", "b"),
+            TargetingSpec::including(TargetingExpr::Everyone),
+        )
+        .expect("ad");
+        let mut sites = SiteRegistry::new();
+        let feed = sites.create("feed.example", 1);
+        let schedule = SessionSchedule::from_events(vec![BrowsingEvent::PageView {
+            user,
+            site: feed,
+            at: SimTime(10),
+        }]);
+        let mut extensions: BTreeMap<UserId, ExtensionLog> = BTreeMap::new();
+        let report = schedule.drive(&mut p, &sites, &mut extensions);
+        assert_eq!(report.impressions, 1);
+        assert!(extensions.is_empty());
+    }
+
+    #[test]
+    fn unknown_sites_are_skipped() {
+        let mut p = platform();
+        let user = p.register_user(30, Gender::Male, "Ohio", "43004");
+        let sites = SiteRegistry::new();
+        let schedule = SessionSchedule::from_events(vec![BrowsingEvent::PageView {
+            user,
+            site: SiteId(99),
+            at: SimTime(10),
+        }]);
+        let mut extensions = BTreeMap::new();
+        let report = schedule.drive(&mut p, &sites, &mut extensions);
+        assert_eq!(report.page_views, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use adsim_types::rng::substream;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Generated schedules are time-sorted, within the horizon, sized
+        /// per the config, and deterministic per seed.
+        #[test]
+        fn schedule_generation_invariants(
+            n_users in 1usize..20,
+            n_sites in 1usize..5,
+            views in 0.0f64..10.0,
+            days in 1u64..5,
+            seed in 0u64..1_000,
+        ) {
+            let users: Vec<UserId> = (1..=n_users as u64).map(UserId).collect();
+            let sites: Vec<SiteId> = (1..=n_sites as u64).map(SiteId).collect();
+            let config = SessionConfig {
+                views_per_user_per_day: views,
+                days,
+            };
+            let mut rng = substream(seed, "session-prop");
+            let schedule = SessionSchedule::generate(&users, &sites, &config, &mut rng);
+            // Sorted.
+            let times: Vec<u64> = schedule.events().iter().map(|e| e.at().millis()).collect();
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&times, &sorted);
+            // Within the horizon.
+            let horizon = days * 86_400_000;
+            prop_assert!(times.iter().all(|&t| t < horizon.max(1)));
+            // Size within the integer/fractional bound per user.
+            let expected = views * days as f64;
+            let min = expected.floor() as usize * n_users;
+            let max = (expected.floor() as usize + 1) * n_users;
+            prop_assert!(schedule.len() >= min && schedule.len() <= max,
+                "len {} outside [{}, {}]", schedule.len(), min, max);
+            // Deterministic.
+            let mut rng2 = substream(seed, "session-prop");
+            let again = SessionSchedule::generate(&users, &sites, &config, &mut rng2);
+            prop_assert_eq!(schedule, again);
+        }
+    }
+}
+

@@ -1,0 +1,24 @@
+//! Workload and scenario generation for the Treads experiments.
+//!
+//! * [`names`] — deterministic synthetic identities (names, emails,
+//!   phones) so populations are reproducible and self-describing.
+//! * [`population`] — synthesizes a platform user population: demographics,
+//!   platform attributes sampled by catalog prevalence, PII, and
+//!   data-broker dossiers matched on via hashed PII (the full
+//!   broker → platform onboarding path).
+//! * [`scenario`] — experiment presets, most importantly
+//!   [`scenario::ValidationScenario`]: the paper's §3.1 validation setup —
+//!   the U.S.-2018 platform, two authors (one with the eleven partner
+//!   attributes the paper's author actually had revealed, one a recent
+//!   arrival with no broker dossier), a registered transparency provider,
+//!   and page-based opt-in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod names;
+pub mod population;
+pub mod scenario;
+
+pub use population::{Persona, PopulationConfig, PopulationReport};
+pub use scenario::{CohortScenario, ValidationScenario};

@@ -1,0 +1,293 @@
+//! Experiment scenario presets.
+//!
+//! [`ValidationScenario`] is the paper's §3.1 validation, faithfully
+//! staged: a U.S.-2018 platform (614 platform attributes + 507 partner
+//! categories), a transparency provider bidding $10 CPM (5× the $2
+//! recommendation), page-based opt-in, and two users modeled on the
+//! paper's two U.S.-based authors — author A with exactly the eleven
+//! partner attributes the paper reports revealing (net worth, restaurant
+//! and apparel purchase behaviour, job role, home type, auto purchase
+//! intent, charitable giving), author B a recent-arrival graduate student
+//! with no broker dossier at all.
+//!
+//! [`CohortScenario`] generates an N-user opted-in cohort over a full
+//! synthetic population, for the cost/privacy/baseline experiments.
+
+use crate::population::{generate, install_persona, Persona, PopulationConfig};
+use adplatform::profile::Gender;
+use adplatform::{Platform, PlatformConfig};
+use adsim_types::rng::SeedSource;
+use adsim_types::{AudienceId, Money, UserId};
+use std::collections::BTreeMap;
+use treads_broker::catalog::VALIDATION_ATTRIBUTES;
+use treads_broker::CoverageModel;
+use treads_core::provider::TransparencyProvider;
+use websim::extension::ExtensionLog;
+use websim::session::{BrowsingEvent, SessionSchedule};
+use websim::site::SiteRegistry;
+use adsim_types::{SimTime, SiteId};
+
+/// The staged validation rig.
+#[derive(Debug)]
+pub struct ValidationScenario {
+    /// The ad platform.
+    pub platform: Platform,
+    /// The transparency provider ("Know Your Data").
+    pub provider: TransparencyProvider,
+    /// The provider's opt-in page.
+    pub page: u64,
+    /// The page-engagement audience of opted-in users.
+    pub optin_audience: AudienceId,
+    /// Author A: long-time resident, rich broker dossier (the 11
+    /// validation attributes).
+    pub author_a: UserId,
+    /// Author B: recent arrival, no dossier.
+    pub author_b: UserId,
+    /// Browsable sites (one ad-carrying feed).
+    pub sites: SiteRegistry,
+    /// The feed site.
+    pub feed_site: SiteId,
+}
+
+impl ValidationScenario {
+    /// The provider's bid cap in the validation: $10 CPM, five times the
+    /// recommended $2.
+    pub fn validation_bid() -> Money {
+        Money::dollars(10)
+    }
+
+    /// Stages the full scenario.
+    pub fn setup(seed: u64) -> Self {
+        let config = PlatformConfig {
+            seed,
+            ..PlatformConfig::default()
+        };
+        let mut platform = Platform::us_2018(config);
+
+        // The two authors.
+        let author_a = install_persona(
+            &mut platform,
+            &Persona {
+                label: "author A (long-time US resident)".into(),
+                age: 45,
+                gender: Gender::Male,
+                state: "Massachusetts".into(),
+                zip: "02115".into(),
+                email: "author.a@example.com".into(),
+                partner_attributes: VALIDATION_ATTRIBUTES
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                platform_attributes: vec![
+                    "Interest: musicals (Music)".into(),
+                    "Behavior: ios user".into(),
+                ],
+            },
+        );
+        let author_b = install_persona(
+            &mut platform,
+            &Persona {
+                label: "author B (graduate student, ~1 year in the US)".into(),
+                age: 27,
+                gender: Gender::Male,
+                state: "Massachusetts".into(),
+                zip: "02115".into(),
+                email: "author.b@example.com".into(),
+                partner_attributes: vec![], // no broker dossier
+                platform_attributes: vec!["Interest: coffee (Food & Drink)".into()],
+            },
+        );
+
+        // The provider, its page, and opt-in by page like.
+        let provider = TransparencyProvider::register(
+            &mut platform,
+            "Know Your Data",
+            seed ^ 0x7472_6561_6400,
+            Self::validation_bid(),
+        )
+        .expect("fresh platform accepts the provider");
+        let (page, optin_audience) = provider
+            .setup_page_optin(&mut platform)
+            .expect("fresh provider account is active");
+        platform
+            .user_likes_page(author_a, page)
+            .expect("author A exists");
+        platform
+            .user_likes_page(author_b, page)
+            .expect("author B exists");
+        // One ad-carrying feed site.
+        let mut sites = SiteRegistry::new();
+        let feed_site = sites.create("social-feed.example", 1);
+
+        Self {
+            platform,
+            provider,
+            page,
+            optin_audience,
+            author_a,
+            author_b,
+            sites,
+            feed_site,
+        }
+    }
+
+    /// Drives `rounds` feed page-views for both authors (interleaved, one
+    /// simulated minute apart) with extensions installed, and returns the
+    /// extension logs.
+    pub fn browse_authors(&mut self, rounds: usize) -> BTreeMap<UserId, ExtensionLog> {
+        let start = self.platform.clock.now().millis();
+        let mut events = Vec::with_capacity(rounds * 2);
+        for r in 0..rounds {
+            for (slot, user) in [self.author_a, self.author_b].into_iter().enumerate() {
+                events.push(BrowsingEvent::PageView {
+                    user,
+                    site: self.feed_site,
+                    at: SimTime(start + (r as u64 * 2 + slot as u64) * 60_000),
+                });
+            }
+        }
+        let schedule = SessionSchedule::from_events(events);
+        let mut extensions = BTreeMap::new();
+        extensions.insert(self.author_a, ExtensionLog::for_user(self.author_a));
+        extensions.insert(self.author_b, ExtensionLog::for_user(self.author_b));
+        schedule.drive(&mut self.platform, &self.sites, &mut extensions);
+        extensions
+    }
+
+    /// All 507 partner-attribute names, in catalog order — the paper's
+    /// full validation plan.
+    pub fn partner_attribute_names(&self) -> Vec<String> {
+        self.platform
+            .attributes
+            .partner_attributes()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect()
+    }
+}
+
+/// An N-user opted-in cohort over a synthetic population.
+#[derive(Debug)]
+pub struct CohortScenario {
+    /// The ad platform.
+    pub platform: Platform,
+    /// The transparency provider.
+    pub provider: TransparencyProvider,
+    /// The anonymous (pixel) opt-in audience.
+    pub optin_audience: AudienceId,
+    /// The opt-in pixel.
+    pub optin_pixel: adsim_types::PixelId,
+    /// All generated users.
+    pub users: Vec<UserId>,
+    /// The subset that opted in.
+    pub opted_in: Vec<UserId>,
+}
+
+impl CohortScenario {
+    /// Generates a population of `population` users of whom the first
+    /// `optin` opt in anonymously via the provider's pixel.
+    pub fn setup(seed: u64, population: usize, optin: usize) -> Self {
+        assert!(optin <= population, "cannot opt in more users than exist");
+        let mut platform = Platform::us_2018(PlatformConfig {
+            seed,
+            ..PlatformConfig::default()
+        });
+        let report = generate(
+            &mut platform,
+            &PopulationConfig {
+                size: population,
+                ..PopulationConfig::default()
+            },
+            &CoverageModel::default(),
+            SeedSource::new(seed),
+        );
+        let provider = TransparencyProvider::register(
+            &mut platform,
+            "Know Your Data",
+            seed ^ 0x636f_686f_7274,
+            Money::dollars(2), // the recommended bid, for cost experiments
+        )
+        .expect("fresh platform accepts the provider");
+        let (optin_pixel, optin_audience) = provider
+            .setup_pixel_optin(&mut platform, "cohort-optin")
+            .expect("fresh provider account is active");
+        let opted_in: Vec<UserId> = report.users.iter().take(optin).copied().collect();
+        treads_core::optin::optin_by_pixel(&mut platform, optin_pixel, &opted_in)
+            .expect("generated users exist");
+        Self {
+            platform,
+            provider,
+            optin_audience,
+            optin_pixel,
+            users: report.users,
+            opted_in,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_scenario_stages_the_paper_setup() {
+        let s = ValidationScenario::setup(1);
+        // Both authors opted in.
+        let aud = s
+            .platform
+            .audiences
+            .get(s.optin_audience)
+            .expect("audience exists");
+        assert!(aud.contains(s.author_a));
+        assert!(aud.contains(s.author_b));
+        // Author A holds exactly the 11 validation partner attributes.
+        let partner_held = |u| {
+            s.platform
+                .profile(u)
+                .expect("author exists")
+                .attributes
+                .iter()
+                .filter(|id| {
+                    s.platform
+                        .attributes
+                        .get(**id)
+                        .map(|d| d.source.is_partner())
+                        .unwrap_or(false)
+                })
+                .count()
+        };
+        assert_eq!(partner_held(s.author_a), 11);
+        assert_eq!(partner_held(s.author_b), 0);
+        assert_eq!(s.partner_attribute_names().len(), 507);
+    }
+
+    #[test]
+    fn browse_authors_returns_both_logs() {
+        let mut s = ValidationScenario::setup(2);
+        let logs = s.browse_authors(3);
+        assert_eq!(logs.len(), 2);
+        assert!(logs.contains_key(&s.author_a));
+        // No Treads run yet → nothing captured (background competitors
+        // win auctions but their ads are not ours).
+        assert!(logs[&s.author_a].is_empty());
+    }
+
+    #[test]
+    fn cohort_scenario_opts_in_the_requested_subset() {
+        let s = CohortScenario::setup(3, 50, 20);
+        assert_eq!(s.users.len(), 50);
+        assert_eq!(s.opted_in.len(), 20);
+        let aud = s
+            .platform
+            .audiences
+            .get(s.optin_audience)
+            .expect("audience exists");
+        assert_eq!(aud.exact_size(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot opt in more users")]
+    fn cohort_optin_bounds_checked() {
+        CohortScenario::setup(4, 10, 11);
+    }
+}

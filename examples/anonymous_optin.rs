@@ -1,0 +1,112 @@
+//! Anonymous opt-in via tracking pixel, with the multi-platform trick.
+//!
+//! ```text
+//! cargo run --example anonymous_optin
+//! ```
+//!
+//! §3.1: "in order to remain anonymous to the transparency provider, users
+//! could visit a website that the transparency provider owns, where the
+//! transparency provider places a tracking pixel provided by the
+//! advertising platform … by placing tracking pixels from multiple
+//! advertising platforms on the website, the transparency provider could
+//! at one shot allow the user to sign-up to learn the information
+//! collected about them by multiple advertising platforms."
+//!
+//! This example boots **two** independent simulated platforms, embeds one
+//! pixel from each on a single opt-in site, and shows one page view
+//! enrolling the visitor with both platforms — while the provider's only
+//! view is the pixels' fire counters.
+
+use treads_repro::adplatform::{Platform, PlatformConfig};
+use treads_repro::adsim_types::Money;
+use treads_repro::treads::encoding::Encoding;
+use treads_repro::treads::planner::CampaignPlan;
+use treads_repro::treads::provider::TransparencyProvider;
+use treads_repro::treads::TreadClient;
+use treads_repro::websim::extension::ExtensionLog;
+
+fn main() {
+    // Two independent ad platforms ("BlueBook" and "Gaggle").
+    let mut platforms: Vec<(&str, Platform)> = vec![
+        ("BlueBook", Platform::us_2018(PlatformConfig { seed: 1, ..Default::default() })),
+        ("Gaggle", Platform::us_2018(PlatformConfig { seed: 2, ..Default::default() })),
+    ];
+
+    // The provider registers on both, creating a pixel on each for its
+    // single opt-in website.
+    let mut providers = Vec::new();
+    for (name, platform) in &mut platforms {
+        let provider =
+            TransparencyProvider::register(platform, "Know Your Data", 7, Money::dollars(10))
+                .expect("registration");
+        let (pixel, audience) = provider
+            .setup_pixel_optin(platform, format!("optin-site pixel for {name}"))
+            .expect("pixel opt-in");
+        providers.push((provider, pixel, audience));
+    }
+
+    // One visitor; each platform knows a different hidden attribute.
+    let mut users = Vec::new();
+    for ((_, platform), attr) in platforms
+        .iter_mut()
+        .zip(["Net worth: $2M+", "Investable assets: $1M-$2M"])
+    {
+        let user = platform.register_user(
+            38,
+            treads_repro::adplatform::profile::Gender::Unspecified,
+            "Oregon",
+            "97201",
+        );
+        let id = platform.attributes.id_of(attr).expect("attribute");
+        platform.profiles.grant_attribute(user, id).expect("user");
+        users.push(user);
+    }
+
+    // The visitor loads the provider's opt-in page ONCE; both embedded
+    // pixels fire (one per platform — each platform only sees its own).
+    println!("visitor loads https://know-your-data.example/optin …");
+    for ((_, platform), ((_, pixel, _), &user)) in
+        platforms.iter_mut().zip(providers.iter().zip(&users))
+    {
+        platform.user_fires_pixel(user, *pixel).expect("pixel fires");
+    }
+    for ((name, platform), (_, pixel, _)) in platforms.iter().zip(&providers) {
+        println!(
+            "  {name}: pixel fired {} time(s); provider sees the count, never the visitor",
+            platform.pixels.fire_count(*pixel)
+        );
+    }
+
+    // Each provider runs its Treads to the anonymous audience; the
+    // visitor decodes per platform.
+    for (i, ((name, platform), (provider, _, audience))) in
+        platforms.iter_mut().zip(providers.iter_mut()).enumerate()
+    {
+        let names: Vec<String> = platform
+            .attributes
+            .partner_attributes()
+            .iter()
+            .take(80)
+            .map(|d| d.name.clone())
+            .collect();
+        let plan = CampaignPlan::binary_in_ad("anon", &names, Encoding::CodebookToken);
+        provider
+            .run_plan(platform, &plan, *audience)
+            .expect("plan placed");
+        let mut log = ExtensionLog::for_user(users[i]);
+        for _ in 0..10 {
+            if let Ok(treads_repro::adplatform::auction::AuctionOutcome::Won { ad, .. }) =
+                platform.browse(users[i])
+            {
+                let creative = platform.campaigns.ad(ad).expect("won ad").creative.clone();
+                log.observe(ad, creative, platform.clock.now());
+            }
+        }
+        let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
+        let revealed = client.decode_log(&log, |_| None);
+        println!("\nwhat {name} turned out to hold about the visitor:");
+        for n in &revealed.has {
+            println!("  - {n}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The crowdsourced transparency provider (§4 "Evading shutdown").
+//!
+//! ```text
+//! cargo run --example crowdsourced_provider
+//! ```
+//!
+//! If a platform starts hunting Treads, "a number of privacy-conscious
+//! organizations or individuals could each create an advertising account
+//! and run a few Treads, with each account being responsible for a small
+//! subset of the overall set of targeting attributes." This example runs
+//! the full 507-attribute plan twice — once from a single account, once
+//! split across 15 accounts — and triggers the platform's enforcement
+//! sweep after each.
+
+use treads_repro::adplatform::{Platform, PlatformConfig};
+use treads_repro::adsim_types::Money;
+use treads_repro::treads::crowdsource::{
+    optin_crowd, run_crowdsourced, setup_crowd_channels, survival_after_sweep,
+};
+use treads_repro::treads::encoding::Encoding;
+use treads_repro::treads::planner::CampaignPlan;
+use treads_repro::treads::provider::TransparencyProvider;
+
+fn run_with_accounts(n_accounts: usize) {
+    let mut platform = Platform::us_2018(PlatformConfig::default());
+    let mut provider =
+        TransparencyProvider::register(&mut platform, "Know Your Data", 7, Money::dollars(10))
+            .expect("registration");
+    // One opt-in site carries every crowd account's pixel.
+    let channels = setup_crowd_channels(&mut provider, &mut platform, n_accounts)
+        .expect("channels");
+    let user = platform.register_user(
+        34,
+        treads_repro::adplatform::profile::Gender::Unspecified,
+        "Ohio",
+        "43004",
+    );
+    optin_crowd(&mut platform, &channels, &[user]).expect("opt-in visit");
+
+    let names: Vec<String> = platform
+        .attributes
+        .partner_attributes()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    let plan = CampaignPlan::binary_in_ad("us-partner", &names, Encoding::CodebookToken);
+
+    let receipts = run_crowdsourced(
+        &mut provider,
+        &mut platform,
+        &plan,
+        &channels,
+        /* vary_headlines = */ true,
+    )
+    .expect("crowdsourced run");
+
+    let report = survival_after_sweep(&mut platform, &receipts);
+    println!(
+        "{n_accounts:>3} account(s): {:>3} Treads per account, {:>2} suspended, \
+         {:>3}/{} Treads survive enforcement",
+        507usize.div_ceil(n_accounts),
+        report.suspended,
+        report.treads_surviving,
+        report.treads_placed,
+    );
+}
+
+fn main() {
+    println!("running the 507-attribute plan under the platform's Tread-hunting detector:\n");
+    for n in [1, 5, 15] {
+        run_with_accounts(n);
+    }
+    println!("\ncrowdsourcing past the detector's clustering threshold keeps every Tread alive.");
+}

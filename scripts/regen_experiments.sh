@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure reproduction and collects the
+# outputs under experiments-out/. EXPERIMENTS.md quotes these reports.
+#
+# Usage:
+#   scripts/regen_experiments.sh            # default seed (42)
+#   TREADS_SEED=7 scripts/regen_experiments.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=experiments-out
+mkdir -p "$out"
+
+experiments=(
+  f1_creatives
+  e1_validation
+  e2_cost
+  e3_scale
+  e4_privacy
+  e5_tos
+  e6_crowdsource
+  e7_pii
+  e8_custom
+  e9_intent
+  e10_baseline
+  e11_location
+  e12_click_learning
+  e13_portability
+  e14_time_to_reveal
+)
+
+cargo build --release -p treads-bench --bins
+
+total_match=0
+total_diverge=0
+for exp in "${experiments[@]}"; do
+  echo "== exp_${exp}"
+  cargo run --release -q -p treads-bench --bin "exp_${exp}" >"$out/${exp}.txt" 2>&1
+  m=$(grep -c '\[MATCH\]' "$out/${exp}.txt" || true)
+  d=$(grep -c '\[DIVERGES\]' "$out/${exp}.txt" || true)
+  total_match=$((total_match + m))
+  total_diverge=$((total_diverge + d))
+  printf '   %s MATCH, %s DIVERGES -> %s\n' "$m" "$d" "$out/${exp}.txt"
+done
+
+echo
+echo "total: ${total_match} MATCH, ${total_diverge} DIVERGES across ${#experiments[@]} experiments"
+test "$total_diverge" -eq 0

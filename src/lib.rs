@@ -1,0 +1,14 @@
+//! Root package of the Treads reproduction workspace.
+//!
+//! This crate only re-exports the workspace members so that the
+//! repository-level `examples/` and `tests/` can use a single dependency
+//! root. See `README.md` for the architecture overview and `DESIGN.md`
+//! for the full system inventory.
+
+pub use adplatform;
+pub use adsim_types;
+pub use treads_baseline as baseline;
+pub use treads_broker as broker;
+pub use treads_core as treads;
+pub use treads_workload as workload;
+pub use websim;

@@ -1,0 +1,145 @@
+//! Integration test: the correlation baseline (E10's comparator) against
+//! the simulated platform, plus the headline comparison with Treads.
+
+use std::collections::BTreeMap;
+use treads_repro::adplatform::attributes::{AttributeCatalog, AttributeSource};
+use treads_repro::adplatform::auction::AuctionConfig;
+use treads_repro::adplatform::campaign::AdCreative;
+use treads_repro::adplatform::targeting::{TargetingExpr, TargetingSpec};
+use treads_repro::adplatform::{Platform, PlatformConfig};
+use treads_repro::adsim_types::rng::substream;
+use treads_repro::adsim_types::{AdId, AttributeId, Money};
+use treads_repro::baseline::infer::{infer_targeting, score, Correction};
+use treads_repro::baseline::{collect_exposures, spawn_controls, ControlDesign};
+
+fn rig(seed: u64, k: usize) -> (Platform, Vec<AttributeId>, BTreeMap<AdId, AttributeId>) {
+    let mut catalog = AttributeCatalog::new();
+    let attrs: Vec<AttributeId> = (0..k)
+        .map(|i| catalog.register(format!("Cand {i}"), AttributeSource::Platform, None, 0.1))
+        .collect();
+    let mut platform = Platform::new(
+        PlatformConfig {
+            seed,
+            auction: AuctionConfig {
+                competitor_rate: 0.0,
+                ..AuctionConfig::default()
+            },
+            frequency_cap: 4,
+            ..PlatformConfig::default()
+        },
+        catalog,
+    );
+    let adv = platform.register_advertiser("adv");
+    let acct = platform.open_account(adv).expect("account");
+    let camp = platform
+        .create_campaign(acct, "c", Money::dollars(10), None)
+        .expect("campaign");
+    let mut truth = BTreeMap::new();
+    for &attr in &attrs {
+        let ad = platform
+            .submit_ad(
+                camp,
+                AdCreative::text(format!("ad {attr}"), "b"),
+                TargetingSpec::including(TargetingExpr::Attr(attr)),
+            )
+            .expect("ad");
+        truth.insert(ad, attr);
+    }
+    (platform, attrs, truth)
+}
+
+#[test]
+fn baseline_recovers_targeting_with_enough_accounts() {
+    let (mut platform, attrs, truth) = rig(1, 6);
+    let mut rng = substream(1, "it-baseline");
+    let pop = spawn_controls(
+        &mut platform,
+        &attrs,
+        &ControlDesign {
+            accounts: 64,
+            assignment_probability: 0.5,
+        },
+        &mut rng,
+    );
+    let matrix = collect_exposures(&mut platform, &pop.accounts, 18);
+    let inferred = infer_targeting(&matrix, &pop, Correction::Bonferroni { alpha: 0.05 });
+    let acc = score(&inferred, &truth);
+    assert_eq!(acc.false_positives, 0, "{inferred:?}");
+    assert!(acc.recall() >= 0.8, "recall {}", acc.recall());
+}
+
+#[test]
+fn baseline_power_curve_is_monotone_in_population() {
+    let mut recalls = Vec::new();
+    for accounts in [6usize, 24, 96] {
+        let (mut platform, attrs, truth) = rig(2, 6);
+        let mut rng = substream(2, "it-baseline-sweep");
+        let pop = spawn_controls(
+            &mut platform,
+            &attrs,
+            &ControlDesign {
+                accounts,
+                assignment_probability: 0.5,
+            },
+            &mut rng,
+        );
+        let matrix = collect_exposures(&mut platform, &pop.accounts, 18);
+        let inferred = infer_targeting(&matrix, &pop, Correction::Bonferroni { alpha: 0.05 });
+        recalls.push(score(&inferred, &truth).recall());
+    }
+    assert!(
+        recalls[0] <= recalls[1] && recalls[1] <= recalls[2],
+        "recall curve {recalls:?} must be non-decreasing"
+    );
+    assert!(recalls[0] < 0.5, "tiny populations must lack power");
+    assert!(recalls[2] >= 0.8, "large populations must succeed");
+}
+
+#[test]
+fn treads_achieve_the_goal_without_any_control_accounts() {
+    use treads_repro::treads::encoding::Encoding;
+    use treads_repro::treads::planner::CampaignPlan;
+    use treads_repro::treads::provider::TransparencyProvider;
+    use treads_repro::treads::TreadClient;
+    use treads_repro::websim::extension::ExtensionLog;
+
+    let (mut platform, attrs, _truth) = rig(3, 6);
+    let before_users = platform.profiles.len();
+    let mut provider =
+        TransparencyProvider::register(&mut platform, "KYD", 3, Money::dollars(10))
+            .expect("provider registers");
+    let (page, audience) = provider
+        .setup_page_optin(&mut platform)
+        .expect("page opt-in");
+    let user = platform.register_user(
+        30,
+        treads_repro::adplatform::profile::Gender::Female,
+        "Ohio",
+        "43004",
+    );
+    platform.profiles.grant_attribute(user, attrs[2]).expect("user");
+    platform.user_likes_page(user, page).expect("like");
+    let names: Vec<String> = attrs
+        .iter()
+        .map(|&a| platform.attributes.get(a).expect("attr").name.clone())
+        .collect();
+    let plan = CampaignPlan::binary_in_ad("kyd", &names, Encoding::CodebookToken);
+    provider
+        .run_plan(&mut platform, &plan, audience)
+        .expect("plan runs");
+    let mut log = ExtensionLog::for_user(user);
+    for _ in 0..40 {
+        if let Ok(treads_repro::adplatform::auction::AuctionOutcome::Won { ad, .. }) =
+            platform.browse(user)
+        {
+            let creative = platform.campaigns.ad(ad).expect("won").creative.clone();
+            log.observe(ad, creative, platform.clock.now());
+        }
+    }
+    let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
+    let revealed = client.decode_log(&log, |_| None);
+    assert_eq!(revealed.has.len(), 1);
+    assert!(revealed.has.contains("Cand 2"));
+    // Exactly one user was added — the real one. Zero fake accounts.
+    assert_eq!(platform.profiles.len(), before_users + 1);
+}

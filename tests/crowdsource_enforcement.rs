@@ -1,0 +1,153 @@
+//! Integration test: the §4 evading-shutdown arms race across crates —
+//! provider, planner splitting, platform enforcement, and what a
+//! suspended provider's opted-in users actually lose.
+
+use treads_repro::adplatform::enforcement::EnforcementConfig;
+use treads_repro::adplatform::{Platform, PlatformConfig};
+use treads_repro::adsim_types::Money;
+use treads_repro::treads::crowdsource::{
+    optin_crowd, run_crowdsourced, setup_crowd_channels, survival_after_sweep, CrowdChannel,
+};
+use treads_repro::treads::encoding::Encoding;
+use treads_repro::treads::planner::CampaignPlan;
+use treads_repro::treads::provider::TransparencyProvider;
+use treads_repro::treads::TreadClient;
+use treads_repro::websim::extension::ExtensionLog;
+
+fn staged(seed: u64, n_accounts: usize) -> (Platform, TransparencyProvider, Vec<CrowdChannel>) {
+    let mut platform = Platform::us_2018(PlatformConfig {
+        seed,
+        enforcement: EnforcementConfig {
+            pattern_threshold: 50,
+            review_sample_rate: 0.0,
+        },
+        ..PlatformConfig::default()
+    });
+    platform.config.auction.competitor_rate = 0.0;
+    let mut provider =
+        TransparencyProvider::register(&mut platform, "KYD", seed, Money::dollars(10))
+            .expect("provider registers");
+    let channels = setup_crowd_channels(&mut provider, &mut platform, n_accounts)
+        .expect("channels");
+    (platform, provider, channels)
+}
+
+#[test]
+fn detection_crossover_matches_threshold_arithmetic() {
+    // 507 Treads, threshold 50: detected iff ceil(507/n) >= 50, i.e.
+    // n <= 10. Verify the exact boundary from both sides.
+    for (n, expect_all_survive) in [(10usize, false), (11, true)] {
+        let (mut platform, mut provider, channels) = staged(n as u64, n);
+        let names: Vec<String> = platform
+            .attributes
+            .partner_attributes()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
+        let plan = CampaignPlan::binary_in_ad("us", &names, Encoding::CodebookToken);
+        let receipts =
+            run_crowdsourced(&mut provider, &mut platform, &plan, &channels, false)
+                .expect("crowdsourced run");
+        let report = survival_after_sweep(&mut platform, &receipts);
+        if expect_all_survive {
+            assert_eq!(report.suspended, 0, "n={n}");
+            assert_eq!(report.treads_surviving, 507, "n={n}");
+        } else {
+            assert!(report.suspended > 0, "n={n}");
+            assert!(report.treads_surviving < 507, "n={n}");
+        }
+    }
+}
+
+#[test]
+fn users_keep_learning_from_surviving_accounts() {
+    // After a sweep kills some accounts, Treads on surviving accounts
+    // still deliver — the crowdsourced provider degrades, not fails.
+    let (mut platform, mut provider, channels) = staged(77, 10);
+    // 10 accounts: 9 slices of 51 get flagged, the last slice (48) lives.
+    let names: Vec<String> = platform
+        .attributes
+        .partner_attributes()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    let plan = CampaignPlan::binary_in_ad("us", &names, Encoding::CodebookToken);
+    let receipts = run_crowdsourced(&mut provider, &mut platform, &plan, &channels, false)
+        .expect("crowdsourced run");
+    let report = survival_after_sweep(&mut platform, &receipts);
+    assert_eq!(report.suspended, 9);
+    assert_eq!(report.treads_surviving, 48);
+
+    // A user holding one attribute from the surviving slice still learns
+    // it. The surviving slice covers catalog indices 459..507.
+    let surviving_receipt = receipts
+        .iter()
+        .find(|r| !platform.suspended.contains(&r.account))
+        .expect("one survivor");
+    let surviving_name = match &surviving_receipt.placed[0].tread.disclosure {
+        treads_repro::treads::Disclosure::HasAttribute { name } => name.clone(),
+        other => panic!("expected HasAttribute, got {other:?}"),
+    };
+    let user = platform.register_user(
+        30,
+        treads_repro::adplatform::profile::Gender::Female,
+        "Ohio",
+        "43004",
+    );
+    let attr = platform.attributes.id_of(&surviving_name).expect("attr");
+    platform.profiles.grant_attribute(user, attr).expect("user");
+    // Opt in: one visit to the shared site fires every crowd pixel.
+    optin_crowd(&mut platform, &channels, &[user]).expect("optin");
+    let mut log = ExtensionLog::for_user(user);
+    for _ in 0..6 {
+        if let Ok(treads_repro::adplatform::auction::AuctionOutcome::Won { ad, .. }) =
+            platform.browse(user)
+        {
+            let creative = platform.campaigns.ad(ad).expect("won").creative.clone();
+            log.observe(ad, creative, platform.clock.now());
+        }
+    }
+    let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
+    let revealed = client.decode_log(&log, |_| None);
+    assert!(
+        revealed.has.contains(&surviving_name),
+        "surviving slice must still reveal {surviving_name}"
+    );
+}
+
+#[test]
+fn suspended_accounts_stop_serving_their_treads() {
+    let (mut platform, mut provider, channels) = staged(99, 1);
+    let names: Vec<String> = platform
+        .attributes
+        .partner_attributes()
+        .iter()
+        .take(60) // one account, over threshold
+        .map(|d| d.name.clone())
+        .collect();
+    let plan = CampaignPlan::binary_in_ad("big", &names, Encoding::CodebookToken);
+    // A user who would match everything.
+    let user = platform.register_user(
+        30,
+        treads_repro::adplatform::profile::Gender::Male,
+        "Ohio",
+        "43004",
+    );
+    for name in &names {
+        let attr = platform.attributes.id_of(name).expect("attr");
+        platform.profiles.grant_attribute(user, attr).expect("user");
+    }
+    optin_crowd(&mut platform, &channels, &[user]).expect("optin");
+    let receipts = run_crowdsourced(&mut provider, &mut platform, &plan, &channels, false)
+        .expect("run");
+    survival_after_sweep(&mut platform, &receipts);
+    assert!(platform.suspended.contains(&receipts[0].account));
+    // Nothing delivers after suspension.
+    for _ in 0..10 {
+        let outcome = platform.browse(user).expect("browse");
+        assert!(matches!(
+            outcome,
+            treads_repro::adplatform::auction::AuctionOutcome::Unfilled
+        ));
+    }
+}

@@ -1,0 +1,160 @@
+//! Integration test: the platform delivery contract that makes Treads
+//! meaningful.
+//!
+//! "A user is supposed to see a targeted ad if and only if they satisfy
+//! the advertiser's targeting parameters" (§1). Soundness (every received
+//! Tread is a true fact) is the security of the mechanism; completeness
+//! (every true fact's Tread eventually arrives, given enough browsing) is
+//! its utility. Both are asserted here over a generated cohort.
+
+use treads_repro::adplatform::auction::AuctionOutcome;
+use treads_repro::treads::encoding::Encoding;
+use treads_repro::treads::planner::CampaignPlan;
+use treads_repro::treads::TreadClient;
+use treads_repro::adsim_types::UserId;
+use treads_repro::websim::extension::ExtensionLog;
+use treads_repro::workload::CohortScenario;
+use std::collections::BTreeMap;
+
+fn cohort_with_plan(
+    seed: u64,
+    n_attrs: usize,
+) -> (CohortScenario, Vec<String>, treads_repro::treads::RunReceipt) {
+    let mut s = CohortScenario::setup(seed, 80, 40);
+    // Quiet auctions so completeness is deterministic.
+    s.platform.config.auction.competitor_rate = 0.0;
+    let names: Vec<String> = s
+        .platform
+        .attributes
+        .partner_attributes()
+        .iter()
+        .take(n_attrs)
+        .map(|d| d.name.clone())
+        .collect();
+    let plan = CampaignPlan::binary_in_ad("contract", &names, Encoding::CodebookToken);
+    let receipt = s
+        .provider
+        .run_plan(&mut s.platform, &plan, s.optin_audience)
+        .expect("plan runs");
+    (s, names, receipt)
+}
+
+fn browse_all(s: &mut CohortScenario, rounds: usize) -> BTreeMap<UserId, ExtensionLog> {
+    let mut extensions: BTreeMap<_, _> = s
+        .opted_in
+        .iter()
+        .map(|&u| (u, ExtensionLog::for_user(u)))
+        .collect();
+    for _ in 0..rounds {
+        for &u in &s.opted_in.clone() {
+            if let Ok(AuctionOutcome::Won { ad, .. }) = s.platform.browse(u) {
+                let creative = s.platform.campaigns.ad(ad).expect("won").creative.clone();
+                extensions
+                    .get_mut(&u)
+                    .expect("opted user")
+                    .observe(ad, creative, s.platform.clock.now());
+            }
+        }
+    }
+    extensions
+}
+
+#[test]
+fn soundness_every_decoded_fact_is_true() {
+    let (mut s, _names, _receipt) = cohort_with_plan(11, 60);
+    let extensions = browse_all(&mut s, 80);
+    let client = TreadClient::new(s.provider.codebook.clone(), &s.platform.attributes);
+    let mut total_decoded = 0;
+    for &u in &s.opted_in {
+        let profile = client.decode_log(&extensions[&u], |_| None);
+        for name in &profile.has {
+            let id = s.platform.attributes.id_of(name).expect("catalog attr");
+            assert!(
+                s.platform.profile(u).expect("user").has_attribute(id),
+                "user {u} decoded false fact {name}"
+            );
+            total_decoded += 1;
+        }
+    }
+    assert!(total_decoded > 0, "the cohort must decode something");
+}
+
+#[test]
+fn completeness_every_held_attribute_is_eventually_revealed() {
+    let (mut s, names, receipt) = cohort_with_plan(13, 30);
+    // Plenty of browsing: every opted user holding a planned attribute
+    // must eventually receive its Tread.
+    let extensions = browse_all(&mut s, 120);
+    let client = TreadClient::new(s.provider.codebook.clone(), &s.platform.attributes);
+    let planned: std::collections::BTreeSet<&String> = names.iter().collect();
+    assert_eq!(receipt.approved_count(), 30);
+    for &u in &s.opted_in {
+        let truth: std::collections::BTreeSet<String> = s
+            .platform
+            .profile(u)
+            .expect("user")
+            .attributes
+            .iter()
+            .filter_map(|&id| s.platform.attributes.get(id))
+            .filter(|d| planned.contains(&d.name))
+            .map(|d| d.name.clone())
+            .collect();
+        let revealed = client.decode_log(&extensions[&u], |_| None).has;
+        assert_eq!(
+            revealed, truth,
+            "user {u}: revealed set must equal held∩planned"
+        );
+    }
+}
+
+#[test]
+fn non_opted_users_never_receive_treads() {
+    let (mut s, _names, receipt) = cohort_with_plan(17, 40);
+    let outsiders: Vec<_> = s
+        .users
+        .iter()
+        .filter(|u| !s.opted_in.contains(u))
+        .copied()
+        .collect();
+    assert!(!outsiders.is_empty());
+    for _ in 0..40 {
+        for &u in &outsiders {
+            s.platform.browse(u).expect("user exists");
+        }
+    }
+    let tread_ads: std::collections::BTreeSet<_> =
+        receipt.placed.iter().map(|p| p.ad).collect();
+    for &u in &outsiders {
+        for imp in s.platform.log.seen_by(u) {
+            assert!(
+                !tread_ads.contains(&imp.ad),
+                "non-opted user {u} received Tread {}",
+                imp.ad
+            );
+        }
+    }
+}
+
+#[test]
+fn exclusion_treads_prove_false_or_missing() {
+    let (mut s, names, _receipt) = cohort_with_plan(19, 10);
+    // Add an exclusion plan over the same attributes.
+    let plan = CampaignPlan::exclusion_in_ad("not", &names, Encoding::CodebookToken);
+    let receipt = s
+        .provider
+        .run_plan(&mut s.platform, &plan, s.optin_audience)
+        .expect("plan runs");
+    assert_eq!(receipt.approved_count(), 10);
+    let extensions = browse_all(&mut s, 120);
+    let client = TreadClient::new(s.provider.codebook.clone(), &s.platform.attributes);
+    for &u in &s.opted_in {
+        let profile = client.decode_log(&extensions[&u], |_| None);
+        for name in &profile.lacks_or_missing {
+            let id = s.platform.attributes.id_of(name).expect("catalog attr");
+            assert!(
+                !s.platform.profile(u).expect("user").has_attribute(id),
+                "user {u} decoded 'lacks {name}' but actually has it"
+            );
+        }
+    }
+}

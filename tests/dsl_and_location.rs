@@ -1,0 +1,192 @@
+//! Integration test: DSL-authored targeting and the location substrate
+//! driving real delivery, plus the location-reveal Tread pipeline.
+
+use treads_repro::adplatform::campaign::AdCreative;
+use treads_repro::adplatform::dsl;
+use treads_repro::adplatform::profile::Gender;
+use treads_repro::adplatform::targeting::TargetingSpec;
+use treads_repro::adplatform::{Platform, PlatformConfig};
+use treads_repro::adsim_types::Money;
+use treads_repro::treads::encoding::Encoding;
+use treads_repro::treads::planner::CampaignPlan;
+use treads_repro::treads::provider::TransparencyProvider;
+use treads_repro::treads::TreadClient;
+use treads_repro::websim::extension::ExtensionLog;
+
+fn quiet_platform(seed: u64) -> Platform {
+    let mut p = Platform::us_2018(PlatformConfig {
+        seed,
+        ..PlatformConfig::default()
+    });
+    p.config.auction.competitor_rate = 0.0;
+    p
+}
+
+#[test]
+fn dsl_spec_delivers_to_exactly_the_matching_users() {
+    let mut platform = quiet_platform(1);
+    let expr = dsl::parse(
+        "age 24-39 AND state:'Illinois' AND attr:'Interest: musicals (Music)' \
+         AND NOT attr:'Relationship: in a relationship'",
+        &platform.attributes,
+    )
+    .expect("valid DSL");
+
+    let musicals = platform
+        .attributes
+        .id_of("Interest: musicals (Music)")
+        .expect("attr");
+    let relationship = platform
+        .attributes
+        .id_of("Relationship: in a relationship")
+        .expect("attr");
+
+    // Four users spanning the predicate space.
+    let matching = platform.register_user(30, Gender::Female, "Illinois", "60601");
+    platform.profiles.grant_attribute(matching, musicals).expect("u");
+    let too_old = platform.register_user(55, Gender::Female, "Illinois", "60601");
+    platform.profiles.grant_attribute(too_old, musicals).expect("u");
+    let wrong_state = platform.register_user(30, Gender::Female, "Ohio", "43004");
+    platform.profiles.grant_attribute(wrong_state, musicals).expect("u");
+    let taken = platform.register_user(30, Gender::Female, "Illinois", "60601");
+    platform.profiles.grant_attribute(taken, musicals).expect("u");
+    platform.profiles.grant_attribute(taken, relationship).expect("u");
+
+    let adv = platform.register_advertiser("meetup");
+    let acct = platform.open_account(adv).expect("account");
+    let camp = platform
+        .create_campaign(acct, "c", Money::dollars(5), None)
+        .expect("campaign");
+    let ad = platform
+        .submit_ad(
+            camp,
+            AdCreative::text("h", "b"),
+            TargetingSpec::including(expr),
+        )
+        .expect("ad");
+
+    for user in [matching, too_old, wrong_state, taken] {
+        for _ in 0..3 {
+            platform.browse(user).expect("browse");
+        }
+    }
+    assert_eq!(platform.log.exact_reach(ad), 1);
+    assert!(platform.log.seen_by(matching).iter().any(|i| i.ad == ad));
+}
+
+#[test]
+fn radius_targeting_delivers_by_distance() {
+    let mut platform = quiet_platform(2);
+    // 25 km around Boston City Hall.
+    let expr = dsl::parse("radius:42.3601,-71.0589,25", &platform.attributes).expect("DSL");
+    let cambridge = platform.register_user(30, Gender::Male, "Massachusetts", "02139");
+    platform
+        .profiles
+        .set_coordinates(cambridge, 42.3736, -71.1097)
+        .expect("set");
+    let nyc = platform.register_user(30, Gender::Male, "New York", "10001");
+    platform
+        .profiles
+        .set_coordinates(nyc, 40.7128, -74.0060)
+        .expect("set");
+    let unlocated = platform.register_user(30, Gender::Male, "Massachusetts", "02139");
+
+    let adv = platform.register_advertiser("local");
+    let acct = platform.open_account(adv).expect("account");
+    let camp = platform
+        .create_campaign(acct, "c", Money::dollars(5), None)
+        .expect("campaign");
+    let ad = platform
+        .submit_ad(
+            camp,
+            AdCreative::text("h", "b"),
+            TargetingSpec::including(expr),
+        )
+        .expect("ad");
+    for user in [cambridge, nyc, unlocated] {
+        for _ in 0..3 {
+            platform.browse(user).expect("browse");
+        }
+    }
+    assert_eq!(platform.log.exact_reach(ad), 1);
+    assert!(platform.log.seen_by(cambridge).iter().any(|i| i.ad == ad));
+}
+
+#[test]
+fn location_reveal_pipeline_end_to_end() {
+    let mut platform = quiet_platform(3);
+    let mut provider =
+        TransparencyProvider::register(&mut platform, "KYD", 3, Money::dollars(10))
+            .expect("provider");
+    let (page, audience) = provider
+        .setup_page_optin(&mut platform)
+        .expect("page opt-in");
+    let user = platform.register_user(30, Gender::Unspecified, "Massachusetts", "02139");
+    platform.record_user_location(user, "02139").expect("loc");
+    platform.record_user_location(user, "02115").expect("loc");
+    platform.user_likes_page(user, page).expect("like");
+
+    let zips = ["02115", "02139", "02142", "10001"];
+    let plan = CampaignPlan::location_sweep_in_ad("loc", &zips, Encoding::ZeroWidth);
+    let receipt = provider
+        .run_plan(&mut platform, &plan, audience)
+        .expect("plan runs");
+    assert_eq!(receipt.approved_count(), 4);
+
+    let mut log = ExtensionLog::for_user(user);
+    for _ in 0..10 {
+        if let Ok(treads_repro::adplatform::auction::AuctionOutcome::Won { ad, .. }) =
+            platform.browse(user)
+        {
+            let creative = platform.campaigns.ad(ad).expect("won").creative.clone();
+            log.observe(ad, creative, platform.clock.now());
+        }
+    }
+    let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
+    let revealed = client.decode_log(&log, |_| None);
+    let expected: std::collections::BTreeSet<String> =
+        ["02115".to_string(), "02139".to_string()].into();
+    assert_eq!(revealed.visited_zips, expected);
+}
+
+#[test]
+fn codebook_export_travels_to_the_client() {
+    // The opt-in artifact: provider exports, user imports, decoding works.
+    let mut platform = quiet_platform(4);
+    let mut provider =
+        TransparencyProvider::register(&mut platform, "KYD", 4, Money::dollars(10))
+            .expect("provider");
+    let (page, audience) = provider
+        .setup_page_optin(&mut platform)
+        .expect("page opt-in");
+    let user = platform.register_user(30, Gender::Female, "Vermont", "05401");
+    let attr = platform.attributes.id_of("Net worth: $2M+").expect("attr");
+    platform.profiles.grant_attribute(user, attr).expect("u");
+    platform.user_likes_page(user, page).expect("like");
+
+    let plan = CampaignPlan::binary_in_ad(
+        "nw",
+        &["Net worth: $2M+"],
+        Encoding::CodebookToken,
+    );
+    provider
+        .run_plan(&mut platform, &plan, audience)
+        .expect("plan runs");
+
+    // The shared artifact is plain text.
+    let shared_text = provider.codebook.export();
+    let imported = treads_repro::treads::Codebook::import(&shared_text).expect("imports");
+
+    let mut log = ExtensionLog::for_user(user);
+    for _ in 0..4 {
+        if let Ok(treads_repro::adplatform::auction::AuctionOutcome::Won { ad, .. }) =
+            platform.browse(user)
+        {
+            let creative = platform.campaigns.ad(ad).expect("won").creative.clone();
+            log.observe(ad, creative, platform.clock.now());
+        }
+    }
+    let client = TreadClient::new(imported, &platform.attributes);
+    let revealed = client.decode_log(&log, |_| None);
+    assert!(revealed.has.contains("Net worth: $2M+"));
+}

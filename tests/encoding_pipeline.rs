@@ -1,0 +1,156 @@
+//! Integration test: the disclosure pipeline across crates — provider
+//! encodes, platform stores and serves, extension captures, client
+//! decodes — for every encoding channel and both disclosure channels
+//! (in-ad and landing page).
+
+use treads_repro::adplatform::auction::AuctionOutcome;
+use treads_repro::adplatform::{Platform, PlatformConfig};
+use treads_repro::adsim_types::{Money, SimTime};
+use treads_repro::treads::encoding::Encoding;
+use treads_repro::treads::planner::CampaignPlan;
+use treads_repro::treads::provider::TransparencyProvider;
+use treads_repro::treads::TreadClient;
+use treads_repro::websim::cookies::CookieJar;
+use treads_repro::websim::extension::ExtensionLog;
+use treads_repro::websim::landing::{LandingPage, LandingServer};
+
+fn rig(seed: u64) -> (Platform, TransparencyProvider, adsim_helpers::Ids) {
+    let mut platform = Platform::us_2018(PlatformConfig {
+        seed,
+        ..PlatformConfig::default()
+    });
+    platform.config.auction.competitor_rate = 0.0;
+    let provider =
+        TransparencyProvider::register(&mut platform, "KYD", seed, Money::dollars(10))
+            .expect("provider registers");
+    let (page, audience) = provider
+        .setup_page_optin(&mut platform)
+        .expect("page opt-in");
+    let user = platform.register_user(
+        40,
+        treads_repro::adplatform::profile::Gender::Male,
+        "Vermont",
+        "05401",
+    );
+    let attr = platform.attributes.id_of("Net worth: $2M+").expect("attr");
+    platform.profiles.grant_attribute(user, attr).expect("user");
+    platform.user_likes_page(user, page).expect("like");
+    (
+        platform,
+        provider,
+        adsim_helpers::Ids { user, audience },
+    )
+}
+
+mod adsim_helpers {
+    pub struct Ids {
+        pub user: treads_repro::adsim_types::UserId,
+        pub audience: treads_repro::adsim_types::AudienceId,
+    }
+}
+
+fn capture(platform: &mut Platform, user: treads_repro::adsim_types::UserId) -> ExtensionLog {
+    let mut log = ExtensionLog::for_user(user);
+    for _ in 0..6 {
+        if let Ok(AuctionOutcome::Won { ad, .. }) = platform.browse(user) {
+            let creative = platform.campaigns.ad(ad).expect("won").creative.clone();
+            log.observe(ad, creative, platform.clock.now());
+        }
+    }
+    log
+}
+
+#[test]
+fn every_in_ad_encoding_survives_the_full_pipeline() {
+    for (i, encoding) in [Encoding::CodebookToken, Encoding::ZeroWidth, Encoding::ImageStego]
+        .into_iter()
+        .enumerate()
+    {
+        let (mut platform, mut provider, ids) = rig(100 + i as u64);
+        let plan = CampaignPlan::binary_in_ad("pipe", &["Net worth: $2M+"], encoding);
+        let receipt = provider
+            .run_plan(&mut platform, &plan, ids.audience)
+            .expect("plan runs");
+        assert_eq!(receipt.approved_count(), 1, "{encoding:?} must pass policy");
+        let log = capture(&mut platform, ids.user);
+        let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
+        let revealed = client.decode_log(&log, |_| None);
+        assert!(
+            revealed.has.contains("Net worth: $2M+"),
+            "channel {encoding:?} failed the pipeline"
+        );
+    }
+}
+
+#[test]
+fn explicit_encoding_dies_at_policy_review() {
+    let (mut platform, mut provider, ids) = rig(200);
+    let plan = CampaignPlan::binary_in_ad("pipe", &["Net worth: $2M+"], Encoding::Explicit);
+    let receipt = provider
+        .run_plan(&mut platform, &plan, ids.audience)
+        .expect("plan runs");
+    assert_eq!(receipt.rejected_count(), 1);
+    // Nothing ever delivers.
+    let log = capture(&mut platform, ids.user);
+    let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
+    assert_eq!(client.decode_log(&log, |_| None).revealed_count(), 0);
+}
+
+#[test]
+fn landing_page_pipeline_with_click_through() {
+    let (mut platform, mut provider, ids) = rig(300);
+    let plan = CampaignPlan::binary_landing(
+        "pipe",
+        &["Net worth: $2M+"],
+        "https://provider.example/r",
+    );
+    // The provider publishes the landing content server-side.
+    let mut server = LandingServer::new("provider.example");
+    for planned in &plan.treads {
+        if let treads_repro::treads::DisclosureChannel::LandingPage { url } =
+            &planned.tread.channel
+        {
+            server.publish(LandingPage {
+                url: url.clone(),
+                content: planned.tread.landing_content().expect("landing content"),
+                sets_cookie: true,
+            });
+        }
+    }
+    let receipt = provider
+        .run_plan(&mut platform, &plan, ids.audience)
+        .expect("plan runs");
+    assert_eq!(receipt.approved_count(), 1, "innocuous creative passes review");
+
+    let log = capture(&mut platform, ids.user);
+    let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
+    // The user clicks through with a cookie jar; the fetch closure is the
+    // click.
+    let mut jar = CookieJar::default();
+    let mut t = 0;
+    let revealed = client.decode_log(&log, |url| {
+        t += 1;
+        server.visit(url, &mut jar, SimTime(t))
+    });
+    assert!(revealed.has.contains("Net worth: $2M+"));
+    // And the provider-side access log now holds the cookie linkage the
+    // privacy analysis warns about.
+    assert_eq!(server.linkage_by_cookie().len(), 1);
+}
+
+#[test]
+fn codebook_must_match_to_decode() {
+    // A client with the wrong codebook cannot read obfuscated Treads —
+    // the sharing-at-opt-in step is load-bearing.
+    let (mut platform, mut provider, ids) = rig(400);
+    let plan = CampaignPlan::binary_in_ad("pipe", &["Net worth: $2M+"], Encoding::CodebookToken);
+    provider
+        .run_plan(&mut platform, &plan, ids.audience)
+        .expect("plan runs");
+    let log = capture(&mut platform, ids.user);
+    let wrong_book = treads_repro::treads::Codebook::new(999_999);
+    let client = TreadClient::new(wrong_book, &platform.attributes);
+    let revealed = client.decode_log(&log, |_| None);
+    assert_eq!(revealed.revealed_count(), 0);
+    assert!(revealed.non_tread_ads > 0);
+}

@@ -1,0 +1,120 @@
+//! Integration test: the §3.1 threat model, asserted across crates.
+//!
+//! The provider's entire observable state after a run is its
+//! [`ProviderView`]; these tests check it contains aggregates only, that
+//! the linkage assessment responds to the platform's reporting posture,
+//! and that the enforcement/suspension path cannot be bypassed.
+
+use treads_repro::adsim_types::Money;
+use treads_repro::treads::encoding::Encoding;
+use treads_repro::treads::planner::CampaignPlan;
+use treads_repro::treads::privacy::{assess_view, count_inference, LinkageRisk};
+use treads_repro::workload::CohortScenario;
+
+fn cohort_view(
+    seed: u64,
+    optin: usize,
+    exact: bool,
+) -> (treads_repro::treads::ProviderView, usize) {
+    let mut s = CohortScenario::setup(seed, optin + 30, optin);
+    s.platform.config.auction.competitor_rate = 0.0;
+    if exact {
+        s.platform.config.reach_floor = 0;
+        s.platform.config.reach_granularity = 1;
+    }
+    let names: Vec<String> = s
+        .platform
+        .attributes
+        .partner_attributes()
+        .iter()
+        .take(12)
+        .map(|d| d.name.clone())
+        .collect();
+    // Guarantee a victim: first opted user holds the first probe.
+    let victim_attr = s.platform.attributes.id_of(&names[0]).expect("attr");
+    s.platform
+        .profiles
+        .grant_attribute(s.opted_in[0], victim_attr)
+        .expect("user");
+    let plan = CampaignPlan::binary_in_ad("probe", &names, Encoding::CodebookToken);
+    let receipt = s
+        .provider
+        .run_plan(&mut s.platform, &plan, s.optin_audience)
+        .expect("plan runs");
+    for _ in 0..40 {
+        for &u in &s.opted_in.clone() {
+            s.platform.browse(u).expect("user exists");
+        }
+    }
+    (s.provider.view(&s.platform, &receipt).expect("view"), optin)
+}
+
+#[test]
+fn provider_view_is_aggregate_only() {
+    let (view, _) = cohort_view(1, 25, false);
+    // Structural: the view type carries no user identifiers; check the
+    // serialized form never mentions a user id token.
+    for stat in &view.stats {
+        assert!(stat.report.impressions >= stat.report.estimated_reach);
+    }
+    let inferences = count_inference(&view);
+    assert_eq!(inferences.len(), view.stats.len());
+    // Coarse reporting: every delivered Tread is below-floor at this scale.
+    for inf in &inferences {
+        assert!(inf.below_floor || inf.estimated_holders.is_some());
+        assert!(inf.below_floor, "25-user cohort must stay under the 1000 floor");
+    }
+}
+
+#[test]
+fn coarse_reporting_blocks_linkage() {
+    let (view, optin) = cohort_view(2, 25, false);
+    assert_eq!(assess_view(&view, false, optin).worst, LinkageRisk::Safe);
+}
+
+#[test]
+fn exact_reporting_ablation_enables_the_attack() {
+    let (view, optin) = cohort_view(3, 1, true);
+    assert_eq!(
+        assess_view(&view, true, optin).worst,
+        LinkageRisk::Deanonymized,
+        "a cohort of one with exact reach is fully deanonymized"
+    );
+    let (view, optin) = cohort_view(4, 2, true);
+    assert_eq!(
+        assess_view(&view, true, optin).worst,
+        LinkageRisk::NarrowedTo { candidates: 2 }
+    );
+}
+
+#[test]
+fn suspended_provider_cannot_continue() {
+    use treads_repro::adplatform::{Platform, PlatformConfig};
+    use treads_repro::treads::provider::TransparencyProvider;
+
+    let mut platform = Platform::us_2018(PlatformConfig::default());
+    let mut provider =
+        TransparencyProvider::register(&mut platform, "KYD", 5, Money::dollars(10))
+            .expect("provider registers");
+    let (_, audience) = provider
+        .setup_page_optin(&mut platform)
+        .expect("page opt-in");
+    let names: Vec<String> = platform
+        .attributes
+        .partner_attributes()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    let plan = CampaignPlan::binary_in_ad("big", &names, Encoding::CodebookToken);
+    provider
+        .run_plan(&mut platform, &plan, audience)
+        .expect("plan runs");
+    // 507 template-identical singleton ads on one account → flagged.
+    platform.run_enforcement_sweep();
+    assert!(platform.suspended.contains(&provider.account()));
+    // Every further operation on the account fails.
+    assert!(provider.setup_page_optin(&mut platform).is_err());
+    assert!(provider
+        .run_plan(&mut platform, &plan, audience)
+        .is_err());
+}
