@@ -192,164 +192,451 @@ fn platform_attribute_specs() -> Vec<(String, Option<String>, f64)> {
         (
             "Sports",
             [
-                "soccer", "basketball", "american football", "baseball", "tennis", "golf",
-                "running", "cycling", "swimming", "yoga", "martial arts", "boxing", "skiing",
-                "snowboarding", "surfing", "climbing", "hiking", "fishing", "hunting", "esports",
+                "soccer",
+                "basketball",
+                "american football",
+                "baseball",
+                "tennis",
+                "golf",
+                "running",
+                "cycling",
+                "swimming",
+                "yoga",
+                "martial arts",
+                "boxing",
+                "skiing",
+                "snowboarding",
+                "surfing",
+                "climbing",
+                "hiking",
+                "fishing",
+                "hunting",
+                "esports",
             ],
         ),
         (
             "Music",
             [
-                "rock", "pop", "hip hop", "jazz", "classical", "country", "electronic", "metal",
-                "folk", "blues", "reggae", "latin", "k-pop", "opera", "musicals", "salsa dancing",
-                "choir", "songwriting", "djing", "vinyl collecting",
+                "rock",
+                "pop",
+                "hip hop",
+                "jazz",
+                "classical",
+                "country",
+                "electronic",
+                "metal",
+                "folk",
+                "blues",
+                "reggae",
+                "latin",
+                "k-pop",
+                "opera",
+                "musicals",
+                "salsa dancing",
+                "choir",
+                "songwriting",
+                "djing",
+                "vinyl collecting",
             ],
         ),
         (
             "Food & Drink",
             [
-                "cooking", "baking", "grilling", "wine", "craft beer", "coffee", "tea", "veganism",
-                "vegetarianism", "organic food", "fine dining", "street food", "sushi", "pizza",
-                "barbecue", "desserts", "cocktails", "food trucks", "farmers markets", "meal prep",
+                "cooking",
+                "baking",
+                "grilling",
+                "wine",
+                "craft beer",
+                "coffee",
+                "tea",
+                "veganism",
+                "vegetarianism",
+                "organic food",
+                "fine dining",
+                "street food",
+                "sushi",
+                "pizza",
+                "barbecue",
+                "desserts",
+                "cocktails",
+                "food trucks",
+                "farmers markets",
+                "meal prep",
             ],
         ),
         (
             "Travel",
             [
-                "beach vacations", "city breaks", "backpacking", "luxury travel", "cruises",
-                "camping", "road trips", "national parks", "theme parks", "air travel",
-                "train travel", "hostels", "resorts", "adventure travel", "ecotourism",
-                "travel photography", "solo travel", "family travel", "business travel",
+                "beach vacations",
+                "city breaks",
+                "backpacking",
+                "luxury travel",
+                "cruises",
+                "camping",
+                "road trips",
+                "national parks",
+                "theme parks",
+                "air travel",
+                "train travel",
+                "hostels",
+                "resorts",
+                "adventure travel",
+                "ecotourism",
+                "travel photography",
+                "solo travel",
+                "family travel",
+                "business travel",
                 "travel hacking",
             ],
         ),
         (
             "Technology",
             [
-                "smartphones", "laptops", "gadgets", "artificial intelligence", "programming",
-                "web development", "gaming pcs", "consoles", "virtual reality", "drones",
-                "smart home", "wearables", "cryptocurrencies", "cybersecurity", "robotics",
-                "3d printing", "open source", "tech startups", "electric vehicles", "space tech",
+                "smartphones",
+                "laptops",
+                "gadgets",
+                "artificial intelligence",
+                "programming",
+                "web development",
+                "gaming pcs",
+                "consoles",
+                "virtual reality",
+                "drones",
+                "smart home",
+                "wearables",
+                "cryptocurrencies",
+                "cybersecurity",
+                "robotics",
+                "3d printing",
+                "open source",
+                "tech startups",
+                "electric vehicles",
+                "space tech",
             ],
         ),
         (
             "Entertainment",
             [
-                "movies", "television", "streaming", "documentaries", "comedy", "drama",
-                "science fiction", "horror", "animation", "anime", "celebrities", "award shows",
-                "film festivals", "stand-up comedy", "theater", "ballet", "circus", "magic",
-                "podcasts", "audiobooks",
+                "movies",
+                "television",
+                "streaming",
+                "documentaries",
+                "comedy",
+                "drama",
+                "science fiction",
+                "horror",
+                "animation",
+                "anime",
+                "celebrities",
+                "award shows",
+                "film festivals",
+                "stand-up comedy",
+                "theater",
+                "ballet",
+                "circus",
+                "magic",
+                "podcasts",
+                "audiobooks",
             ],
         ),
         (
             "Fashion & Beauty",
             [
-                "fashion", "streetwear", "luxury brands", "sneakers", "jewelry", "watches",
-                "makeup", "skincare", "haircare", "fragrance", "nail art", "modeling",
-                "fashion design", "thrifting", "sustainable fashion", "menswear", "womenswear",
-                "accessories", "tattoos", "piercings",
+                "fashion",
+                "streetwear",
+                "luxury brands",
+                "sneakers",
+                "jewelry",
+                "watches",
+                "makeup",
+                "skincare",
+                "haircare",
+                "fragrance",
+                "nail art",
+                "modeling",
+                "fashion design",
+                "thrifting",
+                "sustainable fashion",
+                "menswear",
+                "womenswear",
+                "accessories",
+                "tattoos",
+                "piercings",
             ],
         ),
         (
             "Home & Garden",
             [
-                "interior design", "diy projects", "woodworking", "gardening", "houseplants",
-                "landscaping", "home renovation", "furniture", "home decor", "organization",
-                "cleaning hacks", "smart appliances", "tiny homes", "architecture",
-                "real estate", "feng shui", "composting", "beekeeping", "urban farming",
+                "interior design",
+                "diy projects",
+                "woodworking",
+                "gardening",
+                "houseplants",
+                "landscaping",
+                "home renovation",
+                "furniture",
+                "home decor",
+                "organization",
+                "cleaning hacks",
+                "smart appliances",
+                "tiny homes",
+                "architecture",
+                "real estate",
+                "feng shui",
+                "composting",
+                "beekeeping",
+                "urban farming",
                 "homesteading",
             ],
         ),
         (
             "Health & Fitness",
             [
-                "weightlifting", "crossfit", "pilates", "meditation", "mindfulness", "nutrition",
-                "weight loss", "marathon training", "triathlon", "home workouts", "gym culture",
-                "physical therapy", "mental health", "sleep optimization", "supplements",
-                "intermittent fasting", "keto diet", "paleo diet", "wellness retreats",
+                "weightlifting",
+                "crossfit",
+                "pilates",
+                "meditation",
+                "mindfulness",
+                "nutrition",
+                "weight loss",
+                "marathon training",
+                "triathlon",
+                "home workouts",
+                "gym culture",
+                "physical therapy",
+                "mental health",
+                "sleep optimization",
+                "supplements",
+                "intermittent fasting",
+                "keto diet",
+                "paleo diet",
+                "wellness retreats",
                 "cold plunges",
             ],
         ),
         (
             "Business & Finance",
             [
-                "entrepreneurship", "investing", "stock market", "personal finance", "budgeting",
-                "retirement planning", "real estate investing", "side hustles", "freelancing",
-                "marketing", "sales", "leadership", "productivity", "networking", "economics",
-                "accounting", "venture capital", "small business", "e-commerce", "dropshipping",
+                "entrepreneurship",
+                "investing",
+                "stock market",
+                "personal finance",
+                "budgeting",
+                "retirement planning",
+                "real estate investing",
+                "side hustles",
+                "freelancing",
+                "marketing",
+                "sales",
+                "leadership",
+                "productivity",
+                "networking",
+                "economics",
+                "accounting",
+                "venture capital",
+                "small business",
+                "e-commerce",
+                "dropshipping",
             ],
         ),
         (
             "Family & Relationships",
             [
-                "parenting", "pregnancy", "newborn care", "toddlers", "homeschooling",
-                "adoption", "dating", "weddings", "marriage", "grandparenting", "family games",
-                "family travel planning", "co-parenting", "foster care", "genealogy",
-                "family photography", "birthday parties", "baby names", "childcare",
+                "parenting",
+                "pregnancy",
+                "newborn care",
+                "toddlers",
+                "homeschooling",
+                "adoption",
+                "dating",
+                "weddings",
+                "marriage",
+                "grandparenting",
+                "family games",
+                "family travel planning",
+                "co-parenting",
+                "foster care",
+                "genealogy",
+                "family photography",
+                "birthday parties",
+                "baby names",
+                "childcare",
                 "family budgeting",
             ],
         ),
         (
             "Vehicles",
             [
-                "cars", "motorcycles", "trucks", "classic cars", "car restoration", "racing",
-                "formula 1", "nascar", "off-roading", "boats", "rvs", "car detailing",
-                "car audio", "motorcycling gear", "car shows", "auto repair", "car camping",
-                "supercars", "car reviews", "driving",
+                "cars",
+                "motorcycles",
+                "trucks",
+                "classic cars",
+                "car restoration",
+                "racing",
+                "formula 1",
+                "nascar",
+                "off-roading",
+                "boats",
+                "rvs",
+                "car detailing",
+                "car audio",
+                "motorcycling gear",
+                "car shows",
+                "auto repair",
+                "car camping",
+                "supercars",
+                "car reviews",
+                "driving",
             ],
         ),
         (
             "Arts & Culture",
             [
-                "painting", "drawing", "sculpture", "photography", "museums", "art history",
-                "poetry", "creative writing", "literature", "book clubs", "calligraphy",
-                "pottery", "knitting", "quilting", "origami", "street art", "galleries",
-                "antiques", "philosophy", "languages",
+                "painting",
+                "drawing",
+                "sculpture",
+                "photography",
+                "museums",
+                "art history",
+                "poetry",
+                "creative writing",
+                "literature",
+                "book clubs",
+                "calligraphy",
+                "pottery",
+                "knitting",
+                "quilting",
+                "origami",
+                "street art",
+                "galleries",
+                "antiques",
+                "philosophy",
+                "languages",
             ],
         ),
         (
             "Outdoors & Nature",
             [
-                "birdwatching", "stargazing", "kayaking", "canoeing", "rafting", "sailing",
-                "scuba diving", "snorkeling", "wildlife", "conservation", "foraging",
-                "mushroom hunting", "rock collecting", "geocaching", "trail running",
-                "mountaineering", "bouldering", "paragliding", "hot springs", "storm watching",
+                "birdwatching",
+                "stargazing",
+                "kayaking",
+                "canoeing",
+                "rafting",
+                "sailing",
+                "scuba diving",
+                "snorkeling",
+                "wildlife",
+                "conservation",
+                "foraging",
+                "mushroom hunting",
+                "rock collecting",
+                "geocaching",
+                "trail running",
+                "mountaineering",
+                "bouldering",
+                "paragliding",
+                "hot springs",
+                "storm watching",
             ],
         ),
         (
             "Games & Hobbies",
             [
-                "board games", "card games", "chess", "poker", "puzzles", "video games",
-                "tabletop rpgs", "miniature painting", "model trains", "lego", "collectibles",
-                "trading cards", "arcade games", "escape rooms", "trivia", "karaoke",
-                "magic the gathering", "speedrunning", "game development", "cosplay",
+                "board games",
+                "card games",
+                "chess",
+                "poker",
+                "puzzles",
+                "video games",
+                "tabletop rpgs",
+                "miniature painting",
+                "model trains",
+                "lego",
+                "collectibles",
+                "trading cards",
+                "arcade games",
+                "escape rooms",
+                "trivia",
+                "karaoke",
+                "magic the gathering",
+                "speedrunning",
+                "game development",
+                "cosplay",
             ],
         ),
         (
             "Science & Education",
             [
-                "astronomy", "physics", "biology", "chemistry", "mathematics", "history",
-                "archaeology", "geography", "psychology", "neuroscience", "climate science",
-                "oceanography", "geology", "paleontology", "online courses", "test prep",
-                "scholarships", "study abroad", "science museums", "citizen science",
+                "astronomy",
+                "physics",
+                "biology",
+                "chemistry",
+                "mathematics",
+                "history",
+                "archaeology",
+                "geography",
+                "psychology",
+                "neuroscience",
+                "climate science",
+                "oceanography",
+                "geology",
+                "paleontology",
+                "online courses",
+                "test prep",
+                "scholarships",
+                "study abroad",
+                "science museums",
+                "citizen science",
             ],
         ),
         (
             "Pets & Animals",
             [
-                "dogs", "cats", "dog training", "cat behavior", "aquariums", "reptiles",
-                "birds", "horses", "rabbits", "hamsters", "pet adoption", "pet grooming",
-                "pet photography", "exotic pets", "pet nutrition", "veterinary medicine",
-                "animal rescue", "dog parks", "pet fashion", "pet tech",
+                "dogs",
+                "cats",
+                "dog training",
+                "cat behavior",
+                "aquariums",
+                "reptiles",
+                "birds",
+                "horses",
+                "rabbits",
+                "hamsters",
+                "pet adoption",
+                "pet grooming",
+                "pet photography",
+                "exotic pets",
+                "pet nutrition",
+                "veterinary medicine",
+                "animal rescue",
+                "dog parks",
+                "pet fashion",
+                "pet tech",
             ],
         ),
         (
             "News & Society",
             [
-                "local news", "world news", "politics", "elections", "public policy",
-                "social causes", "volunteering", "activism", "charity", "community organizing",
-                "urban planning", "public transit", "civic tech", "journalism", "fact checking",
-                "debates", "law", "human rights", "environment", "sustainability",
+                "local news",
+                "world news",
+                "politics",
+                "elections",
+                "public policy",
+                "social causes",
+                "volunteering",
+                "activism",
+                "charity",
+                "community organizing",
+                "urban planning",
+                "public transit",
+                "civic tech",
+                "journalism",
+                "fact checking",
+                "debates",
+                "law",
+                "human rights",
+                "environment",
+                "sustainability",
             ],
         ),
     ];
@@ -360,10 +647,12 @@ fn platform_attribute_specs() -> Vec<(String, Option<String>, f64)> {
     }
 
     // Demographics: 254 attributes with value groups.
-    for band in [
-        "18-24", "25-34", "35-44", "45-54", "55-64", "65+",
-    ] {
-        out.push((format!("Age bracket: {band}"), Some("age_bracket".into()), 0.16));
+    for band in ["18-24", "25-34", "35-44", "45-54", "55-64", "65+"] {
+        out.push((
+            format!("Age bracket: {band}"),
+            Some("age_bracket".into()),
+            0.16,
+        ));
     }
     for g in ["female", "male", "unspecified"] {
         out.push((format!("Gender: {g}"), Some("gender".into()), 0.33));
@@ -385,11 +674,23 @@ fn platform_attribute_specs() -> Vec<(String, Option<String>, f64)> {
         "separated",
         "widowed",
     ] {
-        out.push((format!("Relationship: {r}"), Some("relationship".into()), 0.16));
+        out.push((
+            format!("Relationship: {r}"),
+            Some("relationship".into()),
+            0.16,
+        ));
     }
     for l in [
-        "english", "spanish", "chinese", "french", "german", "portuguese", "hindi", "arabic",
-        "korean", "vietnamese",
+        "english",
+        "spanish",
+        "chinese",
+        "french",
+        "german",
+        "portuguese",
+        "hindi",
+        "arabic",
+        "korean",
+        "vietnamese",
     ] {
         out.push((format!("Language: {l}"), Some("language".into()), 0.10));
     }
@@ -494,31 +795,93 @@ fn platform_attribute_specs() -> Vec<(String, Option<String>, f64)> {
     }
     // Work: industries (24).
     for ind in [
-        "education", "healthcare", "technology", "finance", "retail", "manufacturing",
-        "construction", "transportation", "hospitality", "agriculture", "energy", "media",
-        "government", "legal", "real estate", "telecommunications", "pharmaceuticals",
-        "aerospace", "automotive industry", "entertainment industry", "nonprofit", "military",
-        "consulting", "logistics",
+        "education",
+        "healthcare",
+        "technology",
+        "finance",
+        "retail",
+        "manufacturing",
+        "construction",
+        "transportation",
+        "hospitality",
+        "agriculture",
+        "energy",
+        "media",
+        "government",
+        "legal",
+        "real estate",
+        "telecommunications",
+        "pharmaceuticals",
+        "aerospace",
+        "automotive industry",
+        "entertainment industry",
+        "nonprofit",
+        "military",
+        "consulting",
+        "logistics",
     ] {
         out.push((format!("Works in: {ind}"), Some("industry".into()), 0.05));
     }
     // Education: fields of study (20).
     for field in [
-        "computer science", "engineering", "business administration", "economics", "medicine",
-        "nursing", "law", "education studies", "psychology", "sociology", "political science",
-        "english literature", "history", "mathematics", "physics", "chemistry", "biology",
-        "art and design", "communications", "environmental science",
+        "computer science",
+        "engineering",
+        "business administration",
+        "economics",
+        "medicine",
+        "nursing",
+        "law",
+        "education studies",
+        "psychology",
+        "sociology",
+        "political science",
+        "english literature",
+        "history",
+        "mathematics",
+        "physics",
+        "chemistry",
+        "biology",
+        "art and design",
+        "communications",
+        "environmental science",
     ] {
-        out.push((format!("Studied: {field}"), Some("field_of_study".into()), 0.04));
+        out.push((
+            format!("Studied: {field}"),
+            Some("field_of_study".into()),
+            0.04,
+        ));
     }
     // Page-category affinities (30).
     for cat in [
-        "local restaurants", "national brands", "sports teams", "musicians", "authors",
-        "tv shows", "movies pages", "video game studios", "clothing brands", "beauty brands",
-        "airlines", "hotels", "universities", "museums pages", "charities", "news outlets",
-        "magazines", "podcasts pages", "fitness studios", "grocery chains", "coffee chains",
-        "fast food chains", "car manufacturers", "tech companies", "financial institutions",
-        "insurance companies", "telecom providers", "streaming services", "online retailers",
+        "local restaurants",
+        "national brands",
+        "sports teams",
+        "musicians",
+        "authors",
+        "tv shows",
+        "movies pages",
+        "video game studios",
+        "clothing brands",
+        "beauty brands",
+        "airlines",
+        "hotels",
+        "universities",
+        "museums pages",
+        "charities",
+        "news outlets",
+        "magazines",
+        "podcasts pages",
+        "fitness studios",
+        "grocery chains",
+        "coffee chains",
+        "fast food chains",
+        "car manufacturers",
+        "tech companies",
+        "financial institutions",
+        "insurance companies",
+        "telecom providers",
+        "streaming services",
+        "online retailers",
         "local services",
     ] {
         out.push((format!("Affinity: {cat}"), None, 0.09));
@@ -564,13 +927,56 @@ fn account_group(name: &str) -> Option<String> {
 
 /// The 50 U.S. state names used for location demographics.
 pub const US_STATES: [&str; 50] = [
-    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado", "Connecticut",
-    "Delaware", "Florida", "Georgia", "Hawaii", "Idaho", "Illinois", "Indiana", "Iowa", "Kansas",
-    "Kentucky", "Louisiana", "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
-    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada", "New Hampshire", "New Jersey",
-    "New Mexico", "New York", "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
-    "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota", "Tennessee", "Texas",
-    "Utah", "Vermont", "Virginia", "Washington", "West Virginia", "Wisconsin", "Wyoming",
+    "Alabama",
+    "Alaska",
+    "Arizona",
+    "Arkansas",
+    "California",
+    "Colorado",
+    "Connecticut",
+    "Delaware",
+    "Florida",
+    "Georgia",
+    "Hawaii",
+    "Idaho",
+    "Illinois",
+    "Indiana",
+    "Iowa",
+    "Kansas",
+    "Kentucky",
+    "Louisiana",
+    "Maine",
+    "Maryland",
+    "Massachusetts",
+    "Michigan",
+    "Minnesota",
+    "Mississippi",
+    "Missouri",
+    "Montana",
+    "Nebraska",
+    "Nevada",
+    "New Hampshire",
+    "New Jersey",
+    "New Mexico",
+    "New York",
+    "North Carolina",
+    "North Dakota",
+    "Ohio",
+    "Oklahoma",
+    "Oregon",
+    "Pennsylvania",
+    "Rhode Island",
+    "South Carolina",
+    "South Dakota",
+    "Tennessee",
+    "Texas",
+    "Utah",
+    "Vermont",
+    "Virginia",
+    "Washington",
+    "West Virginia",
+    "Wisconsin",
+    "Wyoming",
 ];
 
 #[cfg(test)]

@@ -86,11 +86,7 @@ fn sample_lognormal<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
 /// budget, status). Background competitors are sampled from `config`.
 /// Deterministic given the RNG state; ties between our bids break toward
 /// the lowest [`AdId`] so reruns are stable.
-pub fn run_auction<R: Rng>(
-    bids: &[Bid],
-    config: &AuctionConfig,
-    rng: &mut R,
-) -> AuctionOutcome {
+pub fn run_auction<R: Rng>(bids: &[Bid], config: &AuctionConfig, rng: &mut R) -> AuctionOutcome {
     // Sample the background competition (Knuth Poisson; rates are small).
     let n_competitors = sample_poisson(rng, config.competitor_rate);
     let mut best_bg = Money::ZERO;
@@ -393,4 +389,3 @@ mod proptests {
         }
     }
 }
-

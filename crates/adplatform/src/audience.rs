@@ -19,8 +19,8 @@
 //! ([`ReachEstimate`]); that rounding is part of the privacy contract the
 //! Treads threat model (§3.1) relies on, and experiment E4 measures it.
 
-use adsim_types::{AudienceId, Error, Result, UserId};
 use adsim_types::hash::Digest;
+use adsim_types::{AudienceId, Error, Result, UserId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 

@@ -26,6 +26,41 @@ pub struct Invoice {
     pub due: Money,
 }
 
+/// Read-only budget information, as seen by the eligibility check.
+///
+/// The live [`BillingLedger`] implements this, and so does the frozen
+/// [`BudgetSnapshot`] the parallel engine hands its shards: eligibility is
+/// a pure read, so the decide path never needs the mutable ledger.
+pub trait BudgetView {
+    /// True if a campaign with `budget` has spending room left.
+    fn within_budget(&self, campaign: CampaignId, budget: Option<Money>) -> bool;
+}
+
+/// A frozen copy of per-campaign spend, taken at a tick boundary.
+///
+/// Shards check budgets against this snapshot while the tick's charges
+/// accumulate in event batches, so every shard — and every shard *count* —
+/// sees the same budget state for the same simulated tick.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetSnapshot {
+    campaign_spend: BTreeMap<CampaignId, Money>,
+}
+
+impl BudgetView for BudgetSnapshot {
+    fn within_budget(&self, campaign: CampaignId, budget: Option<Money>) -> bool {
+        match budget {
+            None => true,
+            Some(b) => {
+                self.campaign_spend
+                    .get(&campaign)
+                    .copied()
+                    .unwrap_or(Money::ZERO)
+                    < b
+            }
+        }
+    }
+}
+
 /// The platform's billing ledger.
 #[derive(Debug, Clone, Default)]
 pub struct BillingLedger {
@@ -91,6 +126,13 @@ impl BillingLedger {
         }
     }
 
+    /// Freezes the current per-campaign spend into a [`BudgetSnapshot`].
+    pub fn budget_snapshot(&self) -> BudgetSnapshot {
+        BudgetSnapshot {
+            campaign_spend: self.campaign_spend.clone(),
+        }
+    }
+
     /// Produces the account's invoice, applying the small-spend waiver per
     /// campaign.
     pub fn invoice(&self, account: AccountId) -> Invoice {
@@ -111,6 +153,12 @@ impl BillingLedger {
             waived,
             due: gross - waived,
         }
+    }
+}
+
+impl BudgetView for BillingLedger {
+    fn within_budget(&self, campaign: CampaignId, budget: Option<Money>) -> bool {
+        BillingLedger::within_budget(self, campaign, budget)
     }
 }
 
@@ -179,6 +227,26 @@ mod tests {
         let empty = ledger.invoice(AccountId(3));
         assert_eq!(empty.due, Money::ZERO);
         assert_eq!(empty.gross, Money::ZERO);
+    }
+
+    #[test]
+    fn snapshot_agrees_with_ledger_until_later_charges() {
+        let mut ledger = BillingLedger::new(Money::ZERO);
+        for _ in 0..5 {
+            ledger.charge_impression(AccountId(1), CampaignId(1), AdId(1), Money::dollars(1));
+        }
+        let snap = ledger.budget_snapshot();
+        let budget = Some(Money::micros(6_000));
+        assert_eq!(
+            BudgetView::within_budget(&snap, CampaignId(1), budget),
+            ledger.within_budget(CampaignId(1), budget)
+        );
+        assert!(snap.within_budget(CampaignId(2), budget)); // unseen campaign
+        assert!(snap.within_budget(CampaignId(1), None));
+        // Charges after the snapshot do not move it.
+        ledger.charge_impression(AccountId(1), CampaignId(1), AdId(1), Money::dollars(1));
+        assert!(!ledger.within_budget(CampaignId(1), budget));
+        assert!(BudgetView::within_budget(&snap, CampaignId(1), budget));
     }
 
     #[test]

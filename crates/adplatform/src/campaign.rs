@@ -270,8 +270,12 @@ mod tests {
         let mut s = CampaignStore::new();
         let c1 = s.create_campaign(AccountId(1), "one", Money::dollars(2), None);
         let c2 = s.create_campaign(AccountId(2), "two", Money::dollars(2), None);
-        let a1 = s.create_ad(c1, AdCreative::text("1", ""), spec()).expect("a1");
-        let _a2 = s.create_ad(c2, AdCreative::text("2", ""), spec()).expect("a2");
+        let a1 = s
+            .create_ad(c1, AdCreative::text("1", ""), spec())
+            .expect("a1");
+        let _a2 = s
+            .create_ad(c2, AdCreative::text("2", ""), spec())
+            .expect("a2");
         let owned = s.ads_of_account(AccountId(1));
         assert_eq!(owned.len(), 1);
         assert_eq!(owned[0].id, a1);
@@ -283,7 +287,10 @@ mod tests {
             .with_landing("https://provider.example/reveal")
             .with_image(vec![1, 2, 3]);
         assert_eq!(c.visible_text(), "Hello World");
-        assert_eq!(c.landing_url.as_deref(), Some("https://provider.example/reveal"));
+        assert_eq!(
+            c.landing_url.as_deref(),
+            Some("https://provider.example/reveal")
+        );
         assert_eq!(c.image.as_deref(), Some(&[1u8, 2, 3][..]));
     }
 
@@ -291,7 +298,9 @@ mod tests {
     fn rejected_and_paused_ads_do_not_serve() {
         let mut s = CampaignStore::new();
         let camp = s.create_campaign(AccountId(1), "c", Money::dollars(2), None);
-        let ad = s.create_ad(camp, AdCreative::text("h", "b"), spec()).expect("ad");
+        let ad = s
+            .create_ad(camp, AdCreative::text("h", "b"), spec())
+            .expect("ad");
         s.ad_mut(ad).expect("ad").status = AdStatus::Rejected {
             reason: "asserts personal attributes".into(),
         };

@@ -78,7 +78,9 @@ impl ClickLog {
         let mut learned: BTreeMap<String, Vec<AttributeId>> = BTreeMap::new();
         for rec in &self.records {
             let Some(cookie) = &rec.cookie else { continue };
-            let Ok(ad) = campaigns.ad(rec.ad) else { continue };
+            let Ok(ad) = campaigns.ad(rec.ad) else {
+                continue;
+            };
             let entry = learned.entry(cookie.clone()).or_default();
             for attr in ad.targeting.referenced_attributes() {
                 if !entry.contains(&attr) {
@@ -204,9 +206,8 @@ mod tests {
             cookie: Some("c-1".into()),
             at: SimTime(1),
         });
-        let names = log.disclosure_for_cookie("c-1", &store, |id| {
-            Some(format!("Attribute #{}", id.raw()))
-        });
+        let names =
+            log.disclosure_for_cookie("c-1", &store, |id| Some(format!("Attribute #{}", id.raw())));
         assert_eq!(names, vec!["Attribute #1", "Attribute #2"]);
         assert!(log
             .disclosure_for_cookie("c-unknown", &store, |_| None)

@@ -15,14 +15,14 @@
 //! what makes a received Tread a proof about the recipient's own profile —
 //! the integration tests assert it end-to-end.
 
-use crate::audience::AudienceStore;
 use crate::auction::{run_auction, AuctionConfig, AuctionOutcome, Bid};
-use crate::billing::BillingLedger;
+use crate::audience::AudienceStore;
+use crate::billing::{BillingLedger, BudgetView};
 use crate::campaign::CampaignStore;
 use crate::profile::UserProfile;
 use crate::reporting::{Impression, ImpressionLog};
-use adsim_types::{AccountId, AdId, SimTime, UserId};
-use rand::rngs::StdRng;
+use adsim_types::{AccountId, AdId, CampaignId, Money, SimTime, UserId};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
@@ -72,16 +72,49 @@ pub struct DeliveryStats {
     pub unfilled: u64,
 }
 
+/// An impression the decide phase committed to but has not yet recorded.
+///
+/// Produced by [`decide_opportunity`]; applied against the mutable stores
+/// by [`apply_impression`]. The split is what lets the parallel engine run
+/// auctions against read-only state in shard threads and fold the results
+/// into billing/logs/caps in a deterministic merge order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingImpression {
+    /// The winning ad.
+    pub ad: AdId,
+    /// Its campaign.
+    pub campaign: CampaignId,
+    /// Its (charged) account.
+    pub account: AccountId,
+    /// The user who saw it.
+    pub user: UserId,
+    /// When it was delivered.
+    pub at: SimTime,
+    /// The second-price clearing CPM.
+    pub clearing_cpm: Money,
+}
+
+/// What [`decide_opportunity`] concluded for one opportunity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The auction outcome (returned to the caller / the browsing user).
+    pub outcome: AuctionOutcome,
+    /// The impression to record, when the outcome is a win.
+    pub pending: Option<PendingImpression>,
+}
+
 /// Collects the bids eligible for an opportunity shown to `user`.
 ///
 /// Eligibility = ad approved ∧ owning account active ∧ campaign within
 /// budget ∧ frequency cap allows ∧ targeting spec matches the user.
-pub fn eligible_bids(
+/// Budget state is read through [`BudgetView`], so the check runs equally
+/// against the live ledger or a tick-start snapshot.
+pub fn eligible_bids<B: BudgetView>(
     user: &UserProfile,
     campaigns: &CampaignStore,
     audiences: &AudienceStore,
     suspended: &BTreeSet<AccountId>,
-    billing: &BillingLedger,
+    billing: &B,
     freq: &FrequencyCaps,
 ) -> Vec<Bid> {
     let mut bids = Vec::new();
@@ -113,10 +146,77 @@ pub fn eligible_bids(
     bids
 }
 
-/// Processes one impression opportunity end to end. Returns the auction
-/// outcome (the caller can ignore it; all bookkeeping is done here).
+/// The **decide** half of opportunity handling: eligibility + auction,
+/// reading budget, frequency, and audience state without mutating any of
+/// it. On a win the returned [`Decision`] carries the fully-resolved
+/// [`PendingImpression`]; nothing is charged or logged until
+/// [`apply_impression`] runs.
 #[allow(clippy::too_many_arguments)]
-pub fn handle_opportunity(
+pub fn decide_opportunity<B: BudgetView, R: Rng>(
+    user: &UserProfile,
+    at: SimTime,
+    campaigns: &CampaignStore,
+    audiences: &AudienceStore,
+    suspended: &BTreeSet<AccountId>,
+    billing: &B,
+    freq: &FrequencyCaps,
+    auction_cfg: &AuctionConfig,
+    rng: &mut R,
+) -> Decision {
+    let bids = eligible_bids(user, campaigns, audiences, suspended, billing, freq);
+    let outcome = run_auction(&bids, auction_cfg, rng);
+    let pending = match outcome {
+        AuctionOutcome::Won { ad, clearing_cpm } => {
+            // The ad and campaign must exist: they produced a bid above.
+            let campaign = campaigns
+                .ad(ad)
+                .and_then(|a| campaigns.campaign(a.campaign))
+                .expect("winning ad resolves");
+            Some(PendingImpression {
+                ad,
+                campaign: campaign.id,
+                account: campaign.account,
+                user: user.id,
+                at,
+                clearing_cpm,
+            })
+        }
+        AuctionOutcome::LostToBackground | AuctionOutcome::Unfilled => None,
+    };
+    Decision { outcome, pending }
+}
+
+/// The **apply** half: charges billing, bumps the frequency counter, and
+/// records the impression. Returns the per-impression price charged.
+pub fn apply_impression(
+    pending: &PendingImpression,
+    billing: &mut BillingLedger,
+    freq: &mut FrequencyCaps,
+    log: &mut ImpressionLog,
+) -> Money {
+    let price = billing.charge_impression(
+        pending.account,
+        pending.campaign,
+        pending.ad,
+        pending.clearing_cpm,
+    );
+    freq.bump(pending.ad, pending.user);
+    log.record(Impression {
+        ad: pending.ad,
+        campaign: pending.campaign,
+        account: pending.account,
+        user: pending.user,
+        at: pending.at,
+        price,
+    });
+    price
+}
+
+/// Processes one impression opportunity end to end (decide + apply
+/// immediately, against live state). Returns the auction outcome (the
+/// caller can ignore it; all bookkeeping is done here).
+#[allow(clippy::too_many_arguments)]
+pub fn handle_opportunity<R: Rng>(
     user: &UserProfile,
     at: SimTime,
     campaigns: &CampaignStore,
@@ -127,34 +227,30 @@ pub fn handle_opportunity(
     log: &mut ImpressionLog,
     stats: &mut DeliveryStats,
     auction_cfg: &AuctionConfig,
-    rng: &mut StdRng,
+    rng: &mut R,
 ) -> AuctionOutcome {
     stats.opportunities += 1;
-    let bids = eligible_bids(user, campaigns, audiences, suspended, billing, freq);
-    let outcome = run_auction(&bids, auction_cfg, rng);
-    match outcome {
-        AuctionOutcome::Won { ad, clearing_cpm } => {
+    let decision = decide_opportunity(
+        user,
+        at,
+        campaigns,
+        audiences,
+        suspended,
+        &*billing,
+        freq,
+        auction_cfg,
+        rng,
+    );
+    match decision.outcome {
+        AuctionOutcome::Won { .. } => {
             stats.won += 1;
-            // The ad and campaign must exist: they produced a bid above.
-            let campaign = campaigns
-                .ad(ad)
-                .and_then(|a| campaigns.campaign(a.campaign))
-                .expect("winning ad resolves");
-            let price = billing.charge_impression(campaign.account, campaign.id, ad, clearing_cpm);
-            freq.bump(ad, user.id);
-            log.record(Impression {
-                ad,
-                campaign: campaign.id,
-                account: campaign.account,
-                user: user.id,
-                at,
-                price,
-            });
+            let pending = decision.pending.expect("win carries an impression");
+            apply_impression(&pending, billing, freq, log);
         }
         AuctionOutcome::LostToBackground => stats.lost_to_background += 1,
         AuctionOutcome::Unfilled => stats.unfilled += 1,
     }
-    outcome
+    decision.outcome
 }
 
 #[cfg(test)]
@@ -165,6 +261,7 @@ mod tests {
     use crate::targeting::{TargetingExpr, TargetingSpec};
     use adsim_types::rng::substream;
     use adsim_types::{AttributeId, Money};
+    use rand::rngs::StdRng;
 
     struct Rig {
         profiles: ProfileStore,

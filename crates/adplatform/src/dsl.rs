@@ -181,10 +181,7 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
     Ok(tokens)
 }
 
-fn parse_word(
-    word: &str,
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-) -> Result<Token> {
+fn parse_word(word: &str, chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Token> {
     match word {
         "AND" => return Ok(Token::And),
         "OR" => return Ok(Token::Or),
@@ -347,7 +344,9 @@ impl Parser<'_> {
                 Ok(TargetingExpr::WithinRadius { lat, lon, km })
             }
             Some(Token::Audience(id)) => Ok(TargetingExpr::InAudience(AudienceId(id))),
-            other => Err(Error::invalid(format!("expected a targeting term, got {other:?}"))),
+            other => Err(Error::invalid(format!(
+                "expected a targeting term, got {other:?}"
+            ))),
         }
     }
 }
@@ -438,16 +437,16 @@ mod tests {
             ("everyone", TargetingExpr::Everyone),
             ("age 18-65", TargetingExpr::AgeRange { min: 18, max: 65 }),
             ("gender:male", TargetingExpr::GenderIs(Gender::Male)),
-            ("state:'New York'", TargetingExpr::InState("New York".into())),
+            (
+                "state:'New York'",
+                TargetingExpr::InState("New York".into()),
+            ),
             ("zip:02115", TargetingExpr::InZip("02115".into())),
             (
                 "visited-zip:10001",
                 TargetingExpr::VisitedZip("10001".into()),
             ),
-            (
-                "audience:7",
-                TargetingExpr::InAudience(AudienceId(7)),
-            ),
+            ("audience:7", TargetingExpr::InAudience(AudienceId(7))),
             (
                 "radius:42.36,-71.06,25",
                 TargetingExpr::WithinRadius {

@@ -98,8 +98,8 @@
 #![warn(missing_docs)]
 
 pub mod attributes;
-pub mod audience;
 pub mod auction;
+pub mod audience;
 pub mod billing;
 pub mod campaign;
 pub mod clicks;

@@ -122,7 +122,9 @@ mod tests {
     #[test]
     fn unknown_pixel_rejected() {
         let mut reg = PixelRegistry::new();
-        let err = reg.record(PixelId(9), UserId(1), SimTime(0)).expect_err("no pixel");
+        let err = reg
+            .record(PixelId(9), UserId(1), SimTime(0))
+            .expect_err("no pixel");
         assert_eq!(err, Error::not_found("pixel", PixelId(9)));
         assert!(reg.get(PixelId(9)).is_err());
         assert!(reg.is_empty());

@@ -14,11 +14,13 @@
 //! advertisers ever names an individual user.
 
 use crate::attributes::AttributeCatalog;
-use crate::audience::{AudienceStore, ReachEstimate};
 use crate::auction::AuctionConfig;
-use crate::billing::{BillingLedger, Invoice};
+use crate::audience::{AudienceStore, ReachEstimate};
+use crate::billing::{BillingLedger, BudgetView, Invoice};
 use crate::campaign::{AdCreative, AdStatus, CampaignStore};
-use crate::delivery::{handle_opportunity, DeliveryStats, FrequencyCaps};
+use crate::delivery::{
+    apply_impression, decide_opportunity, Decision, DeliveryStats, FrequencyCaps, PendingImpression,
+};
 use crate::enforcement::{scan_account, EnforcementConfig, SuspicionReport};
 use crate::pages::PageRegistry;
 use crate::pixel::PixelRegistry;
@@ -31,7 +33,7 @@ use adsim_types::hash::Digest;
 use adsim_types::rng::SeedSource;
 use adsim_types::{
     AccountId, AdId, AdvertiserId, AudienceId, CampaignId, Error, Money, PixelId, Result, SimClock,
-    UserId,
+    SimTime, UserId,
 };
 use rand::rngs::StdRng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -242,28 +244,33 @@ impl Platform {
         self.require_active(account)?;
         let profiles = &self.profiles;
         let attributes = &self.attributes;
-        self.audiences.create_intent_audience(account, phrases, |phrases| {
-            let needles: Vec<String> = phrases.iter().map(|p| p.to_lowercase()).collect();
-            profiles
-                .iter()
-                .filter(|user| {
-                    user.attributes.iter().any(|&id| {
-                        attributes
-                            .get(id)
-                            .map(|d| {
-                                let name = d.name.to_lowercase();
-                                needles.iter().any(|n| name.contains(n.as_str()))
-                            })
-                            .unwrap_or(false)
+        self.audiences
+            .create_intent_audience(account, phrases, |phrases| {
+                let needles: Vec<String> = phrases.iter().map(|p| p.to_lowercase()).collect();
+                profiles
+                    .iter()
+                    .filter(|user| {
+                        user.attributes.iter().any(|&id| {
+                            attributes
+                                .get(id)
+                                .map(|d| {
+                                    let name = d.name.to_lowercase();
+                                    needles.iter().any(|n| name.contains(n.as_str()))
+                                })
+                                .unwrap_or(false)
+                        })
                     })
-                })
-                .map(|user| user.id)
-                .collect()
-        })
+                    .map(|user| user.id)
+                    .collect()
+            })
     }
 
     /// Creates a tracking pixel the account can embed on external sites.
-    pub fn create_pixel(&mut self, account: AccountId, label: impl Into<String>) -> Result<PixelId> {
+    pub fn create_pixel(
+        &mut self,
+        account: AccountId,
+        label: impl Into<String>,
+    ) -> Result<PixelId> {
         self.require_active(account)?;
         Ok(self.pixels.create(account, label))
     }
@@ -301,7 +308,9 @@ impl Platform {
         budget: Option<Money>,
     ) -> Result<CampaignId> {
         self.require_active(account)?;
-        Ok(self.campaigns.create_campaign(account, name, bid_cpm, budget))
+        Ok(self
+            .campaigns
+            .create_campaign(account, name, bid_cpm, budget))
     }
 
     /// Submits an ad: the creative passes through policy review and the ad
@@ -358,7 +367,11 @@ impl Platform {
     }
 
     /// Advertiser-visible reach estimate for an audience (owner only).
-    pub fn estimate_reach(&self, account: AccountId, audience: AudienceId) -> Result<ReachEstimate> {
+    pub fn estimate_reach(
+        &self,
+        account: AccountId,
+        audience: AudienceId,
+    ) -> Result<ReachEstimate> {
         if self.audiences.get(audience)?.owner != account {
             return Err(Error::invalid("reach requested by non-owner account"));
         }
@@ -408,6 +421,12 @@ impl Platform {
     /// update.
     pub fn user_fires_pixel(&mut self, user: UserId, pixel: PixelId) -> Result<()> {
         let at = self.clock.now();
+        self.apply_pixel_fire(user, pixel, at)
+    }
+
+    /// Records a pixel fire at an explicit instant (the engine replays
+    /// batched shard events through this, each carrying its own timestamp).
+    pub fn apply_pixel_fire(&mut self, user: UserId, pixel: PixelId, at: SimTime) -> Result<()> {
         self.profiles.get(user)?;
         self.pixels.record(pixel, user, at)?;
         self.audiences.record_pixel_visit(pixel, user);
@@ -415,25 +434,76 @@ impl Platform {
     }
 
     /// A user generates one impression opportunity (they are browsing and
-    /// an ad slot renders). Runs the full auction/delivery path.
+    /// an ad slot renders). Runs the full auction/delivery path: decide
+    /// against live state, apply immediately.
     pub fn browse(&mut self, user: UserId) -> Result<crate::auction::AuctionOutcome> {
         // Config is the source of truth for the cap; keep the live counter
         // in sync so experiments can adjust it mid-run.
         self.freq.cap = self.config.frequency_cap;
+        let at = self.clock.now();
         let profile = self.profiles.get(user)?.clone();
-        Ok(handle_opportunity(
+        self.stats.opportunities += 1;
+        let decision = decide_opportunity(
             &profile,
-            self.clock.now(),
+            at,
             &self.campaigns,
             &self.audiences,
             &self.suspended,
-            &mut self.billing,
-            &mut self.freq,
-            &mut self.log,
-            &mut self.stats,
+            &self.billing,
+            &self.freq,
             &self.config.auction,
             &mut self.rng_auction,
+        );
+        match decision.outcome {
+            crate::auction::AuctionOutcome::Won { .. } => {
+                self.stats.won += 1;
+                let pending = decision.pending.expect("win carries an impression");
+                apply_impression(&pending, &mut self.billing, &mut self.freq, &mut self.log);
+            }
+            crate::auction::AuctionOutcome::LostToBackground => {
+                self.stats.lost_to_background += 1;
+            }
+            crate::auction::AuctionOutcome::Unfilled => self.stats.unfilled += 1,
+        }
+        Ok(decision.outcome)
+    }
+
+    /// The **read-only** half of [`Platform::browse`], for callers that own
+    /// their mutable delivery state: eligibility and the auction run
+    /// against `&self` (catalog, campaigns, audiences, suspensions) plus
+    /// the caller's budget view, frequency caps, and RNG. Nothing on the
+    /// platform is mutated — the engine's shard threads share one
+    /// `&Platform` and fold the returned impressions in later via
+    /// [`Platform::apply_impression`].
+    pub fn decide_browse<B: BudgetView, R: rand::Rng>(
+        &self,
+        user: UserId,
+        at: SimTime,
+        budget: &B,
+        freq: &FrequencyCaps,
+        rng: &mut R,
+    ) -> Result<Decision> {
+        let profile = self.profiles.get(user)?;
+        Ok(decide_opportunity(
+            profile,
+            at,
+            &self.campaigns,
+            &self.audiences,
+            &self.suspended,
+            budget,
+            freq,
+            &self.config.auction,
+            rng,
         ))
+    }
+
+    /// The **write** half of [`Platform::browse`]: charges billing, bumps
+    /// the (global) frequency counter, and records the impression in the
+    /// platform log. Counterpart of [`Platform::decide_browse`]; delivery
+    /// statistics are *not* touched — batch callers account for those
+    /// themselves, per shard.
+    pub fn apply_impression(&mut self, pending: &PendingImpression) -> Money {
+        apply_impression(pending, &mut self.billing, &mut self.freq, &mut self.log)
     }
 
     /// Onboards a data-broker feed: every user's hashed PII is matched
@@ -447,8 +517,16 @@ impl Platform {
             let (emails, phones) = {
                 let profile = self.profiles.get(user).expect("listed user exists");
                 (
-                    profile.hashed_emails().into_iter().copied().collect::<Vec<_>>(),
-                    profile.hashed_phones().into_iter().copied().collect::<Vec<_>>(),
+                    profile
+                        .hashed_emails()
+                        .into_iter()
+                        .copied()
+                        .collect::<Vec<_>>(),
+                    profile
+                        .hashed_phones()
+                        .into_iter()
+                        .copied()
+                        .collect::<Vec<_>>(),
                 )
             };
             let outcome = feed.match_user(emails.first(), phones.first());
@@ -668,7 +746,12 @@ mod tests {
         let acct = p.open_account(adv).expect("account");
         let user = p.register_user(28, Gender::Female, "Ohio", "43004");
         let digest = p
-            .attach_user_pii(user, PiiKind::Email, "a@example.com", PiiProvenance::UserProvided)
+            .attach_user_pii(
+                user,
+                PiiKind::Email,
+                "a@example.com",
+                PiiProvenance::UserProvided,
+            )
             .expect("attach");
         // Only 1 match < 20 minimum.
         assert!(matches!(
@@ -681,8 +764,13 @@ mod tests {
     fn broker_feed_onboarding_grants_partner_attributes() {
         let mut p = small_platform();
         let user = p.register_user(45, Gender::Male, "Vermont", "05401");
-        p.attach_user_pii(user, PiiKind::Email, "rich@example.com", PiiProvenance::UserProvided)
-            .expect("attach");
+        p.attach_user_pii(
+            user,
+            PiiKind::Email,
+            "rich@example.com",
+            PiiProvenance::UserProvided,
+        )
+        .expect("attach");
         let mut feed = treads_broker::BrokerFeed::new();
         let mut record = treads_broker::BrokerRecord::from_pii("rich@example.com", None);
         record.assert_attribute("Net worth: $2M+");
@@ -782,7 +870,9 @@ mod tests {
         let adv = p.register_advertiser("a");
         let acct = p.open_account(adv).expect("acct");
         p.suspended.insert(acct);
-        assert!(p.create_campaign(acct, "c", Money::dollars(2), None).is_err());
+        assert!(p
+            .create_campaign(acct, "c", Money::dollars(2), None)
+            .is_err());
         assert!(p.create_pixel(acct, "px").is_err());
         assert!(p.create_page(acct, "pg").is_err());
     }

@@ -53,7 +53,9 @@ const ASSERTION_PHRASES: [&str; 8] = [
 ];
 
 /// Second-person markers that turn an attribute mention into an assertion.
-const SECOND_PERSON: [&str; 6] = ["you are", "you're", "your ", "you have", "you live", "you were"];
+const SECOND_PERSON: [&str; 6] = [
+    "you are", "you're", "your ", "you have", "you live", "you were",
+];
 
 impl PolicyEngine {
     /// Builds the engine, deriving attribute vocabulary from the catalog.
@@ -106,9 +108,7 @@ impl PolicyEngine {
                 match self.strictness {
                     Strictness::Strict => {
                         return Err(Error::PolicyViolation {
-                            reason: format!(
-                                "mentions targeting-attribute vocabulary: \"{word}\""
-                            ),
+                            reason: format!("mentions targeting-attribute vocabulary: \"{word}\""),
                         });
                     }
                     Strictness::Standard if second_person => {
@@ -246,7 +246,10 @@ mod tests {
     fn benign_ads_pass() {
         let e = engine(Strictness::Standard);
         for (h, b) in [
-            ("Fresh coffee, delivered", "Try our beans. 20% off this week."),
+            (
+                "Fresh coffee, delivered",
+                "Try our beans. 20% off this week.",
+            ),
             ("Sneaker sale", "All sizes. Free returns."),
             ("Local news app", "Stay informed about what matters."),
         ] {

@@ -165,7 +165,9 @@ impl ProfileStore {
 
     /// Looks up a user.
     pub fn get(&self, id: UserId) -> Result<&UserProfile> {
-        self.users.get(&id).ok_or_else(|| Error::not_found("user", id))
+        self.users
+            .get(&id)
+            .ok_or_else(|| Error::not_found("user", id))
     }
 
     /// Mutable lookup.
@@ -264,7 +266,9 @@ mod tests {
     fn attribute_grants() {
         let (mut store, id) = store_with_user();
         store.grant_attribute(id, AttributeId(5)).expect("grant");
-        store.grant_attribute(id, AttributeId(5)).expect("idempotent");
+        store
+            .grant_attribute(id, AttributeId(5))
+            .expect("idempotent");
         let u = store.get(id).expect("exists");
         assert!(u.has_attribute(AttributeId(5)));
         assert!(!u.has_attribute(AttributeId(6)));
@@ -275,7 +279,12 @@ mod tests {
     fn pii_attach_and_match() {
         let (mut store, id) = store_with_user();
         let digest = store
-            .attach_pii(id, PiiKind::Email, "Alice@Example.com ", PiiProvenance::UserProvided)
+            .attach_pii(
+                id,
+                PiiKind::Email,
+                "Alice@Example.com ",
+                PiiProvenance::UserProvided,
+            )
             .expect("attach");
         // Matching is on normalized hashes.
         assert_eq!(store.match_pii(&hash_pii("alice@example.com")), &[id]);
@@ -288,10 +297,20 @@ mod tests {
     fn pii_attach_is_idempotent_per_digest() {
         let (mut store, id) = store_with_user();
         store
-            .attach_pii(id, PiiKind::Email, "a@example.com", PiiProvenance::UserProvided)
+            .attach_pii(
+                id,
+                PiiKind::Email,
+                "a@example.com",
+                PiiProvenance::UserProvided,
+            )
             .expect("attach");
         store
-            .attach_pii(id, PiiKind::Email, "A@EXAMPLE.COM", PiiProvenance::ContactSync)
+            .attach_pii(
+                id,
+                PiiKind::Email,
+                "A@EXAMPLE.COM",
+                PiiProvenance::ContactSync,
+            )
             .expect("attach dup");
         let u = store.get(id).expect("exists");
         assert_eq!(u.pii.len(), 1, "same normalized digest stored once");
@@ -304,7 +323,12 @@ mod tests {
         // security is still used for ad targeting.
         let (mut store, id) = store_with_user();
         store
-            .attach_pii(id, PiiKind::Phone, "+1-617-555-0100", PiiProvenance::TwoFactor)
+            .attach_pii(
+                id,
+                PiiKind::Phone,
+                "+1-617-555-0100",
+                PiiProvenance::TwoFactor,
+            )
             .expect("attach");
         assert_eq!(store.match_pii(&hash_pii("+1-617-555-0100")), &[id]);
         let u = store.get(id).expect("exists");
@@ -320,10 +344,20 @@ mod tests {
         let a = store.register(40, Gender::Male, "Ohio", "43004");
         let b = store.register(38, Gender::Female, "Ohio", "43004");
         store
-            .attach_pii(a, PiiKind::Phone, "+1-614-555-0199", PiiProvenance::UserProvided)
+            .attach_pii(
+                a,
+                PiiKind::Phone,
+                "+1-614-555-0199",
+                PiiProvenance::UserProvided,
+            )
             .expect("attach a");
         store
-            .attach_pii(b, PiiKind::Phone, "+1-614-555-0199", PiiProvenance::ContactSync)
+            .attach_pii(
+                b,
+                PiiKind::Phone,
+                "+1-614-555-0199",
+                PiiProvenance::ContactSync,
+            )
             .expect("attach b");
         assert_eq!(store.match_pii(&hash_pii("+1-614-555-0199")), &[a, b]);
     }
@@ -341,7 +375,10 @@ mod tests {
         let (mut store, id) = store_with_user();
         assert!(store.get(id).expect("exists").coordinates.is_none());
         store.set_coordinates(id, 42.36, -71.06).expect("set");
-        assert_eq!(store.get(id).expect("exists").coordinates, Some((42.36, -71.06)));
+        assert_eq!(
+            store.get(id).expect("exists").coordinates,
+            Some((42.36, -71.06))
+        );
     }
 
     #[test]

@@ -264,4 +264,3 @@ mod proptests {
         }
     }
 }
-

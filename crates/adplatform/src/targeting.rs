@@ -289,7 +289,9 @@ mod tests {
         // exclude attribute holders.
         let mut store = ProfileStore::new();
         let with_attr = store.register(30, Gender::Female, "Utah", "84101");
-        store.grant_attribute(with_attr, AttributeId(3)).expect("grant");
+        store
+            .grant_attribute(with_attr, AttributeId(3))
+            .expect("grant");
         let without_attr = store.register(30, Gender::Female, "Utah", "84101");
 
         let resolver = SetResolver(
@@ -318,7 +320,12 @@ mod tests {
         let spec = TargetingSpec::including_excluding(expr, TargetingExpr::Attr(AttributeId(4)));
         assert_eq!(
             spec.referenced_attributes(),
-            vec![AttributeId(1), AttributeId(2), AttributeId(3), AttributeId(4)]
+            vec![
+                AttributeId(1),
+                AttributeId(2),
+                AttributeId(3),
+                AttributeId(4)
+            ]
         );
         assert_eq!(spec.referenced_audiences(), vec![AudienceId(9)]);
     }
@@ -350,12 +357,22 @@ mod tests {
         let mut store = ProfileStore::new();
         // Boston City Hall.
         let boston = store.register(30, Gender::Male, "Massachusetts", "02201");
-        store.set_coordinates(boston, 42.3601, -71.0589).expect("set");
+        store
+            .set_coordinates(boston, 42.3601, -71.0589)
+            .expect("set");
         // Unlocated user.
         let unlocated = store.register(30, Gender::Male, "Massachusetts", "02201");
         // 10 km around Cambridge matches Boston; 10 km around NYC does not.
-        let near = TargetingExpr::WithinRadius { lat: 42.3736, lon: -71.1097, km: 10.0 };
-        let far = TargetingExpr::WithinRadius { lat: 40.7128, lon: -74.0060, km: 10.0 };
+        let near = TargetingExpr::WithinRadius {
+            lat: 42.3736,
+            lon: -71.1097,
+            km: 10.0,
+        };
+        let far = TargetingExpr::WithinRadius {
+            lat: 40.7128,
+            lon: -74.0060,
+            km: 10.0,
+        };
         assert!(near.matches(store.get(boston).expect("u"), &empty_resolver()));
         assert!(!far.matches(store.get(boston).expect("u"), &empty_resolver()));
         // Users without coordinates never match.

@@ -68,7 +68,10 @@ impl Explanation {
 /// The user-facing "ad preferences" page: every attribute the platform
 /// holds about the user **except** partner categories, which real platforms
 /// were shown to hide. Treads exist to close exactly this gap.
-pub fn ad_preferences<'c>(user: &UserProfile, catalog: &'c AttributeCatalog) -> Vec<&'c crate::attributes::AttributeDef> {
+pub fn ad_preferences<'c>(
+    user: &UserProfile,
+    catalog: &'c AttributeCatalog,
+) -> Vec<&'c crate::attributes::AttributeDef> {
     user.attributes
         .iter()
         .filter_map(|&id| catalog.get(id))
@@ -153,8 +156,7 @@ pub fn explain_ad(
     }
 
     Explanation::Generic {
-        text: "You're seeing this ad because the advertiser wants to reach people like you."
-            .into(),
+        text: "You're seeing this ad because the advertiser wants to reach people like you.".into(),
     }
 }
 
@@ -350,8 +352,13 @@ mod tests {
         let (store, id) = user_with(&[]);
         let user = store.get(id).expect("user");
         let audiences = AudienceStore::new(20, 1000, 100);
-        let ad = ad_with(TargetingSpec::including(TargetingExpr::Attr(AttributeId(1))));
-        assert_eq!(explanation_completeness(&ad, user, &catalog, &audiences), 1.0);
+        let ad = ad_with(TargetingSpec::including(TargetingExpr::Attr(AttributeId(
+            1,
+        ))));
+        assert_eq!(
+            explanation_completeness(&ad, user, &catalog, &audiences),
+            1.0
+        );
         assert_eq!(preferences_completeness(user, &catalog), 1.0);
     }
 }

@@ -195,7 +195,10 @@ mod tests {
     fn pii_normalization() {
         // Platforms match on normalized PII: case and surrounding
         // whitespace must not change the digest.
-        assert_eq!(hash_pii("Alice@Example.COM "), hash_pii("alice@example.com"));
+        assert_eq!(
+            hash_pii("Alice@Example.COM "),
+            hash_pii("alice@example.com")
+        );
         assert_ne!(hash_pii("alice@example.com"), hash_pii("bob@example.com"));
     }
 

@@ -240,4 +240,3 @@ mod proptests {
         }
     }
 }
-

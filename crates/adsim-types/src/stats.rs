@@ -251,7 +251,11 @@ pub fn benjamini_hochberg(p_values: &[f64], q: f64) -> Vec<bool> {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&i, &j| p_values[i].partial_cmp(&p_values[j]).expect("no NaN p-values"));
+    order.sort_by(|&i, &j| {
+        p_values[i]
+            .partial_cmp(&p_values[j])
+            .expect("no NaN p-values")
+    });
     // Find the largest k with p_(k) <= (k/m) q.
     let mut cutoff = None;
     for (rank, &idx) in order.iter().enumerate() {

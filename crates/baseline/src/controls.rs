@@ -78,7 +78,11 @@ pub fn spawn_controls<R: Rng>(
     for i in 0..design.accounts {
         let user = platform.register_user(
             25 + (i % 40) as u8,
-            if i % 2 == 0 { Gender::Female } else { Gender::Male },
+            if i % 2 == 0 {
+                Gender::Female
+            } else {
+                Gender::Male
+            },
             "California",
             "94103",
         );

@@ -142,10 +142,7 @@ impl Accuracy {
 }
 
 /// Scores inferences against the true ad → attribute map.
-pub fn score(
-    inferred: &[InferredTargeting],
-    truth: &BTreeMap<AdId, AttributeId>,
-) -> Accuracy {
+pub fn score(inferred: &[InferredTargeting], truth: &BTreeMap<AdId, AttributeId>) -> Accuracy {
     let mut tp = 0;
     let mut fp = 0;
     for inf in inferred {
@@ -155,10 +152,8 @@ pub fn score(
             fp += 1;
         }
     }
-    let found: std::collections::BTreeSet<(AdId, AttributeId)> = inferred
-        .iter()
-        .map(|i| (i.ad, i.attribute))
-        .collect();
+    let found: std::collections::BTreeSet<(AdId, AttributeId)> =
+        inferred.iter().map(|i| (i.ad, i.attribute)).collect();
     let fnn = truth
         .iter()
         .filter(|(&ad, &attr)| !found.contains(&(ad, attr)))
@@ -238,8 +233,7 @@ mod tests {
 
     #[test]
     fn enough_controls_recover_targeting() {
-        let (inferred, truth) =
-            pipeline(4, 48, Correction::Bonferroni { alpha: 0.05 }, 1);
+        let (inferred, truth) = pipeline(4, 48, Correction::Bonferroni { alpha: 0.05 }, 1);
         let acc = score(&inferred, &truth);
         assert_eq!(acc.false_positives, 0, "{inferred:?}");
         assert!(
@@ -253,8 +247,7 @@ mod tests {
     fn too_few_controls_lack_power() {
         // With 6 accounts the chi-square tests cannot reach Bonferroni
         // significance across 4x4 hypotheses.
-        let (inferred, truth) =
-            pipeline(4, 6, Correction::Bonferroni { alpha: 0.05 }, 2);
+        let (inferred, truth) = pipeline(4, 6, Correction::Bonferroni { alpha: 0.05 }, 2);
         let acc = score(&inferred, &truth);
         assert!(
             acc.recall() < 0.5,

@@ -56,7 +56,13 @@ fn bench_win_rate_vs_bid(c: &mut Criterion) {
     }];
     c.bench_function("auction/single_bid_10cpm", |b| {
         let mut rng = substream(9, "bench-10cpm");
-        b.iter(|| run_auction(black_box(&bids), black_box(&AuctionConfig::default()), &mut rng))
+        b.iter(|| {
+            run_auction(
+                black_box(&bids),
+                black_box(&AuctionConfig::default()),
+                &mut rng,
+            )
+        })
     });
 }
 

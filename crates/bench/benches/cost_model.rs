@@ -4,8 +4,8 @@
 //! characterizes the model's evaluation cost and sweeps the series the
 //! paper reports.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use adsim_types::Money;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use treads_core::cost;
 
 fn bench_per_user_cost(c: &mut Criterion) {
@@ -49,5 +49,10 @@ fn bench_projection(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_per_user_cost, bench_multi_value_plans, bench_projection);
+criterion_group!(
+    benches,
+    bench_per_user_cost,
+    bench_multi_value_plans,
+    bench_projection
+);
 criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Engine bench: the sharded parallel engine end to end — session
+//! generation, parallel shard ticks, and the deterministic merge — on a
+//! small delivery-heavy population, at one and four shards.
+
+use adplatform::campaign::AdCreative;
+use adplatform::profile::Gender;
+use adplatform::targeting::{TargetingExpr, TargetingSpec};
+use adplatform::{Platform, PlatformConfig};
+use adsim_types::{Money, UserId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::BTreeSet;
+use treads_engine::{Engine, EngineConfig};
+use websim::{SessionConfig, SiteRegistry};
+
+const USERS: u64 = 2_000;
+
+fn build() -> (Platform, SiteRegistry, Vec<UserId>) {
+    let mut p = Platform::us_2018(PlatformConfig::facebook_like(42));
+    let adv = p.register_advertiser("bench-advertiser");
+    let acct = p.open_account(adv).expect("account");
+    let camp = p
+        .create_campaign(acct, "bench", Money::dollars(3), None)
+        .expect("campaign");
+    p.submit_ad(
+        camp,
+        AdCreative::text("bench", "engine bench workload"),
+        TargetingSpec::including(TargetingExpr::Everyone),
+    )
+    .expect("ad");
+    let users: Vec<UserId> = (0..USERS)
+        .map(|i| p.register_user(18 + (i % 60) as u8, Gender::Female, "Ohio", "43004"))
+        .collect();
+    let mut sites = SiteRegistry::new();
+    sites.create("feed.example", 2);
+    (p, sites, users)
+}
+
+fn bench_engine_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/run");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(USERS));
+    for shards in [1usize, 4] {
+        group.bench_function(format!("{USERS}_users_{shards}_shards"), |b| {
+            b.iter(|| {
+                let (mut p, sites, users) = build();
+                let engine = Engine::new(EngineConfig {
+                    shards,
+                    session: SessionConfig {
+                        views_per_user_per_day: 2.0,
+                        days: 1,
+                    },
+                    seed: 42,
+                    ..EngineConfig::default()
+                });
+                black_box(engine.run(&mut p, &sites, &users, &BTreeSet::new()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_run);
+criterion_main!(benches);

@@ -14,7 +14,9 @@ fn bench_expression_shapes(c: &mut Criterion) {
     let mut profiles = ProfileStore::new();
     let user = profiles.register(33, Gender::Female, "Ohio", "43004");
     for i in 0..120u64 {
-        profiles.grant_attribute(user, AttributeId(i)).expect("user");
+        profiles
+            .grant_attribute(user, AttributeId(i))
+            .expect("user");
     }
     let profile = profiles.get(user).expect("user").clone();
     let audiences = AudienceStore::new(20, 1000, 100);

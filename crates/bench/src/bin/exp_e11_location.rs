@@ -50,7 +50,9 @@ fn main() {
     for visited in patterns {
         let u = platform.register_user(33, Gender::Unspecified, "Massachusetts", "02139");
         for &z in visited {
-            platform.record_user_location(u, &zips[z]).expect("user exists");
+            platform
+                .record_user_location(u, &zips[z])
+                .expect("user exists");
         }
         platform.user_likes_page(u, page).expect("user exists");
         users.push(u);
@@ -79,7 +81,12 @@ fn main() {
 
     let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
     section("What each user learned (and paid)");
-    let mut t = Table::new(["user", "true recent ZIPs", "revealed ZIPs", "impressions billed"]);
+    let mut t = Table::new([
+        "user",
+        "true recent ZIPs",
+        "revealed ZIPs",
+        "impressions billed",
+    ]);
     let mut all_exact = true;
     let mut billing_matches = true;
     for (i, &u) in users.iter().enumerate() {

@@ -24,7 +24,10 @@ use websim::cookies::{CookieJar, CookiePolicy};
 
 fn main() {
     let seed = treads_bench::experiment_seed();
-    banner("E12", "Click learning — advertiser-side knowledge and its disclosure");
+    banner(
+        "E12",
+        "Click learning — advertiser-side knowledge and its disclosure",
+    );
 
     let mut platform = Platform::us_2018(PlatformConfig {
         seed,

@@ -38,9 +38,8 @@ fn run_on(platform_label: &'static str, config: PlatformConfig) -> Outcome {
     platform.config.auction.competitor_rate = 0.0;
     platform.config.auction.reserve_cpm = Money::dollars(10);
     platform.config.frequency_cap = 1;
-    let mut provider =
-        TransparencyProvider::register(&mut platform, "KYD", 7, Money::dollars(10))
-            .expect("fresh platform accepts provider");
+    let mut provider = TransparencyProvider::register(&mut platform, "KYD", 7, Money::dollars(10))
+        .expect("fresh platform accepts provider");
     // Anonymous pixel opt-in: portable to every platform regardless of
     // audience minimums (pixel audiences have none).
     let (pixel, audience) = provider

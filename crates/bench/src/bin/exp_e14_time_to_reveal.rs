@@ -109,8 +109,11 @@ fn run_point(seed: u64, views_per_day: f64, bid_dollars: i64) -> SweepPoint {
             .copied()
             .filter(|e| e.at() >= lo && e.at() < hi)
             .collect();
-        let report =
-            SessionSchedule::from_events(day_events).drive(&mut s.platform, &sites, &mut extensions);
+        let report = SessionSchedule::from_events(day_events).drive(
+            &mut s.platform,
+            &sites,
+            &mut extensions,
+        );
         total_impressions += report.impressions;
         total_views += report.page_views;
         for &u in &s.opted_in {

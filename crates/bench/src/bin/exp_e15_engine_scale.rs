@@ -1,0 +1,244 @@
+//! E15 — engine scale: sharded parallel simulation throughput.
+//!
+//! The single-threaded driver tops out around the tens of thousands of
+//! users the cohort experiments use. This experiment exercises
+//! `treads-engine` — the sharded, deterministic parallel engine — at shard
+//! counts {1, 2, 4, 8} on one population, checks the shard counts agree
+//! *exactly* (same invoiced spend, same impression log length), then runs
+//! a million-user population end to end.
+//!
+//! Emits `BENCH_engine.json` with the measured throughput. Speedup is
+//! whatever the hardware gives: on a single-core container the 8-shard
+//! run cannot beat the 1-shard run, and the JSON records the honest
+//! numbers next to the thread count so readers can judge.
+//!
+//! Knobs: `TREADS_SEED` (seed), `TREADS_ENGINE_SWEEP_USERS` (sweep
+//! population, default 20 000), `TREADS_ENGINE_BIG_USERS` (big run
+//! population, default 1 000 000; `0` skips it).
+
+use adplatform::campaign::AdCreative;
+use adplatform::profile::Gender;
+use adplatform::targeting::{TargetingExpr, TargetingSpec};
+use adplatform::{Platform, PlatformConfig};
+use adsim_types::{Money, UserId};
+use std::collections::BTreeSet;
+use std::time::Instant;
+use treads_bench::{banner, section, verdict, Table};
+use treads_engine::{Engine, EngineConfig, EngineReport};
+use websim::{SessionConfig, SiteRegistry};
+
+/// A delivery-heavy platform: `n` users, three always-on campaigns, two
+/// sites (one carrying a retargeting pixel).
+fn build(n: u64, seed: u64) -> (Platform, SiteRegistry, Vec<UserId>) {
+    let mut p = Platform::us_2018(PlatformConfig::facebook_like(seed));
+    let adv = p.register_advertiser("scale-advertiser");
+    let acct = p.open_account(adv).expect("account");
+    for (name, cpm) in [("brand", 2), ("promo", 3), ("retarget", 5)] {
+        let camp = p
+            .create_campaign(acct, name, Money::dollars(cpm), None)
+            .expect("campaign");
+        p.submit_ad(
+            camp,
+            AdCreative::text(name, "engine-scale workload"),
+            TargetingSpec::including(TargetingExpr::Everyone),
+        )
+        .expect("ad");
+    }
+    let users: Vec<UserId> = (0..n)
+        .map(|i| {
+            p.register_user(
+                18 + (i % 60) as u8,
+                if i % 2 == 0 {
+                    Gender::Female
+                } else {
+                    Gender::Male
+                },
+                "Ohio",
+                "43004",
+            )
+        })
+        .collect();
+    let mut sites = SiteRegistry::new();
+    sites.create("feed.example", 2);
+    let shop = sites.create("shop.example", 1);
+    let pixel = p.create_pixel(acct, "shop pixel").expect("pixel");
+    sites.embed_pixel(shop, pixel);
+    (p, sites, users)
+}
+
+struct Measured {
+    shards: usize,
+    elapsed_s: f64,
+    report: EngineReport,
+    invoiced: Money,
+    log_len: usize,
+}
+
+fn measure(n: u64, seed: u64, shards: usize, session: SessionConfig) -> Measured {
+    let (mut p, sites, users) = build(n, seed);
+    let engine = Engine::new(EngineConfig {
+        shards,
+        session,
+        seed,
+        ..EngineConfig::default()
+    });
+    let start = Instant::now();
+    let outcome = engine.run(&mut p, &sites, &users, &BTreeSet::new());
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let account = p
+        .campaigns
+        .campaigns()
+        .next()
+        .expect("campaigns exist")
+        .account;
+    let invoiced = p.billing.invoice(account).gross;
+    Measured {
+        shards,
+        elapsed_s,
+        report: outcome.report,
+        invoiced,
+        log_len: p.log.all().len(),
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let seed = treads_bench::experiment_seed();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    banner(
+        "E15",
+        "Engine scale — sharded deterministic parallel simulation",
+    );
+    println!("  hardware threads available: {threads}");
+
+    section("Shard sweep (same seed, same population)");
+    let sweep_users = env_u64("TREADS_ENGINE_SWEEP_USERS", 20_000);
+    let sweep_session = SessionConfig {
+        views_per_user_per_day: 4.0,
+        days: 2,
+    };
+    let mut sweep: Vec<Measured> = Vec::new();
+    let mut t = Table::new([
+        "shards",
+        "elapsed s",
+        "users/sec",
+        "auctions/sec",
+        "impressions",
+        "invoiced",
+    ]);
+    for shards in [1usize, 2, 4, 8] {
+        let m = measure(sweep_users, seed, shards, sweep_session);
+        t.row([
+            m.shards.to_string(),
+            format!("{:.2}", m.elapsed_s),
+            format!("{:.0}", sweep_users as f64 / m.elapsed_s),
+            format!("{:.0}", m.report.opportunities as f64 / m.elapsed_s),
+            m.report.impressions.to_string(),
+            format!("{}", m.invoiced),
+        ]);
+        sweep.push(m);
+    }
+    t.print();
+
+    let baseline = &sweep[0];
+    let deterministic = sweep.iter().all(|m| {
+        m.invoiced == baseline.invoiced
+            && m.log_len == baseline.log_len
+            && m.report.impressions == baseline.report.impressions
+            && m.report.pixel_fires == baseline.report.pixel_fires
+    });
+    let eight = sweep.last().expect("sweep ran");
+    let speedup8 = baseline.elapsed_s / eight.elapsed_s;
+    println!("  8-shard speedup over 1 shard: {speedup8:.2}x on {threads} hardware thread(s)");
+    if threads < 2 {
+        println!("  (single-core host: shards serialize, so ~1x is the physical ceiling)");
+    }
+
+    section("Million-user run");
+    let big_users = env_u64("TREADS_ENGINE_BIG_USERS", 1_000_000);
+    let big = if big_users > 0 {
+        // Lighter browsing per user: a million users, one simulated day.
+        let session = SessionConfig {
+            views_per_user_per_day: 0.5,
+            days: 1,
+        };
+        let shards = threads.clamp(2, 8);
+        let m = measure(big_users, seed, shards, session);
+        println!(
+            "  {} users, {} shards: {:.2}s ({:.0} users/sec, {:.0} auctions/sec, {} impressions)",
+            big_users,
+            m.shards,
+            m.elapsed_s,
+            big_users as f64 / m.elapsed_s,
+            m.report.opportunities as f64 / m.elapsed_s,
+            m.report.impressions
+        );
+        Some(m)
+    } else {
+        println!("  skipped (TREADS_ENGINE_BIG_USERS=0)");
+        None
+    };
+
+    // Hand-rolled JSON (the vendored serde stand-in does not serialize).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"engine_scale\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"hardware_threads\": {threads},\n"));
+    json.push_str(&format!("  \"sweep_users\": {sweep_users},\n"));
+    json.push_str("  \"sweep\": [\n");
+    for (i, m) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"elapsed_s\": {:.4}, \"users_per_sec\": {:.1}, \
+             \"auctions_per_sec\": {:.1}, \"page_views\": {}, \"impressions\": {}}}{}\n",
+            m.shards,
+            m.elapsed_s,
+            sweep_users as f64 / m.elapsed_s,
+            m.report.opportunities as f64 / m.elapsed_s,
+            m.report.page_views,
+            m.report.impressions,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"deterministic_across_shard_counts\": {deterministic},\n"
+    ));
+    json.push_str(&format!("  \"speedup_8_shards\": {speedup8:.3},\n"));
+    match &big {
+        Some(m) => json.push_str(&format!(
+            "  \"million\": {{\"users\": {}, \"shards\": {}, \"elapsed_s\": {:.4}, \
+             \"users_per_sec\": {:.1}, \"auctions_per_sec\": {:.1}, \"impressions\": {}}}\n",
+            big_users,
+            m.shards,
+            m.elapsed_s,
+            big_users as f64 / m.elapsed_s,
+            m.report.opportunities as f64 / m.elapsed_s,
+            m.report.impressions
+        )),
+        None => json.push_str("  \"million\": null\n"),
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\n  wrote BENCH_engine.json");
+
+    section("Verdicts");
+    verdict(
+        "all shard counts produce identical invoices and impression logs",
+        deterministic,
+    );
+    verdict(
+        "million-user run completes",
+        big.as_ref()
+            .map(|m| m.report.users == big_users)
+            .unwrap_or(true),
+    );
+}

@@ -28,9 +28,11 @@ fn main() {
     );
 
     let mut s = ValidationScenario::setup(seed);
-    println!("  platform: {} platform attrs + {} partner attrs",
+    println!(
+        "  platform: {} platform attrs + {} partner attrs",
         s.platform.attributes.platform_attributes().len(),
-        s.platform.attributes.partner_attributes().len());
+        s.platform.attributes.partner_attributes().len()
+    );
 
     // The provider's plan: one obfuscated Tread per partner attribute.
     let names = s.partner_attribute_names();
@@ -117,7 +119,11 @@ fn main() {
         .provider
         .view(&s.platform, &receipt)
         .expect("reports readable");
-    let delivered = view.stats.iter().filter(|st| st.report.impressions > 0).count();
+    let delivered = view
+        .stats
+        .iter()
+        .filter(|st| st.report.impressions > 0)
+        .count();
     let all_below_floor = view
         .stats
         .iter()
@@ -125,11 +131,16 @@ fn main() {
         .all(|st| st.report.below_reach_floor);
     println!("  treads with any delivery: {delivered}");
     println!("  all delivered treads report reach below the platform floor: {all_below_floor}");
-    println!("  invoice: gross {}, waived {}, due {}",
-        view.invoice.gross, view.invoice.waived, view.invoice.due);
+    println!(
+        "  invoice: gross {}, waived {}, due {}",
+        view.invoice.gross, view.invoice.waived, view.invoice.due
+    );
 
     section("Verdicts");
-    verdict("both authors reachable via control ad", saw_control(s.author_a) && saw_control(s.author_b));
+    verdict(
+        "both authors reachable via control ad",
+        saw_control(s.author_a) && saw_control(s.author_b),
+    );
     verdict(
         "author A decodes exactly his 11 partner attributes",
         profile_a.has.len() == 11,
@@ -142,7 +153,10 @@ fn main() {
                 .map(|s| s.to_string())
                 .collect(),
     );
-    verdict("author B decodes zero attribute Treads", profile_b.has.is_empty());
+    verdict(
+        "author B decodes zero attribute Treads",
+        profile_b.has.is_empty(),
+    );
     verdict(
         "platform's own transparency page reveals none of the partner data",
         partner_in_prefs == 0,

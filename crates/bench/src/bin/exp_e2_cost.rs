@@ -26,7 +26,10 @@ use websim::extension::ExtensionLog;
 
 fn main() {
     let seed = treads_bench::experiment_seed();
-    banner("E2", "Cost analysis — per-attribute and per-user reveal cost");
+    banner(
+        "E2",
+        "Cost analysis — per-attribute and per-user reveal cost",
+    );
 
     section("Analytical model (paper formulas)");
     let mut t = Table::new(["quantity", "paper", "model"]);
@@ -91,7 +94,13 @@ fn main() {
     for _ in 0..100 {
         for &u in &s.opted_in {
             if let Ok(adplatform::auction::AuctionOutcome::Won { ad, .. }) = s.platform.browse(u) {
-                let creative = s.platform.campaigns.ad(ad).expect("won ad").creative.clone();
+                let creative = s
+                    .platform
+                    .campaigns
+                    .ad(ad)
+                    .expect("won ad")
+                    .creative
+                    .clone();
                 extensions.get_mut(&u).expect("opted").observe(
                     ad,
                     creative,

@@ -24,7 +24,10 @@ use websim::extension::ExtensionLog;
 
 fn main() {
     let seed = treads_bench::experiment_seed();
-    banner("E3", "Scale — bit-slice plans: ~log2(m) Treads for an m-valued attribute");
+    banner(
+        "E3",
+        "Scale — bit-slice plans: ~log2(m) Treads for an m-valued attribute",
+    );
 
     section("Plan-size sweep (paper series: m vs log2 m)");
     let mut t = Table::new([
@@ -70,7 +73,10 @@ fn main() {
                 .platform
                 .register_user(40, Gender::Female, "Vermont", "05401");
             let id = s.platform.attributes.id_of(&bands[band_idx]).expect("band");
-            s.platform.profiles.grant_attribute(u, id).expect("probe user");
+            s.platform
+                .profiles
+                .grant_attribute(u, id)
+                .expect("probe user");
             (u, band_idx)
         })
         .collect();
@@ -78,8 +84,17 @@ fn main() {
     treads_core::optin::optin_by_pixel(&mut s.platform, s.optin_pixel, &probe_users)
         .expect("probes opt in");
 
-    let plan = CampaignPlan::group_bits_in_ad("nw-bits", "net_worth", bands.len(), Encoding::CodebookToken);
-    println!("  treads run: {} (vs {} for the naive per-band plan)", plan.len(), bands.len());
+    let plan = CampaignPlan::group_bits_in_ad(
+        "nw-bits",
+        "net_worth",
+        bands.len(),
+        Encoding::CodebookToken,
+    );
+    println!(
+        "  treads run: {} (vs {} for the naive per-band plan)",
+        plan.len(),
+        bands.len()
+    );
     let receipt = s
         .provider
         .run_plan(&mut s.platform, &plan, s.optin_audience)
@@ -94,17 +109,23 @@ fn main() {
         for &u in &probe_users {
             if let Ok(adplatform::auction::AuctionOutcome::Won { ad, .. }) = s.platform.browse(u) {
                 let creative = s.platform.campaigns.ad(ad).expect("won").creative.clone();
-                extensions
-                    .get_mut(&u)
-                    .expect("probe")
-                    .observe(ad, creative, s.platform.clock.now());
+                extensions.get_mut(&u).expect("probe").observe(
+                    ad,
+                    creative,
+                    s.platform.clock.now(),
+                );
             }
         }
     }
 
     let client = TreadClient::new(s.provider.codebook.clone(), &s.platform.attributes);
     let mut all_correct = true;
-    let mut r = Table::new(["probe user", "true band", "decoded band", "bit Treads received"]);
+    let mut r = Table::new([
+        "probe user",
+        "true band",
+        "decoded band",
+        "bit Treads received",
+    ]);
     for (u, band_idx) in &probes {
         let profile = client.decode_log(&extensions[u], |_| None);
         let decoded = profile
@@ -136,9 +157,17 @@ fn main() {
     let role_idx = 17usize;
     let probe = s.platform.register_user(35, Gender::Male, "Ohio", "43004");
     let role_id = s.platform.attributes.id_of(&roles[role_idx]).expect("role");
-    s.platform.profiles.grant_attribute(probe, role_id).expect("probe");
+    s.platform
+        .profiles
+        .grant_attribute(probe, role_id)
+        .expect("probe");
     treads_core::optin::optin_by_pixel(&mut s.platform, s.optin_pixel, &[probe]).expect("opt in");
-    let plan = CampaignPlan::group_bits_in_ad("role-bits", "job_role", roles.len(), Encoding::CodebookToken);
+    let plan = CampaignPlan::group_bits_in_ad(
+        "role-bits",
+        "job_role",
+        roles.len(),
+        Encoding::CodebookToken,
+    );
     println!("  treads run: {} (vs {} naive)", plan.len(), roles.len());
     s.provider
         .run_plan(&mut s.platform, &plan, s.optin_audience)

@@ -39,7 +39,11 @@ fn risk_label(r: &LinkageRisk) -> String {
 
 /// Runs a small plan over a cohort and returns the provider view plus the
 /// opt-in size, under either realistic or exact reporting.
-fn run_cohort(seed: u64, optin: usize, exact_reporting: bool) -> (treads_core::ProviderView, usize) {
+fn run_cohort(
+    seed: u64,
+    optin: usize,
+    exact_reporting: bool,
+) -> (treads_core::ProviderView, usize) {
     let mut s = CohortScenario::setup(seed, optin.max(30) + 20, optin);
     s.platform.config.auction.competitor_rate = 0.0;
     if exact_reporting {
@@ -79,17 +83,28 @@ fn run_cohort(seed: u64, optin: usize, exact_reporting: bool) -> (treads_core::P
 
 fn main() {
     let seed = treads_bench::experiment_seed();
-    banner("E4", "Privacy analysis — provider's view, linkage ablation, cookie leakage");
+    banner(
+        "E4",
+        "Privacy analysis — provider's view, linkage ablation, cookie leakage",
+    );
 
     section("Part A.1 — realistic platform (coarse aggregate reporting)");
     let (view, optin) = run_cohort(seed, 40, false);
     let inferences = count_inference(&view);
-    let delivered = inferences.iter().filter(|i| i.below_floor || i.estimated_holders.is_some()).count();
+    let delivered = inferences
+        .iter()
+        .filter(|i| i.below_floor || i.estimated_holders.is_some())
+        .count();
     println!("  cohort: {optin} opted-in users; {delivered} Treads reported on");
     let assessment = assess_view(&view, false, optin);
-    println!("  provider's best inference per Tread: 'reach below {}' — counts only",
-        1000);
-    println!("  worst linkage risk across the view: {}", risk_label(&assessment.worst));
+    println!(
+        "  provider's best inference per Tread: 'reach below {}' — counts only",
+        1000
+    );
+    println!(
+        "  worst linkage risk across the view: {}",
+        risk_label(&assessment.worst)
+    );
 
     section("Part A.2 — ablation: platform reports exact reach");
     let mut t = Table::new(["opt-in cohort", "reporting", "worst linkage risk"]);
@@ -99,7 +114,12 @@ fn main() {
         let assessment = assess_view(&view, exact, n);
         t.row([
             n.to_string(),
-            if exact { "exact" } else { "coarse (floor 1000, gran 100)" }.to_string(),
+            if exact {
+                "exact"
+            } else {
+                "coarse (floor 1000, gran 100)"
+            }
+            .to_string(),
             risk_label(&assessment.worst),
         ]);
     }
@@ -110,7 +130,10 @@ fn main() {
     section("Part B — landing-page cookie leakage and mitigations");
     let make_server = || {
         let mut server = LandingServer::new("provider.example");
-        for (i, attr) in ["net-worth-2m", "renter", "frequent-flyer"].iter().enumerate() {
+        for (i, attr) in ["net-worth-2m", "renter", "frequent-flyer"]
+            .iter()
+            .enumerate()
+        {
             server.publish(LandingPage {
                 url: format!("/reveal/{i}"),
                 content: Tread::via_landing_page(
@@ -127,7 +150,11 @@ fn main() {
         server
     };
 
-    let mut b = Table::new(["cookie posture", "linkable visitors", "max URLs linked to one visitor"]);
+    let mut b = Table::new([
+        "cookie posture",
+        "linkable visitors",
+        "max URLs linked to one visitor",
+    ]);
     // Posture 1: cookies accepted, never cleared.
     let mut server = make_server();
     let mut jar = CookieJar::new(CookiePolicy::Accept);
@@ -188,5 +215,8 @@ fn main() {
         "clearing cookies between visits breaks linkage (1 URL per pseudonym)",
         max_linked_clear == 1,
     );
-    verdict("blocking cookies removes linkage entirely", max_linked_block == 0);
+    verdict(
+        "blocking cookies removes linkage entirely",
+        max_linked_block == 0,
+    );
 }

@@ -41,7 +41,10 @@ fn approval_rate(strictness: Strictness, plan: &CampaignPlan, seed: u64) -> (usi
 
 fn main() {
     let seed = treads_bench::experiment_seed();
-    banner("E5", "ToS compliance — approval rate per encoding and disclosure channel");
+    banner(
+        "E5",
+        "ToS compliance — approval rate per encoding and disclosure channel",
+    );
 
     // 30 attributes across segments (including ones whose names carry
     // sensitive vocabulary like "Net worth").
@@ -55,7 +58,12 @@ fn main() {
         .collect();
 
     section("Approval rates (platform reviewer on the ad creative only)");
-    let mut t = Table::new(["channel", "paper expectation", "Standard reviewer", "Strict reviewer"]);
+    let mut t = Table::new([
+        "channel",
+        "paper expectation",
+        "Standard reviewer",
+        "Strict reviewer",
+    ]);
     let mut standard_rates = std::collections::BTreeMap::new();
     for (label, plan, expectation) in [
         (
@@ -90,7 +98,12 @@ fn main() {
         t.row([
             label.to_string(),
             expectation.to_string(),
-            format!("{}/{} ({})", std_ok, std_total, pct(std_ok as f64 / std_total as f64)),
+            format!(
+                "{}/{} ({})",
+                std_ok,
+                std_total,
+                pct(std_ok as f64 / std_total as f64)
+            ),
             format!(
                 "{}/{} ({})",
                 strict_ok,

@@ -47,8 +47,8 @@ fn run(
             .expect("fresh platform accepts provider");
     // Each crowd account gets its own pixel on the shared opt-in site;
     // one opted-in user visits once, enrolling with every account.
-    let channels = setup_crowd_channels(&mut provider, &mut platform, n_accounts)
-        .expect("channels");
+    let channels =
+        setup_crowd_channels(&mut provider, &mut platform, n_accounts).expect("channels");
     let user = platform.register_user(
         30,
         adplatform::profile::Gender::Unspecified,
@@ -63,14 +63,23 @@ fn run(
         .map(|d| d.name.clone())
         .collect();
     let plan = CampaignPlan::binary_in_ad("us-partner", &names, encoding);
-    let receipts = run_crowdsourced(&mut provider, &mut platform, &plan, &channels, vary_headlines)
-        .expect("crowdsourced run");
+    let receipts = run_crowdsourced(
+        &mut provider,
+        &mut platform,
+        &plan,
+        &channels,
+        vary_headlines,
+    )
+    .expect("crowdsourced run");
     survival_after_sweep(&mut platform, &receipts)
 }
 
 fn main() {
     let seed = treads_bench::experiment_seed();
-    banner("E6", "Evading shutdown — detection vs number of crowdsourced accounts");
+    banner(
+        "E6",
+        "Evading shutdown — detection vs number of crowdsourced accounts",
+    );
 
     section("Sweep: 507 obfuscated Treads split across N accounts (pattern detector only)");
     let mut t = Table::new([
@@ -126,7 +135,10 @@ fn main() {
             n.to_string(),
             "codebook".to_string(),
             pct(obfuscated.detection_rate()),
-            format!("{}/{}", obfuscated.treads_surviving, obfuscated.treads_placed),
+            format!(
+                "{}/{}",
+                obfuscated.treads_surviving, obfuscated.treads_placed
+            ),
         ]);
     }
     t3.print();
@@ -135,7 +147,10 @@ fn main() {
     println!("   gets Treads past content review)");
 
     section("Verdicts");
-    verdict("a single-account provider is always detected", survival_at[&1] == 0.0);
+    verdict(
+        "a single-account provider is always detected",
+        survival_at[&1] == 0.0,
+    );
     verdict(
         "crowdsourcing past the threshold (>=11 accounts) evades pattern detection",
         survival_at[&11] == 1.0 && survival_at[&50] == 1.0,

@@ -30,7 +30,10 @@ use websim::extension::ExtensionLog;
 
 fn main() {
     let seed = treads_bench::experiment_seed();
-    banner("E7", "Supporting PII — Treads over hashed-PII custom audiences");
+    banner(
+        "E7",
+        "Supporting PII — Treads over hashed-PII custom audiences",
+    );
 
     let mut platform = Platform::us_2018(PlatformConfig {
         seed,
@@ -147,7 +150,10 @@ fn main() {
     for (label, want) in [
         ("user-provided", PiiProvenance::UserProvided),
         ("two-factor only", PiiProvenance::TwoFactor),
-        ("contact-sync (never given by user)", PiiProvenance::ContactSync),
+        (
+            "contact-sync (never given by user)",
+            PiiProvenance::ContactSync,
+        ),
     ] {
         let users: Vec<_> = known_phone_users
             .iter()

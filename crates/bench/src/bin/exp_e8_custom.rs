@@ -26,7 +26,10 @@ use websim::extension::ExtensionLog;
 
 fn main() {
     let seed = treads_bench::experiment_seed();
-    banner("E8", "Custom attributes — distinct pixel page per attribute checked");
+    banner(
+        "E8",
+        "Custom attributes — distinct pixel page per attribute checked",
+    );
 
     let mut platform = Platform::us_2018(PlatformConfig {
         seed,
@@ -46,8 +49,7 @@ fn main() {
     let mut channels = Vec::new();
     for ask in asks {
         channels.push(
-            setup_custom_attribute_optin(&provider, &mut platform, ask)
-                .expect("channel setup"),
+            setup_custom_attribute_optin(&provider, &mut platform, ask).expect("channel setup"),
         );
     }
 
@@ -58,7 +60,10 @@ fn main() {
         let u = platform.register_user(30, Gender::Unspecified, "Ohio", "43004");
         if i != 1 {
             let id = platform.attributes.id_of(ask).expect("attr");
-            platform.profiles.grant_attribute(u, id).expect("fresh user");
+            platform
+                .profiles
+                .grant_attribute(u, id)
+                .expect("fresh user");
         }
         optin_by_pixel(&mut platform, channels[i].pixel, &[u]).expect("optin");
         users.push(u);
@@ -115,7 +120,13 @@ fn main() {
 
     let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
     section("What each asker learned");
-    let mut t = Table::new(["user", "asked about", "truly has it", "learned 'has it'", "other reveals"]);
+    let mut t = Table::new([
+        "user",
+        "asked about",
+        "truly has it",
+        "learned 'has it'",
+        "other reveals",
+    ]);
     let mut outcomes = Vec::new();
     for (i, &u) in users.iter().enumerate() {
         let profile = client.decode_log(&extensions[&u], |_| None);
@@ -158,8 +169,7 @@ fn main() {
     verdict(
         "channels are isolated: distinct pixels and audiences per attribute",
         {
-            let pixels: std::collections::BTreeSet<_> =
-                channels.iter().map(|c| c.pixel).collect();
+            let pixels: std::collections::BTreeSet<_> = channels.iter().map(|c| c.pixel).collect();
             pixels.len() == channels.len()
         },
     );

@@ -35,7 +35,10 @@ fn render_ad(label: &str, headline: &str, body: &str, image: bool) {
 }
 
 fn main() {
-    banner("F1", "Figure 1 — explicit vs obfuscated Tread creatives (net worth $2M+)");
+    banner(
+        "F1",
+        "Figure 1 — explicit vs obfuscated Tread creatives (net worth $2M+)",
+    );
 
     let partner = treads_broker::PartnerCatalog::us();
     let catalog = AttributeCatalog::us_2018(&partner);
@@ -50,9 +53,21 @@ fn main() {
     section("Rendered creatives");
     for (label, encoding, paper_fig) in [
         ("Figure 1a — explicit", Encoding::Explicit, "Fig 1a"),
-        ("Figure 1b — codebook token", Encoding::CodebookToken, "Fig 1b"),
-        ("§3 variant — zero-width stego", Encoding::ZeroWidth, "described"),
-        ("§3 variant — image stego", Encoding::ImageStego, "described"),
+        (
+            "Figure 1b — codebook token",
+            Encoding::CodebookToken,
+            "Fig 1b",
+        ),
+        (
+            "§3 variant — zero-width stego",
+            Encoding::ZeroWidth,
+            "described",
+        ),
+        (
+            "§3 variant — image stego",
+            Encoding::ImageStego,
+            "described",
+        ),
     ] {
         let tread = Tread::in_ad(disclosure.clone(), encoding)
             .with_headline("A message from Know Your Data");
@@ -72,25 +87,28 @@ fn main() {
             Ok(()) => "approved".to_string(),
             Err(e) => format!("REJECTED ({e})"),
         };
-        results.row([label, paper_fig, if decoded { "yes" } else { "NO" }, &review]);
+        results.row([
+            label,
+            paper_fig,
+            if decoded { "yes" } else { "NO" },
+            &review,
+        ]);
     }
 
     section("Codebook entry shared with users at opt-in");
     let token = codebook.token_of(&disclosure).expect("assigned");
     println!("  \"{token}\"  ->  {}", disclosure.human_text());
-    println!(
-        "  (the paper's screenshot shows the token \"2,830,120\"; ours is seed-derived)"
-    );
+    println!("  (the paper's screenshot shows the token \"2,830,120\"; ours is seed-derived)");
 
     section("Summary");
     results.print();
 
     section("Paper-vs-measured checks");
     let client = TreadClient::new(codebook.clone(), &catalog);
-    let explicit = Tread::in_ad(disclosure.clone(), Encoding::Explicit)
-        .build_creative(&mut codebook);
-    let obfuscated = Tread::in_ad(disclosure.clone(), Encoding::CodebookToken)
-        .build_creative(&mut codebook);
+    let explicit =
+        Tread::in_ad(disclosure.clone(), Encoding::Explicit).build_creative(&mut codebook);
+    let obfuscated =
+        Tread::in_ad(disclosure.clone(), Encoding::CodebookToken).build_creative(&mut codebook);
     verdict(
         "both Figure-1 creatives decode to the same disclosure (delivery = proof)",
         client.decode_ad(&explicit.body, None) == Some(disclosure.clone())
@@ -108,5 +126,8 @@ fn main() {
         .token_of(&disclosure)
         .map(|t| t.chars().all(|c| c.is_ascii_digit() || c == ','))
         .unwrap_or(false);
-    verdict("obfuscated token is an innocuous comma-formatted number (as in Fig 1b)", numeric);
+    verdict(
+        "obfuscated token is an innocuous comma-formatted number (as in Fig 1b)",
+        numeric,
+    );
 }

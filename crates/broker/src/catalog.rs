@@ -88,7 +88,11 @@ pub struct PartnerAttribute {
 
 /// The synthetic brokers supplying the feed. Fictional stand-ins for the
 /// paper's Acxiom / Oracle Data Cloud / Epsilon.
-pub const BROKERS: [&str; 3] = ["NorthStar Data", "Meridian Insights", "BlueHarbor Analytics"];
+pub const BROKERS: [&str; 3] = [
+    "NorthStar Data",
+    "Meridian Insights",
+    "BlueHarbor Analytics",
+];
 
 /// The full U.S. partner-category catalog.
 #[derive(Debug, Clone)]
@@ -125,10 +129,10 @@ impl PartnerCatalog {
         let mut attributes = Vec::with_capacity(US_PARTNER_ATTRIBUTE_COUNT);
 
         let push = |name: String,
-                        segment: Segment,
-                        group: Option<&'static str>,
-                        base_rate: f64,
-                        attributes: &mut Vec<PartnerAttribute>| {
+                    segment: Segment,
+                    group: Option<&'static str>,
+                    base_rate: f64,
+                    attributes: &mut Vec<PartnerAttribute>| {
             // Brokers are assigned round-robin — which broker supplies an
             // attribute is irrelevant to every experiment, but having
             // several reproduces the paper's "multiple data brokers" setup.
@@ -1064,8 +1068,7 @@ mod tests {
             );
         }
         // Segment labels are human-readable and distinct.
-        let labels: std::collections::HashSet<_> =
-            Segment::ALL.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<_> = Segment::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), Segment::ALL.len());
     }
 

@@ -112,9 +112,9 @@ impl CoverageModel {
         }
         // Ungrouped attributes: independent Bernoulli draws.
         for attr in catalog.attributes().iter().filter(|a| a.group.is_none()) {
-            let p = (attr.base_rate * self.segment_scale(fp, attr.segment)
-                * self.attribute_density)
-                .clamp(0.0, 1.0);
+            let p =
+                (attr.base_rate * self.segment_scale(fp, attr.segment) * self.attribute_density)
+                    .clamp(0.0, 1.0);
             if rng.gen::<f64>() < p {
                 record.assert_attribute(attr.name.clone());
             }

@@ -139,7 +139,10 @@ mod tests {
             &["Housing: renter"],
         ));
         // Unknown email, known phone.
-        let out = feed.match_user(Some(&hash_pii("other@example.com")), Some(&hash_pii("+1-555-0101")));
+        let out = feed.match_user(
+            Some(&hash_pii("other@example.com")),
+            Some(&hash_pii("+1-555-0101")),
+        );
         assert!(matches!(out, MatchOutcome::Matched { via: "phone", .. }));
     }
 
@@ -176,7 +179,11 @@ mod tests {
     fn email_takes_precedence_over_phone() {
         let mut feed = BrokerFeed::new();
         feed.ingest(dossier("d@example.com", None, &["via-email"]));
-        feed.ingest(dossier("e@example.com", Some("+1-555-0103"), &["via-phone"]));
+        feed.ingest(dossier(
+            "e@example.com",
+            Some("+1-555-0103"),
+            &["via-phone"],
+        ));
         let out = feed.match_user(
             Some(&hash_pii("d@example.com")),
             Some(&hash_pii("+1-555-0103")),

@@ -47,8 +47,11 @@ pub struct RevealedProfile {
 impl RevealedProfile {
     /// Total count of positively revealed facts.
     pub fn revealed_count(&self) -> usize {
-        self.has.len() + self.lacks_or_missing.len() + self.group_values.len()
-            + self.pii_batches.len() + self.visited_zips.len()
+        self.has.len()
+            + self.lacks_or_missing.len()
+            + self.group_values.len()
+            + self.pii_batches.len()
+            + self.visited_zips.len()
     }
 }
 

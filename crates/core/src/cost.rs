@@ -113,7 +113,12 @@ pub struct Projection {
 
 /// Projects the cost of fully revealing a cohort and checks the funding
 /// model against it.
-pub fn project(users: usize, avg_attributes: usize, cpm: Money, funding: FundingModel) -> Projection {
+pub fn project(
+    users: usize,
+    avg_attributes: usize,
+    cpm: Money,
+    funding: FundingModel,
+) -> Projection {
     let total_cost = cpm.cpm_cost_of((users * avg_attributes) as u64);
     let funded = match funding {
         FundingModel::ProviderFunded { pool } => pool >= total_cost,
@@ -139,7 +144,10 @@ mod tests {
     #[test]
     fn paper_headline_numbers() {
         assert_eq!(per_attribute_cost(Money::dollars(2)), Money::micros(2_000)); // $0.002
-        assert_eq!(per_attribute_cost(Money::dollars(10)), Money::micros(10_000)); // $0.01
+        assert_eq!(
+            per_attribute_cost(Money::dollars(10)),
+            Money::micros(10_000)
+        ); // $0.01
         assert_eq!(per_user_cost(50, Money::dollars(2)), Money::cents(10)); // $0.10
         assert_eq!(per_user_cost(0, Money::dollars(2)), Money::ZERO);
     }

@@ -137,21 +137,13 @@ pub fn run_crowdsourced(
         } else {
             slice.clone()
         };
-        receipts.push(provider.run_plan_as(
-            platform,
-            channel.account,
-            &slice,
-            channel.audience,
-        )?);
+        receipts.push(provider.run_plan_as(platform, channel.account, &slice, channel.audience)?);
     }
     Ok(receipts)
 }
 
 /// Runs an enforcement sweep and reports what survives.
-pub fn survival_after_sweep(
-    platform: &mut Platform,
-    receipts: &[RunReceipt],
-) -> SurvivalReport {
+pub fn survival_after_sweep(platform: &mut Platform, receipts: &[RunReceipt]) -> SurvivalReport {
     let placed: usize = receipts.iter().map(RunReceipt::approved_count).sum();
     platform.run_enforcement_sweep();
     let mut suspended = 0usize;
@@ -226,16 +218,15 @@ mod tests {
             "43004",
         );
         optin_crowd(p, &channels, &[user]).expect("optin");
-        let receipts =
-            run_crowdsourced(prov, p, plan, &channels, vary_headlines).expect("run");
+        let receipts = run_crowdsourced(prov, p, plan, &channels, vary_headlines).expect("run");
         survival_after_sweep(p, &receipts)
     }
 
     #[test]
     fn single_account_gets_detected() {
         let mut p = platform_with_attrs(507);
-        let mut prov = TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10))
-            .expect("provider");
+        let mut prov =
+            TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10)).expect("provider");
         let report = crowd_run(&mut p, &mut prov, &full_plan(507), 1, false);
         assert_eq!(report.accounts, 1);
         assert_eq!(report.suspended, 1);
@@ -246,8 +237,8 @@ mod tests {
     #[test]
     fn enough_accounts_evade_pattern_detection() {
         let mut p = platform_with_attrs(507);
-        let mut prov = TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10))
-            .expect("provider");
+        let mut prov =
+            TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10)).expect("provider");
         // 11 accounts -> <= 47 Treads each, under the 50 threshold.
         let report = crowd_run(&mut p, &mut prov, &full_plan(507), 11, false);
         assert_eq!(report.suspended, 0);
@@ -258,8 +249,8 @@ mod tests {
     #[test]
     fn too_few_accounts_lose_everything() {
         let mut p = platform_with_attrs(507);
-        let mut prov = TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10))
-            .expect("provider");
+        let mut prov =
+            TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10)).expect("provider");
         // 5 accounts -> ~102 Treads each, all over threshold.
         let report = crowd_run(&mut p, &mut prov, &full_plan(507), 5, false);
         assert_eq!(report.suspended, 5);
@@ -269,8 +260,8 @@ mod tests {
     #[test]
     fn varied_headlines_defeat_clustering_even_on_one_account() {
         let mut p = platform_with_attrs(507);
-        let mut prov = TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10))
-            .expect("provider");
+        let mut prov =
+            TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10)).expect("provider");
         let report = crowd_run(&mut p, &mut prov, &full_plan(507), 11, true);
         assert_eq!(report.suspended, 0);
     }
@@ -278,14 +269,12 @@ mod tests {
     #[test]
     fn receipts_span_distinct_accounts() {
         let mut p = platform_with_attrs(100);
-        let mut prov = TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10))
-            .expect("provider");
+        let mut prov =
+            TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10)).expect("provider");
         let channels = setup_crowd_channels(&mut prov, &mut p, 4).expect("channels");
         let receipts =
-            run_crowdsourced(&mut prov, &mut p, &full_plan(100), &channels, false)
-                .expect("run");
-        let accounts: std::collections::BTreeSet<_> =
-            receipts.iter().map(|r| r.account).collect();
+            run_crowdsourced(&mut prov, &mut p, &full_plan(100), &channels, false).expect("run");
+        let accounts: std::collections::BTreeSet<_> = receipts.iter().map(|r| r.account).collect();
         assert_eq!(accounts.len(), 4);
         let total: usize = receipts.iter().map(|r| r.placed.len()).sum();
         assert_eq!(total, 100);
@@ -294,19 +283,17 @@ mod tests {
     #[test]
     fn one_optin_visit_enrolls_with_every_crowd_account() {
         let mut p = platform_with_attrs(10);
-        let mut prov = TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10))
-            .expect("provider");
+        let mut prov =
+            TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10)).expect("provider");
         let channels = setup_crowd_channels(&mut prov, &mut p, 3).expect("channels");
-        let user = p.register_user(
-            30,
-            adplatform::profile::Gender::Female,
-            "Ohio",
-            "43004",
-        );
+        let user = p.register_user(30, adplatform::profile::Gender::Female, "Ohio", "43004");
         optin_crowd(&mut p, &channels, &[user]).expect("optin");
         for channel in &channels {
             assert!(
-                p.audiences.get(channel.audience).expect("aud").contains(user),
+                p.audiences
+                    .get(channel.audience)
+                    .expect("aud")
+                    .contains(user),
                 "user must be in every crowd account's audience"
             );
         }

@@ -67,19 +67,19 @@ impl Disclosure {
     /// ad body (Figure 1a's style).
     pub fn human_text(&self) -> String {
         match self {
-            Disclosure::HasAttribute { name } => format!(
-                "According to this ad platform, you have the attribute: \"{name}\"."
-            ),
+            Disclosure::HasAttribute { name } => {
+                format!("According to this ad platform, you have the attribute: \"{name}\".")
+            }
             Disclosure::LacksAttribute { name } => format!(
                 "According to this ad platform, the attribute \"{name}\" is false or \
                  missing for you."
             ),
-            Disclosure::GroupBit { group, bit } => format!(
-                "According to this ad platform, bit {bit} of your \"{group}\" value is 1."
-            ),
-            Disclosure::VisitedZip { zip } => format!(
-                "According to this ad platform, you recently visited ZIP code {zip}."
-            ),
+            Disclosure::GroupBit { group, bit } => {
+                format!("According to this ad platform, bit {bit} of your \"{group}\" value is 1.")
+            }
+            Disclosure::VisitedZip { zip } => {
+                format!("According to this ad platform, you recently visited ZIP code {zip}.")
+            }
             Disclosure::HasPii { batch } => format!(
                 "This ad platform holds the contact identifier you submitted in batch \"{batch}\"."
             ),
@@ -107,30 +107,33 @@ impl Disclosure {
         let kind = parts.next().unwrap_or_default();
         match kind {
             "HAS" => {
-                let name = parts
-                    .next()
-                    .filter(|s| !s.is_empty())
-                    .ok_or_else(|| Error::DecodeFailure {
-                        reason: "HAS without attribute name".into(),
-                    })?;
+                let name =
+                    parts
+                        .next()
+                        .filter(|s| !s.is_empty())
+                        .ok_or_else(|| Error::DecodeFailure {
+                            reason: "HAS without attribute name".into(),
+                        })?;
                 Ok(Disclosure::HasAttribute { name: name.into() })
             }
             "LACKS" => {
-                let name = parts
-                    .next()
-                    .filter(|s| !s.is_empty())
-                    .ok_or_else(|| Error::DecodeFailure {
-                        reason: "LACKS without attribute name".into(),
-                    })?;
+                let name =
+                    parts
+                        .next()
+                        .filter(|s| !s.is_empty())
+                        .ok_or_else(|| Error::DecodeFailure {
+                            reason: "LACKS without attribute name".into(),
+                        })?;
                 Ok(Disclosure::LacksAttribute { name: name.into() })
             }
             "GBIT" => {
-                let group = parts
-                    .next()
-                    .filter(|s| !s.is_empty())
-                    .ok_or_else(|| Error::DecodeFailure {
-                        reason: "GBIT without group".into(),
-                    })?;
+                let group =
+                    parts
+                        .next()
+                        .filter(|s| !s.is_empty())
+                        .ok_or_else(|| Error::DecodeFailure {
+                            reason: "GBIT without group".into(),
+                        })?;
                 let bit = parts
                     .next()
                     .and_then(|s| s.parse::<u8>().ok())
@@ -143,21 +146,23 @@ impl Disclosure {
                 })
             }
             "ZIP" => {
-                let zip = parts
-                    .next()
-                    .filter(|s| !s.is_empty())
-                    .ok_or_else(|| Error::DecodeFailure {
-                        reason: "ZIP without code".into(),
-                    })?;
+                let zip =
+                    parts
+                        .next()
+                        .filter(|s| !s.is_empty())
+                        .ok_or_else(|| Error::DecodeFailure {
+                            reason: "ZIP without code".into(),
+                        })?;
                 Ok(Disclosure::VisitedZip { zip: zip.into() })
             }
             "PII" => {
-                let prefix = parts
-                    .next()
-                    .filter(|s| !s.is_empty())
-                    .ok_or_else(|| Error::DecodeFailure {
-                        reason: "PII without digest prefix".into(),
-                    })?;
+                let prefix =
+                    parts
+                        .next()
+                        .filter(|s| !s.is_empty())
+                        .ok_or_else(|| Error::DecodeFailure {
+                            reason: "PII without digest prefix".into(),
+                        })?;
                 Ok(Disclosure::HasPii {
                     batch: prefix.into(),
                 })
@@ -185,7 +190,9 @@ mod tests {
                 group: "net_worth".into(),
                 bit: 3,
             },
-            Disclosure::VisitedZip { zip: "10001".into() },
+            Disclosure::VisitedZip {
+                zip: "10001".into(),
+            },
             Disclosure::HasPii {
                 batch: "phone-2fa-2018w40".into(),
             },
@@ -235,10 +242,7 @@ mod tests {
             "ZIP|",
             "WAT|x",
         ] {
-            assert!(
-                Disclosure::from_wire(bad).is_err(),
-                "should reject {bad:?}"
-            );
+            assert!(Disclosure::from_wire(bad).is_err(), "should reject {bad:?}");
         }
     }
 

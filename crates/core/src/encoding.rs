@@ -198,8 +198,10 @@ impl Codebook {
             })?;
             // Validate the wire form parses before trusting it.
             Disclosure::from_wire(wire)?;
-            book.token_to_wire.insert(token.to_string(), wire.to_string());
-            book.wire_to_token.insert(wire.to_string(), token.to_string());
+            book.token_to_wire
+                .insert(token.to_string(), wire.to_string());
+            book.wire_to_token
+                .insert(wire.to_string(), token.to_string());
         }
         Ok(book)
     }
@@ -299,7 +301,9 @@ fn decode_codebook_token(body: &str, codebook: &Codebook) -> Option<Disclosure> 
 
 /// Parses the fixed explicit-text templates back into a disclosure.
 fn decode_explicit(body: &str) -> Option<Disclosure> {
-    if let Some(rest) = body.strip_prefix("According to this ad platform, you have the attribute: \"") {
+    if let Some(rest) =
+        body.strip_prefix("According to this ad platform, you have the attribute: \"")
+    {
         let name = rest.strip_suffix("\".")?;
         return Some(Disclosure::HasAttribute { name: name.into() });
     }
@@ -340,7 +344,11 @@ pub fn embed_zero_width(cover: &str, wire: &str) -> String {
     out.push_str(cover);
     for byte in wire.as_bytes() {
         for i in (0..8).rev() {
-            out.push(if (byte >> i) & 1 == 1 { ZW_ONE } else { ZW_ZERO });
+            out.push(if (byte >> i) & 1 == 1 {
+                ZW_ONE
+            } else {
+                ZW_ZERO
+            });
         }
     }
     out.push(ZW_END);
@@ -478,8 +486,7 @@ mod tests {
         for encoding in Encoding::ALL {
             let mut book = Codebook::new(7);
             let payload = encode(&sample(), encoding, &mut book);
-            let decoded =
-                decode(&payload.body, payload.image.as_deref(), &book).expect("decodes");
+            let decoded = decode(&payload.body, payload.image.as_deref(), &book).expect("decodes");
             assert_eq!(decoded, sample(), "channel {}", encoding.label());
         }
     }
@@ -599,7 +606,9 @@ mod tests {
                 group: "net_worth".into(),
                 bit: 2,
             },
-            Disclosure::VisitedZip { zip: "10001".into() },
+            Disclosure::VisitedZip {
+                zip: "10001".into(),
+            },
             Disclosure::HasPii {
                 batch: "phone-2fa-2018w40".into(),
             },

@@ -101,8 +101,8 @@ mod tests {
     #[test]
     fn page_optin_fills_engagement_audience() {
         let mut p = platform();
-        let prov = TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10))
-            .expect("provider");
+        let prov =
+            TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10)).expect("provider");
         let (page, audience) = prov.setup_page_optin(&mut p).expect("page");
         let us = users(&mut p, 5);
         optin_by_page(&mut p, page, &us).expect("optin");
@@ -113,8 +113,8 @@ mod tests {
     #[test]
     fn pixel_optin_fills_visitor_audience_anonymously() {
         let mut p = platform();
-        let prov = TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10))
-            .expect("provider");
+        let prov =
+            TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10)).expect("provider");
         let (pixel, audience) = prov.setup_pixel_optin(&mut p, "optin").expect("pixel");
         let us = users(&mut p, 3);
         optin_by_pixel(&mut p, pixel, &us).expect("optin");
@@ -134,8 +134,8 @@ mod tests {
     #[test]
     fn custom_attribute_optin_gets_distinct_pixels() {
         let mut p = platform();
-        let prov = TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10))
-            .expect("provider");
+        let prov =
+            TransparencyProvider::register(&mut p, "KYD", 1, Money::dollars(10)).expect("provider");
         let a = setup_custom_attribute_optin(&prov, &mut p, "Interest: coffee").expect("a");
         let b = setup_custom_attribute_optin(&prov, &mut p, "Interest: tea").expect("b");
         assert_ne!(a.pixel, b.pixel);

@@ -309,15 +309,14 @@ mod tests {
 
     #[test]
     fn location_sweep_is_one_tread_per_zip() {
-        let plan = CampaignPlan::location_sweep_in_ad(
-            "loc",
-            &["10001", "60601"],
-            Encoding::CodebookToken,
-        );
+        let plan =
+            CampaignPlan::location_sweep_in_ad("loc", &["10001", "60601"], Encoding::CodebookToken);
         assert_eq!(plan.len(), 2);
         assert_eq!(
             plan.treads[1].tread.disclosure,
-            Disclosure::VisitedZip { zip: "60601".into() }
+            Disclosure::VisitedZip {
+                zip: "60601".into()
+            }
         );
     }
 

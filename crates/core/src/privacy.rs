@@ -117,7 +117,11 @@ pub struct ViewAssessment {
 }
 
 /// Assesses every Tread in a provider view.
-pub fn assess_view(view: &ProviderView, exact_reporting: bool, optin_size: usize) -> ViewAssessment {
+pub fn assess_view(
+    view: &ProviderView,
+    exact_reporting: bool,
+    optin_size: usize,
+) -> ViewAssessment {
     let mut risks = Vec::with_capacity(view.stats.len());
     let mut worst = LinkageRisk::Safe;
     for s in &view.stats {
@@ -211,7 +215,10 @@ mod tests {
             LinkageRisk::NarrowedTo { candidates: 2 }
         );
         // Large cohort: prevalence only.
-        assert_eq!(linkage_risk(512, false, true, 10_000), LinkageRisk::PrevalenceOnly);
+        assert_eq!(
+            linkage_risk(512, false, true, 10_000),
+            LinkageRisk::PrevalenceOnly
+        );
         // Zero reach: nothing learned about anyone.
         assert_eq!(linkage_risk(0, false, true, 1), LinkageRisk::Safe);
     }

@@ -214,8 +214,7 @@ impl TransparencyProvider {
                     optin_audience,
                     |name| catalog.id_of(name),
                     |group, bit| {
-                        let members: Vec<_> =
-                            catalog.group(group).iter().map(|d| d.id).collect();
+                        let members: Vec<_> = catalog.group(group).iter().map(|d| d.id).collect();
                         group_bit_members(&members, bit)
                     },
                     |batch| self.pii_audiences.get(batch).copied(),
@@ -313,10 +312,7 @@ impl TransparencyProvider {
     }
 
     /// Looks up a placed Tread by plan index.
-    pub fn placed_by_index(
-        receipt: &RunReceipt,
-        index: usize,
-    ) -> Result<&PlacedTread> {
+    pub fn placed_by_index(receipt: &RunReceipt, index: usize) -> Result<&PlacedTread> {
         receipt
             .placed
             .iter()
@@ -408,11 +404,8 @@ mod tests {
         let mut p = platform();
         let mut prov = provider(&mut p);
         let (_, audience) = prov.setup_page_optin(&mut p).expect("optin");
-        let plan = CampaignPlan::binary_in_ad(
-            "bad",
-            &["No such attribute"],
-            Encoding::CodebookToken,
-        );
+        let plan =
+            CampaignPlan::binary_in_ad("bad", &["No such attribute"], Encoding::CodebookToken);
         let receipt = prov.run_plan(&mut p, &plan, audience).expect("run");
         assert!(receipt.placed.is_empty());
         assert_eq!(receipt.unplaceable, vec![0]);
@@ -423,8 +416,7 @@ mod tests {
         let mut p = platform();
         let mut prov = provider(&mut p);
         let (_, audience) = prov.setup_page_optin(&mut p).expect("optin");
-        let plan =
-            CampaignPlan::binary_in_ad("explicit", &["Net worth: $2M+"], Encoding::Explicit);
+        let plan = CampaignPlan::binary_in_ad("explicit", &["Net worth: $2M+"], Encoding::Explicit);
         let receipt = prov.run_plan(&mut p, &plan, audience).expect("run");
         assert_eq!(receipt.rejected_count(), 1);
         assert_eq!(receipt.approved_count(), 0);
@@ -443,10 +435,10 @@ mod tests {
         p.user_likes_page(rich, page).expect("like");
         p.user_likes_page(broke, page).expect("like");
 
-        let plan =
-            CampaignPlan::binary_in_ad("nw", &["Net worth: $2M+"], Encoding::CodebookToken);
+        let plan = CampaignPlan::binary_in_ad("nw", &["Net worth: $2M+"], Encoding::CodebookToken);
         let mut receipt = prov.run_plan(&mut p, &plan, audience).expect("run");
-        prov.run_control(&mut p, &mut receipt, audience).expect("control");
+        prov.run_control(&mut p, &mut receipt, audience)
+            .expect("control");
 
         // Drive browsing for both users.
         for _ in 0..4 {

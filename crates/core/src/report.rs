@@ -86,7 +86,9 @@ pub fn render_markdown(profile: &RevealedProfile, ctx: &ReportContext) -> String
     if !profile.lacks_or_missing.is_empty() {
         out.push_str("## Attributes proven false or missing\n\n");
         for name in &profile.lacks_or_missing {
-            out.push_str(&format!("- {name} (false, or absent from the platform's data)\n"));
+            out.push_str(&format!(
+                "- {name} (false, or absent from the platform's data)\n"
+            ));
         }
         out.push('\n');
     }

@@ -95,10 +95,11 @@ impl Tread {
                 }
                 creative
             }
-            DisclosureChannel::LandingPage { url } => {
-                AdCreative::text(self.headline.clone(), "Curious what advertisers can know? Tap to find out.")
-                    .with_landing(url.clone())
-            }
+            DisclosureChannel::LandingPage { url } => AdCreative::text(
+                self.headline.clone(),
+                "Curious what advertisers can know? Tap to find out.",
+            )
+            .with_landing(url.clone()),
         }
     }
 
@@ -196,8 +197,7 @@ mod tests {
 
     #[test]
     fn landing_page_tread_keeps_creative_clean() {
-        let tread =
-            Tread::via_landing_page(has("Net worth: $2M+"), "https://provider.example/r/1");
+        let tread = Tread::via_landing_page(has("Net worth: $2M+"), "https://provider.example/r/1");
         let mut book = Codebook::new(1);
         let creative = tread.build_creative(&mut book);
         // The creative must not contain the disclosure.

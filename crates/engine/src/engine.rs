@@ -1,0 +1,212 @@
+//! The tick loop: snapshot → parallel shards → deterministic merge.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use adplatform::Platform;
+use adsim_types::{SimTime, UserId};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use treads_workload::ShardPlan;
+use websim::{ExtensionLog, SessionConfig, SiteRegistry};
+
+use crate::event::ShardEvent;
+use crate::merge::merge_batches;
+use crate::shard::{ShardBatch, ShardState};
+
+/// Milliseconds per simulated day.
+pub const DAY_MS: u64 = 86_400_000;
+
+/// Engine parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of shards (and worker threads) to run.
+    pub shards: usize,
+    /// Browsing-session shape (views per user per day, horizon in days).
+    pub session: SessionConfig,
+    /// Tick length in simulated milliseconds. Budget snapshots and
+    /// audience updates refresh at tick boundaries; defaults to one day.
+    pub tick_ms: u64,
+    /// Master seed; every user derives private substreams from it.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            session: SessionConfig::default(),
+            tick_ms: DAY_MS,
+            seed: 42,
+        }
+    }
+}
+
+/// Counters from one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Users simulated.
+    pub users: u64,
+    /// Shards the run used.
+    pub shards: u64,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Page views processed.
+    pub page_views: u64,
+    /// Pixel fires applied to the platform.
+    pub pixel_fires: u64,
+    /// Impression opportunities auctioned.
+    pub opportunities: u64,
+    /// Impressions delivered (auctions won by advertiser ads).
+    pub impressions: u64,
+}
+
+/// Everything an engine run produces beyond the platform mutations.
+pub struct EngineOutcome {
+    /// Run counters.
+    pub report: EngineReport,
+    /// Extension logs of the users who ran the Treads extension.
+    pub extensions: BTreeMap<UserId, ExtensionLog>,
+}
+
+/// The sharded, deterministic parallel simulation engine.
+///
+/// Execution is bulk-synchronous: each tick freezes a
+/// [`adplatform::billing::BudgetSnapshot`], runs every shard's browsing
+/// events for the tick on its own thread against the read-only platform,
+/// then merges the shards' event batches in the canonical
+/// `(at, user, user_seq)` order and folds them into the platform. Because
+/// every input a decision can observe is either frozen per tick or owned
+/// per user, the folded state — billing, frequency caps, impression log,
+/// audiences — is bit-identical for every shard count.
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        assert!(config.tick_ms > 0, "engine needs a positive tick length");
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Simulates `users` browsing `sites` for `config.session.days` days,
+    /// auctioning every ad slot they see.
+    ///
+    /// `extension_users` are the users running the Treads browser
+    /// extension; their observed ads come back in the outcome for Tread
+    /// decoding. The platform's clock is advanced tick by tick and ends at
+    /// the horizon.
+    pub fn run(
+        &self,
+        platform: &mut Platform,
+        sites: &SiteRegistry,
+        users: &[UserId],
+        extension_users: &BTreeSet<UserId>,
+    ) -> EngineOutcome {
+        let plan = ShardPlan::partition(users, self.config.shards);
+        let site_ids = sites.ids();
+        let frequency_cap = platform.config.frequency_cap;
+        let seed = self.config.seed;
+        let session = &self.config.session;
+
+        // Shard construction (session generation) is itself per-user
+        // deterministic, so it parallelizes the same way ticks do.
+        let mut shards: Vec<ShardState> = crossbeam::scope(|s| {
+            let handles: Vec<_> = plan
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(index, shard_users)| {
+                    let site_ids = &site_ids;
+                    s.spawn(move |_| {
+                        ShardState::new(
+                            index,
+                            shard_users,
+                            extension_users,
+                            site_ids,
+                            session,
+                            seed,
+                            frequency_cap,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard construction does not panic"))
+                .collect()
+        })
+        .expect("engine scope");
+
+        let horizon = self.config.session.days * DAY_MS;
+        let mut report = EngineReport {
+            users: users.len() as u64,
+            shards: self.config.shards as u64,
+            ..EngineReport::default()
+        };
+
+        let mut tick_start = 0u64;
+        while tick_start < horizon {
+            let tick_end = (tick_start + self.config.tick_ms).min(horizon);
+            let budget = platform.billing.budget_snapshot();
+            let collected: Mutex<Vec<ShardBatch>> = Mutex::new(Vec::new());
+            {
+                let platform: &Platform = platform;
+                let budget = &budget;
+                let collected = &collected;
+                crossbeam::scope(|s| {
+                    for shard in shards.iter_mut() {
+                        s.spawn(move |_| {
+                            let batch = shard.run_tick(platform, budget, sites, SimTime(tick_end));
+                            collected.lock().push(batch);
+                        });
+                    }
+                })
+                .expect("engine tick scope");
+            }
+            let batches = collected.into_inner();
+
+            for batch in &batches {
+                report.page_views += batch.page_views;
+                report.opportunities += batch.stats.opportunities;
+                platform.stats.opportunities += batch.stats.opportunities;
+                platform.stats.won += batch.stats.won;
+                platform.stats.lost_to_background += batch.stats.lost_to_background;
+                platform.stats.unfilled += batch.stats.unfilled;
+            }
+
+            let merged = merge_batches(batches.into_iter().map(|b| b.events).collect());
+            for event in merged {
+                match event {
+                    ShardEvent::PixelFire {
+                        at, user, pixel, ..
+                    } => {
+                        if platform.apply_pixel_fire(user, pixel, at).is_ok() {
+                            report.pixel_fires += 1;
+                        }
+                    }
+                    ShardEvent::Impression { pending, .. } => {
+                        platform.apply_impression(&pending);
+                        report.impressions += 1;
+                    }
+                }
+            }
+
+            platform.clock.advance_to(SimTime(tick_end));
+            report.ticks += 1;
+            tick_start = tick_end;
+        }
+
+        let mut extensions = BTreeMap::new();
+        for shard in shards {
+            extensions.extend(shard.into_extensions());
+        }
+        EngineOutcome { report, extensions }
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-shard execution state.
+//!
+//! A shard exclusively owns a subset of users (assigned by
+//! [`treads_workload::ShardPlan`]) and everything keyed on them:
+//!
+//! * each user's **browsing schedule**, generated from the per-user
+//!   substream `session-user-{id}` — identical whichever shard runs it;
+//! * each user's **auction RNG**, substream `engine-user-{id}` — likewise;
+//! * the shard's **frequency caps**, which are per-`(ad, user)` counters
+//!   and therefore never shared across shards;
+//! * the **extension logs** of its users who run the Treads extension.
+//!
+//! During a tick the shard only *reads* the platform (via
+//! [`Platform::decide_browse`] against a frozen
+//! [`adplatform::billing::BudgetSnapshot`]) and accumulates its
+//! globally-visible effects as a [`ShardBatch`] for the engine to merge.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use adplatform::billing::BudgetView;
+use adplatform::delivery::{DeliveryStats, FrequencyCaps};
+use adplatform::Platform;
+use adsim_types::rng::substream;
+use adsim_types::{SimTime, SiteId, UserId};
+use rand::rngs::StdRng;
+use websim::{BrowsingEvent, ExtensionLog, SessionConfig, SessionSchedule, SiteRegistry};
+
+use crate::event::ShardEvent;
+
+/// One user's execution state inside its owning shard.
+struct UserRuntime {
+    id: UserId,
+    /// Auction randomness: substream `engine-user-{id}` of the engine seed.
+    rng: StdRng,
+    /// The user's full browsing schedule, time-sorted.
+    events: Vec<BrowsingEvent>,
+    /// Index of the next unprocessed event.
+    cursor: usize,
+    /// Per-user event counter; becomes the `user_seq` merge-key component.
+    seq: u64,
+}
+
+/// Everything a shard hands back after one tick.
+#[derive(Debug, Clone)]
+pub struct ShardBatch {
+    /// The producing shard's index (for deterministic collection order).
+    pub shard: usize,
+    /// Globally-visible effects, in shard-local production order.
+    pub events: Vec<ShardEvent>,
+    /// Delivery statistics accrued this tick.
+    pub stats: DeliveryStats,
+    /// Page views processed this tick.
+    pub page_views: u64,
+}
+
+/// A shard: exclusive owner of its users' simulation state.
+pub struct ShardState {
+    index: usize,
+    users: Vec<UserRuntime>,
+    freq: FrequencyCaps,
+    extensions: BTreeMap<UserId, ExtensionLog>,
+}
+
+impl ShardState {
+    /// Builds a shard for `users`, generating each user's browsing
+    /// schedule from its own substream of `seed`.
+    pub fn new(
+        index: usize,
+        users: &[UserId],
+        extension_users: &BTreeSet<UserId>,
+        sites: &[SiteId],
+        session: &SessionConfig,
+        seed: u64,
+        frequency_cap: u32,
+    ) -> Self {
+        let runtimes = users
+            .iter()
+            .map(|&id| {
+                let schedule = SessionSchedule::generate_for_user(id, sites, session, seed);
+                UserRuntime {
+                    id,
+                    rng: substream(seed, &format!("engine-user-{}", id.raw())),
+                    events: schedule.events().to_vec(),
+                    cursor: 0,
+                    seq: 0,
+                }
+            })
+            .collect();
+        let extensions = users
+            .iter()
+            .filter(|u| extension_users.contains(u))
+            .map(|&u| (u, ExtensionLog::for_user(u)))
+            .collect();
+        Self {
+            index,
+            users: runtimes,
+            freq: FrequencyCaps::new(frequency_cap),
+            extensions,
+        }
+    }
+
+    /// Number of users owned by this shard.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Runs all of this shard's browsing events with `at < tick_end`.
+    ///
+    /// Reads the platform's catalog state and the tick's frozen `budget`;
+    /// mutates only shard-owned state (cursors, RNGs, frequency caps,
+    /// extension logs). Users are processed sequentially — within a tick
+    /// the decide inputs are frozen and frequency caps are per-user, so
+    /// cross-user processing order cannot influence any outcome.
+    pub fn run_tick<B: BudgetView>(
+        &mut self,
+        platform: &Platform,
+        budget: &B,
+        sites: &SiteRegistry,
+        tick_end: SimTime,
+    ) -> ShardBatch {
+        let mut batch = ShardBatch {
+            shard: self.index,
+            events: Vec::new(),
+            stats: DeliveryStats::default(),
+            page_views: 0,
+        };
+        for user in &mut self.users {
+            let uid = user.id;
+            while user.cursor < user.events.len() {
+                let BrowsingEvent::PageView { site, at, .. } = user.events[user.cursor];
+                if at >= tick_end {
+                    break;
+                }
+                user.cursor += 1;
+                let site = match sites.get(site) {
+                    Some(s) => s,
+                    None => continue,
+                };
+                batch.page_views += 1;
+                for &pixel in &site.pixels {
+                    batch.events.push(ShardEvent::PixelFire {
+                        at,
+                        user: uid,
+                        user_seq: user.seq,
+                        pixel,
+                    });
+                    user.seq += 1;
+                }
+                for _ in 0..site.ad_slots_per_view {
+                    batch.stats.opportunities += 1;
+                    let decision = platform
+                        .decide_browse(uid, at, budget, &self.freq, &mut user.rng)
+                        .expect("engine users are registered on the platform");
+                    match decision.outcome {
+                        adplatform::auction::AuctionOutcome::Won { .. } => {
+                            batch.stats.won += 1;
+                            let pending = decision.pending.expect("a win carries an impression");
+                            // The local cap counter must advance immediately
+                            // so later views in this same tick see it; the
+                            // platform's global counter catches up at merge.
+                            self.freq.bump(pending.ad, uid);
+                            if let Some(log) = self.extensions.get_mut(&uid) {
+                                let creative = platform
+                                    .campaigns
+                                    .ad(pending.ad)
+                                    .expect("won ad exists")
+                                    .creative
+                                    .clone();
+                                log.observe(pending.ad, creative, at);
+                            }
+                            batch.events.push(ShardEvent::Impression {
+                                at,
+                                user: uid,
+                                user_seq: user.seq,
+                                pending,
+                            });
+                            user.seq += 1;
+                        }
+                        adplatform::auction::AuctionOutcome::LostToBackground => {
+                            batch.stats.lost_to_background += 1;
+                        }
+                        adplatform::auction::AuctionOutcome::Unfilled => {
+                            batch.stats.unfilled += 1;
+                        }
+                    }
+                }
+            }
+        }
+        batch
+    }
+
+    /// Consumes the shard, yielding its users' extension logs.
+    pub fn into_extensions(self) -> BTreeMap<UserId, ExtensionLog> {
+        self.extensions
+    }
+}

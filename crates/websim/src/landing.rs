@@ -135,7 +135,10 @@ mod tests {
     fn server_with_pages() -> LandingServer {
         let mut s = LandingServer::new("provider.example");
         for (url, content) in [
-            ("/reveal/net-worth-2m", "Your platform profile includes: Net worth $2M+"),
+            (
+                "/reveal/net-worth-2m",
+                "Your platform profile includes: Net worth $2M+",
+            ),
             ("/reveal/renter", "Your platform profile includes: Renter"),
         ] {
             s.publish(LandingPage {

@@ -113,7 +113,24 @@ impl SessionSchedule {
         Self::from_events(events)
     }
 
-    /// The events, in time order.
+    /// Generates one user's schedule from a substream of `seed` named
+    /// after the user, with [`SessionSchedule::generate`]'s shape.
+    ///
+    /// Because the stream is keyed on the *user* — not on whichever worker
+    /// happens to run them — the user browses bit-identically no matter
+    /// how a parallel driver shards the population. This is the engine's
+    /// session source.
+    pub fn generate_for_user(
+        user: UserId,
+        sites: &[SiteId],
+        config: &SessionConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = adsim_types::rng::substream(seed, &format!("session-user-{}", user.raw()));
+        Self::generate(&[user], sites, config, &mut rng)
+    }
+
+    /// The time-sorted events.
     pub fn events(&self) -> &[BrowsingEvent] {
         &self.events
     }
@@ -139,7 +156,14 @@ impl SessionSchedule {
         sites: &SiteRegistry,
         extensions: &mut BTreeMap<UserId, ExtensionLog>,
     ) -> DriveReport {
-        self.drive_with_clicks(platform, sites, extensions, 0.0, &mut |_, _, _| {}, &mut NoRng)
+        self.drive_with_clicks(
+            platform,
+            sites,
+            extensions,
+            0.0,
+            &mut |_, _, _| {},
+            &mut NoRng,
+        )
     }
 
     /// Like [`SessionSchedule::drive`], but each delivered impression is
@@ -260,6 +284,31 @@ mod tests {
     }
 
     #[test]
+    fn per_user_generation_is_shard_independent() {
+        let sites = vec![SiteId(1), SiteId(2), SiteId(3)];
+        let config = SessionConfig {
+            views_per_user_per_day: 7.5,
+            days: 3,
+        };
+        // The same user's schedule is a pure function of (user, seed) —
+        // regenerating it in any context gives identical events.
+        let a = SessionSchedule::generate_for_user(UserId(5), &sites, &config, 42);
+        let b = SessionSchedule::generate_for_user(UserId(5), &sites, &config, 42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Distinct users and distinct seeds draw distinct streams.
+        let c = SessionSchedule::generate_for_user(UserId(6), &sites, &config, 42);
+        let d = SessionSchedule::generate_for_user(UserId(5), &sites, &config, 43);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        // Every event belongs to the requested user.
+        for e in a.events() {
+            let BrowsingEvent::PageView { user, .. } = e;
+            assert_eq!(*user, UserId(5));
+        }
+    }
+
+    #[test]
     fn drive_delivers_and_captures() {
         let mut p = platform();
         let adv = p.register_advertiser("adv");
@@ -359,7 +408,10 @@ mod tests {
             1.0, // always click
             &mut |u, a, creative| {
                 assert_eq!(a, ad);
-                assert_eq!(creative.landing_url.as_deref(), Some("https://adv.example/x"));
+                assert_eq!(
+                    creative.landing_url.as_deref(),
+                    Some("https://adv.example/x")
+                );
                 clicked.push(u);
             },
             &mut rng,
@@ -461,4 +513,3 @@ mod proptests {
         }
     }
 }
-

@@ -6,6 +6,9 @@
 //!   platform attributes sampled by catalog prevalence, PII, and
 //!   data-broker dossiers matched on via hashed PII (the full
 //!   broker → platform onboarding path).
+//! * [`shard`] — deterministic user partitioning ([`shard::ShardPlan`])
+//!   for the parallel engine: shard membership is a pure function of the
+//!   user id, so any shard count replays the same simulation.
 //! * [`scenario`] — experiment presets, most importantly
 //!   [`scenario::ValidationScenario`]: the paper's §3.1 validation setup —
 //!   the U.S.-2018 platform, two authors (one with the eleven partner
@@ -19,6 +22,8 @@
 pub mod names;
 pub mod population;
 pub mod scenario;
+pub mod shard;
 
 pub use population::{Persona, PopulationConfig, PopulationReport};
 pub use scenario::{CohortScenario, ValidationScenario};
+pub use shard::ShardPlan;

@@ -35,7 +35,11 @@ pub fn email(index: usize) -> String {
 
 /// The synthetic person's phone number (NANP test-range style).
 pub fn phone(index: usize) -> String {
-    format!("+1-555-{:03}-{:04}", (index / 10_000) % 1_000, index % 10_000)
+    format!(
+        "+1-555-{:03}-{:04}",
+        (index / 10_000) % 1_000,
+        index % 10_000
+    )
 }
 
 #[cfg(test)]

@@ -146,7 +146,10 @@ pub fn generate(
             .map(|d| d.id)
             .collect();
         for id in grants {
-            platform.profiles.grant_attribute(user, id).expect("fresh user");
+            platform
+                .profiles
+                .grant_attribute(user, id)
+                .expect("fresh user");
         }
 
         // Broker dossier from a sampled footprint.
@@ -155,9 +158,13 @@ pub fn generate(
             affluence: rng.gen::<f64>(),
             purchase_activity: rng.gen::<f64>(),
         };
-        if let Some(dossier) =
-            coverage.sample_dossier(&broker_catalog, &footprint, &email, phone.as_deref(), &mut rng)
-        {
+        if let Some(dossier) = coverage.sample_dossier(
+            &broker_catalog,
+            &footprint,
+            &email,
+            phone.as_deref(),
+            &mut rng,
+        ) {
             feed.ingest(dossier);
         }
     }
@@ -206,7 +213,10 @@ pub fn install_persona(platform: &mut Platform, persona: &Persona) -> UserId {
             .attributes
             .id_of(name)
             .unwrap_or_else(|| panic!("persona references unknown platform attribute {name:?}"));
-        platform.profiles.grant_attribute(user, id).expect("fresh persona user");
+        platform
+            .profiles
+            .grant_attribute(user, id)
+            .expect("fresh persona user");
     }
     if !persona.partner_attributes.is_empty() {
         let mut record = treads_broker::BrokerRecord::from_pii(&persona.email, None);
@@ -298,7 +308,10 @@ mod tests {
         let user = install_persona(&mut p, &persona);
         let profile = p.profile(user).expect("installed");
         let nw = p.attributes.id_of("Net worth: $2M+").expect("attr");
-        let musicals = p.attributes.id_of("Interest: musicals (Music)").expect("attr");
+        let musicals = p
+            .attributes
+            .id_of("Interest: musicals (Music)")
+            .expect("attr");
         assert!(profile.has_attribute(nw));
         assert!(profile.has_attribute(musicals));
     }

@@ -18,6 +18,7 @@ use adplatform::profile::Gender;
 use adplatform::{Platform, PlatformConfig};
 use adsim_types::rng::SeedSource;
 use adsim_types::{AudienceId, Money, UserId};
+use adsim_types::{SimTime, SiteId};
 use std::collections::BTreeMap;
 use treads_broker::catalog::VALIDATION_ATTRIBUTES;
 use treads_broker::CoverageModel;
@@ -25,7 +26,6 @@ use treads_core::provider::TransparencyProvider;
 use websim::extension::ExtensionLog;
 use websim::session::{BrowsingEvent, SessionSchedule};
 use websim::site::SiteRegistry;
-use adsim_types::{SimTime, SiteId};
 
 /// The staged validation rig.
 #[derive(Debug)]

@@ -1,0 +1,112 @@
+//! Deterministic user partitioning for the parallel engine.
+//!
+//! A [`ShardPlan`] splits a population across N shards by user id (`raw %
+//! N`), so shard membership is a pure function of the user and the shard
+//! count — independent of the order users are listed in, of thread
+//! scheduling, and of everything else. Each shard owns its users
+//! exclusively: their frequency-cap counters, extension logs, and RNG
+//! streams live on exactly one shard, which is what lets the engine run
+//! shards without locks.
+
+use adsim_types::UserId;
+
+/// A partition of users across engine shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: Vec<Vec<UserId>>,
+}
+
+impl ShardPlan {
+    /// Partitions `users` across `shards` shards by `user.raw() % shards`.
+    ///
+    /// Within a shard, users keep the order they were listed in.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn partition(users: &[UserId], shards: usize) -> Self {
+        assert!(shards > 0, "a shard plan needs at least one shard");
+        let mut buckets: Vec<Vec<UserId>> = vec![Vec::new(); shards];
+        for &user in users {
+            buckets[Self::shard_index(user, shards)].push(user);
+        }
+        Self { shards: buckets }
+    }
+
+    /// The shard owning `user` under an N-shard split.
+    pub fn shard_index(user: UserId, shards: usize) -> usize {
+        (user.raw() % shards as u64) as usize
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard user lists.
+    pub fn shards(&self) -> &[Vec<UserId>] {
+        &self.shards
+    }
+
+    /// Total users across all shards.
+    pub fn user_count(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users(n: u64) -> Vec<UserId> {
+        (1..=n).map(UserId).collect()
+    }
+
+    #[test]
+    fn partition_covers_every_user_exactly_once() {
+        let us = users(100);
+        let plan = ShardPlan::partition(&us, 8);
+        assert_eq!(plan.shard_count(), 8);
+        assert_eq!(plan.user_count(), 100);
+        let mut seen: Vec<UserId> = plan.shards().iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, us);
+    }
+
+    #[test]
+    fn membership_is_a_function_of_the_user_id() {
+        let plan = ShardPlan::partition(&users(50), 4);
+        for (i, shard) in plan.shards().iter().enumerate() {
+            for &u in shard {
+                assert_eq!(ShardPlan::shard_index(u, 4), i);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_keeps_input_order() {
+        let us = users(10);
+        let plan = ShardPlan::partition(&us, 1);
+        assert_eq!(plan.shards()[0], us);
+    }
+
+    #[test]
+    fn input_order_does_not_change_membership() {
+        let mut reversed = users(30);
+        reversed.reverse();
+        let a = ShardPlan::partition(&users(30), 3);
+        let b = ShardPlan::partition(&reversed, 3);
+        for shard in 0..3 {
+            let mut xs = a.shards()[shard].clone();
+            let mut ys = b.shards()[shard].clone();
+            xs.sort_unstable();
+            ys.sort_unstable();
+            assert_eq!(xs, ys);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        ShardPlan::partition(&users(1), 0);
+    }
+}

@@ -49,10 +49,16 @@ fn main() {
         "Illinois",
         "60601",
     );
-    platform.profiles.grant_attribute(user, salsa).expect("user");
+    platform
+        .profiles
+        .grant_attribute(user, salsa)
+        .expect("user");
 
     // The platform's own explanation.
-    println!("platform says: {:?}\n", platform.explain(ad, user).expect("explains"));
+    println!(
+        "platform says: {:?}\n",
+        platform.explain(ad, user).expect("explains")
+    );
 
     // The studio publishes its intent explanation alongside the ad.
     let explanation = IntentExplanation {
@@ -75,7 +81,10 @@ fn main() {
     println!(
         "\ndisclosure comparison — platform: {}/{} attributes, no intent; \
          advertiser: {}/{} attributes, intent: {}",
-        cmp.platform_disclosed, cmp.actual, cmp.advertiser_disclosed, cmp.actual,
+        cmp.platform_disclosed,
+        cmp.actual,
+        cmp.advertiser_disclosed,
+        cmp.actual,
         cmp.intent_disclosed
     );
 }

@@ -28,8 +28,20 @@ use treads_repro::websim::extension::ExtensionLog;
 fn main() {
     // Two independent ad platforms ("BlueBook" and "Gaggle").
     let mut platforms: Vec<(&str, Platform)> = vec![
-        ("BlueBook", Platform::us_2018(PlatformConfig { seed: 1, ..Default::default() })),
-        ("Gaggle", Platform::us_2018(PlatformConfig { seed: 2, ..Default::default() })),
+        (
+            "BlueBook",
+            Platform::us_2018(PlatformConfig {
+                seed: 1,
+                ..Default::default()
+            }),
+        ),
+        (
+            "Gaggle",
+            Platform::us_2018(PlatformConfig {
+                seed: 2,
+                ..Default::default()
+            }),
+        ),
     ];
 
     // The provider registers on both, creating a pixel on each for its
@@ -68,7 +80,9 @@ fn main() {
     for ((_, platform), ((_, pixel, _), &user)) in
         platforms.iter_mut().zip(providers.iter().zip(&users))
     {
-        platform.user_fires_pixel(user, *pixel).expect("pixel fires");
+        platform
+            .user_fires_pixel(user, *pixel)
+            .expect("pixel fires");
     }
     for ((name, platform), (_, pixel, _)) in platforms.iter().zip(&providers) {
         println!(

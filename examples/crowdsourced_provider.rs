@@ -27,8 +27,8 @@ fn run_with_accounts(n_accounts: usize) {
         TransparencyProvider::register(&mut platform, "Know Your Data", 7, Money::dollars(10))
             .expect("registration");
     // One opt-in site carries every crowd account's pixel.
-    let channels = setup_crowd_channels(&mut provider, &mut platform, n_accounts)
-        .expect("channels");
+    let channels =
+        setup_crowd_channels(&mut provider, &mut platform, n_accounts).expect("channels");
     let user = platform.register_user(
         34,
         treads_repro::adplatform::profile::Gender::Unspecified,

@@ -22,7 +22,10 @@ fn main() {
 
     // One obfuscated Tread per partner attribute + the control ad.
     let names = s.partner_attribute_names();
-    println!("running {} partner-attribute Treads + 1 control ad…", names.len());
+    println!(
+        "running {} partner-attribute Treads + 1 control ad…",
+        names.len()
+    );
     let plan = CampaignPlan::binary_in_ad("us-partner", &names, Encoding::CodebookToken);
     let mut receipt = s
         .provider

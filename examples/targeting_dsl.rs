@@ -28,7 +28,10 @@ fn main() {
                AND NOT attr:'Relationship: in a relationship'";
     println!("targeting source:\n  {src}\n");
     let expr = dsl::parse(src, &platform.attributes).expect("valid DSL");
-    println!("parsed and re-rendered:\n  {}\n", dsl::render(&expr, &platform.attributes));
+    println!(
+        "parsed and re-rendered:\n  {}\n",
+        dsl::render(&expr, &platform.attributes)
+    );
 
     // Two users: one matching, one in a relationship.
     let musicals = platform
@@ -40,9 +43,15 @@ fn main() {
         .id_of("Relationship: in a relationship")
         .expect("catalog attribute");
     let matching = platform.register_user(29, Gender::Female, "Illinois", "60601");
-    platform.profiles.grant_attribute(matching, musicals).expect("user");
+    platform
+        .profiles
+        .grant_attribute(matching, musicals)
+        .expect("user");
     let taken = platform.register_user(29, Gender::Male, "Illinois", "60601");
-    platform.profiles.grant_attribute(taken, musicals).expect("user");
+    platform
+        .profiles
+        .grant_attribute(taken, musicals)
+        .expect("user");
     platform
         .profiles
         .grant_attribute(taken, relationship)
@@ -62,7 +71,10 @@ fn main() {
         )
         .expect("ad");
 
-    for (label, user) in [("matching user", matching), ("user in a relationship", taken)] {
+    for (label, user) in [
+        ("matching user", matching),
+        ("user in a relationship", taken),
+    ] {
         let outcome = platform.browse(user).expect("browse");
         println!("{label} browses -> {outcome:?}");
     }

@@ -27,6 +27,7 @@ experiments=(
   e12_click_learning
   e13_portability
   e14_time_to_reveal
+  e15_engine_scale
 )
 
 cargo build --release -p treads-bench --bins

@@ -10,5 +10,6 @@ pub use adsim_types;
 pub use treads_baseline as baseline;
 pub use treads_broker as broker;
 pub use treads_core as treads;
+pub use treads_engine as engine;
 pub use treads_workload as workload;
 pub use websim;

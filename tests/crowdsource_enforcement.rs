@@ -27,8 +27,8 @@ fn staged(seed: u64, n_accounts: usize) -> (Platform, TransparencyProvider, Vec<
     let mut provider =
         TransparencyProvider::register(&mut platform, "KYD", seed, Money::dollars(10))
             .expect("provider registers");
-    let channels = setup_crowd_channels(&mut provider, &mut platform, n_accounts)
-        .expect("channels");
+    let channels =
+        setup_crowd_channels(&mut provider, &mut platform, n_accounts).expect("channels");
     (platform, provider, channels)
 }
 
@@ -45,9 +45,8 @@ fn detection_crossover_matches_threshold_arithmetic() {
             .map(|d| d.name.clone())
             .collect();
         let plan = CampaignPlan::binary_in_ad("us", &names, Encoding::CodebookToken);
-        let receipts =
-            run_crowdsourced(&mut provider, &mut platform, &plan, &channels, false)
-                .expect("crowdsourced run");
+        let receipts = run_crowdsourced(&mut provider, &mut platform, &plan, &channels, false)
+            .expect("crowdsourced run");
         let report = survival_after_sweep(&mut platform, &receipts);
         if expect_all_survive {
             assert_eq!(report.suspended, 0, "n={n}");
@@ -138,8 +137,8 @@ fn suspended_accounts_stop_serving_their_treads() {
         platform.profiles.grant_attribute(user, attr).expect("user");
     }
     optin_crowd(&mut platform, &channels, &[user]).expect("optin");
-    let receipts = run_crowdsourced(&mut provider, &mut platform, &plan, &channels, false)
-        .expect("run");
+    let receipts =
+        run_crowdsourced(&mut provider, &mut platform, &plan, &channels, false).expect("run");
     survival_after_sweep(&mut platform, &receipts);
     assert!(platform.suspended.contains(&receipts[0].account));
     // Nothing delivers after suspension.

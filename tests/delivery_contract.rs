@@ -7,19 +7,23 @@
 //! (every true fact's Tread eventually arrives, given enough browsing) is
 //! its utility. Both are asserted here over a generated cohort.
 
+use std::collections::BTreeMap;
 use treads_repro::adplatform::auction::AuctionOutcome;
+use treads_repro::adsim_types::UserId;
 use treads_repro::treads::encoding::Encoding;
 use treads_repro::treads::planner::CampaignPlan;
 use treads_repro::treads::TreadClient;
-use treads_repro::adsim_types::UserId;
 use treads_repro::websim::extension::ExtensionLog;
 use treads_repro::workload::CohortScenario;
-use std::collections::BTreeMap;
 
 fn cohort_with_plan(
     seed: u64,
     n_attrs: usize,
-) -> (CohortScenario, Vec<String>, treads_repro::treads::RunReceipt) {
+) -> (
+    CohortScenario,
+    Vec<String>,
+    treads_repro::treads::RunReceipt,
+) {
     let mut s = CohortScenario::setup(seed, 80, 40);
     // Quiet auctions so completeness is deterministic.
     s.platform.config.auction.competitor_rate = 0.0;
@@ -49,10 +53,11 @@ fn browse_all(s: &mut CohortScenario, rounds: usize) -> BTreeMap<UserId, Extensi
         for &u in &s.opted_in.clone() {
             if let Ok(AuctionOutcome::Won { ad, .. }) = s.platform.browse(u) {
                 let creative = s.platform.campaigns.ad(ad).expect("won").creative.clone();
-                extensions
-                    .get_mut(&u)
-                    .expect("opted user")
-                    .observe(ad, creative, s.platform.clock.now());
+                extensions.get_mut(&u).expect("opted user").observe(
+                    ad,
+                    creative,
+                    s.platform.clock.now(),
+                );
             }
         }
     }
@@ -122,8 +127,7 @@ fn non_opted_users_never_receive_treads() {
             s.platform.browse(u).expect("user exists");
         }
     }
-    let tread_ads: std::collections::BTreeSet<_> =
-        receipt.placed.iter().map(|p| p.ad).collect();
+    let tread_ads: std::collections::BTreeSet<_> = receipt.placed.iter().map(|p| p.ad).collect();
     for &u in &outsiders {
         for imp in s.platform.log.seen_by(u) {
             assert!(

@@ -43,14 +43,29 @@ fn dsl_spec_delivers_to_exactly_the_matching_users() {
 
     // Four users spanning the predicate space.
     let matching = platform.register_user(30, Gender::Female, "Illinois", "60601");
-    platform.profiles.grant_attribute(matching, musicals).expect("u");
+    platform
+        .profiles
+        .grant_attribute(matching, musicals)
+        .expect("u");
     let too_old = platform.register_user(55, Gender::Female, "Illinois", "60601");
-    platform.profiles.grant_attribute(too_old, musicals).expect("u");
+    platform
+        .profiles
+        .grant_attribute(too_old, musicals)
+        .expect("u");
     let wrong_state = platform.register_user(30, Gender::Female, "Ohio", "43004");
-    platform.profiles.grant_attribute(wrong_state, musicals).expect("u");
+    platform
+        .profiles
+        .grant_attribute(wrong_state, musicals)
+        .expect("u");
     let taken = platform.register_user(30, Gender::Female, "Illinois", "60601");
-    platform.profiles.grant_attribute(taken, musicals).expect("u");
-    platform.profiles.grant_attribute(taken, relationship).expect("u");
+    platform
+        .profiles
+        .grant_attribute(taken, musicals)
+        .expect("u");
+    platform
+        .profiles
+        .grant_attribute(taken, relationship)
+        .expect("u");
 
     let adv = platform.register_advertiser("meetup");
     let acct = platform.open_account(adv).expect("account");
@@ -115,9 +130,8 @@ fn radius_targeting_delivers_by_distance() {
 #[test]
 fn location_reveal_pipeline_end_to_end() {
     let mut platform = quiet_platform(3);
-    let mut provider =
-        TransparencyProvider::register(&mut platform, "KYD", 3, Money::dollars(10))
-            .expect("provider");
+    let mut provider = TransparencyProvider::register(&mut platform, "KYD", 3, Money::dollars(10))
+        .expect("provider");
     let (page, audience) = provider
         .setup_page_optin(&mut platform)
         .expect("page opt-in");
@@ -153,9 +167,8 @@ fn location_reveal_pipeline_end_to_end() {
 fn codebook_export_travels_to_the_client() {
     // The opt-in artifact: provider exports, user imports, decoding works.
     let mut platform = quiet_platform(4);
-    let mut provider =
-        TransparencyProvider::register(&mut platform, "KYD", 4, Money::dollars(10))
-            .expect("provider");
+    let mut provider = TransparencyProvider::register(&mut platform, "KYD", 4, Money::dollars(10))
+        .expect("provider");
     let (page, audience) = provider
         .setup_page_optin(&mut platform)
         .expect("page opt-in");
@@ -164,11 +177,7 @@ fn codebook_export_travels_to_the_client() {
     platform.profiles.grant_attribute(user, attr).expect("u");
     platform.user_likes_page(user, page).expect("like");
 
-    let plan = CampaignPlan::binary_in_ad(
-        "nw",
-        &["Net worth: $2M+"],
-        Encoding::CodebookToken,
-    );
+    let plan = CampaignPlan::binary_in_ad("nw", &["Net worth: $2M+"], Encoding::CodebookToken);
     provider
         .run_plan(&mut platform, &plan, audience)
         .expect("plan runs");

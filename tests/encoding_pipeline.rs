@@ -20,9 +20,8 @@ fn rig(seed: u64) -> (Platform, TransparencyProvider, adsim_helpers::Ids) {
         ..PlatformConfig::default()
     });
     platform.config.auction.competitor_rate = 0.0;
-    let provider =
-        TransparencyProvider::register(&mut platform, "KYD", seed, Money::dollars(10))
-            .expect("provider registers");
+    let provider = TransparencyProvider::register(&mut platform, "KYD", seed, Money::dollars(10))
+        .expect("provider registers");
     let (page, audience) = provider
         .setup_page_optin(&mut platform)
         .expect("page opt-in");
@@ -35,11 +34,7 @@ fn rig(seed: u64) -> (Platform, TransparencyProvider, adsim_helpers::Ids) {
     let attr = platform.attributes.id_of("Net worth: $2M+").expect("attr");
     platform.profiles.grant_attribute(user, attr).expect("user");
     platform.user_likes_page(user, page).expect("like");
-    (
-        platform,
-        provider,
-        adsim_helpers::Ids { user, audience },
-    )
+    (platform, provider, adsim_helpers::Ids { user, audience })
 }
 
 mod adsim_helpers {
@@ -62,9 +57,13 @@ fn capture(platform: &mut Platform, user: treads_repro::adsim_types::UserId) -> 
 
 #[test]
 fn every_in_ad_encoding_survives_the_full_pipeline() {
-    for (i, encoding) in [Encoding::CodebookToken, Encoding::ZeroWidth, Encoding::ImageStego]
-        .into_iter()
-        .enumerate()
+    for (i, encoding) in [
+        Encoding::CodebookToken,
+        Encoding::ZeroWidth,
+        Encoding::ImageStego,
+    ]
+    .into_iter()
+    .enumerate()
     {
         let (mut platform, mut provider, ids) = rig(100 + i as u64);
         let plan = CampaignPlan::binary_in_ad("pipe", &["Net worth: $2M+"], encoding);
@@ -99,16 +98,12 @@ fn explicit_encoding_dies_at_policy_review() {
 #[test]
 fn landing_page_pipeline_with_click_through() {
     let (mut platform, mut provider, ids) = rig(300);
-    let plan = CampaignPlan::binary_landing(
-        "pipe",
-        &["Net worth: $2M+"],
-        "https://provider.example/r",
-    );
+    let plan =
+        CampaignPlan::binary_landing("pipe", &["Net worth: $2M+"], "https://provider.example/r");
     // The provider publishes the landing content server-side.
     let mut server = LandingServer::new("provider.example");
     for planned in &plan.treads {
-        if let treads_repro::treads::DisclosureChannel::LandingPage { url } =
-            &planned.tread.channel
+        if let treads_repro::treads::DisclosureChannel::LandingPage { url } = &planned.tread.channel
         {
             server.publish(LandingPage {
                 url: url.clone(),
@@ -120,7 +115,11 @@ fn landing_page_pipeline_with_click_through() {
     let receipt = provider
         .run_plan(&mut platform, &plan, ids.audience)
         .expect("plan runs");
-    assert_eq!(receipt.approved_count(), 1, "innocuous creative passes review");
+    assert_eq!(
+        receipt.approved_count(),
+        1,
+        "innocuous creative passes review"
+    );
 
     let log = capture(&mut platform, ids.user);
     let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);

@@ -21,7 +21,11 @@ fn run_validation(seed: u64) -> (usize, usize, Money, bool, bool) {
     s.provider
         .run_control(&mut s.platform, &mut receipt, s.optin_audience)
         .expect("control runs");
-    assert_eq!(receipt.approved_count(), 507, "all Treads must be placeable");
+    assert_eq!(
+        receipt.approved_count(),
+        507,
+        "all Treads must be placeable"
+    );
 
     let logs = s.browse_authors(60);
     let client = TreadClient::new(s.provider.codebook.clone(), &s.platform.attributes);
@@ -30,14 +34,21 @@ fn run_validation(seed: u64) -> (usize, usize, Money, bool, bool) {
     let control_ad = receipt.control.expect("control placed").1;
     let a_control = logs[&s.author_a].distinct_ads().contains(&control_ad);
     let b_control = logs[&s.author_b].distinct_ads().contains(&control_ad);
-    let invoice = s.provider.view(&s.platform, &receipt).expect("view").invoice;
+    let invoice = s
+        .provider
+        .view(&s.platform, &receipt)
+        .expect("view")
+        .invoice;
     (a.has.len(), b.has.len(), invoice.due, a_control, b_control)
 }
 
 #[test]
 fn validation_reproduces_paper_observations() {
     let (a_revealed, b_revealed, due, a_control, b_control) = run_validation(42);
-    assert_eq!(a_revealed, 11, "author A must decode his 11 partner attributes");
+    assert_eq!(
+        a_revealed, 11,
+        "author A must decode his 11 partner attributes"
+    );
     assert_eq!(b_revealed, 0, "author B has no broker dossier");
     assert_eq!(due, Money::ZERO, "the validation cost the paper $0");
     assert!(a_control && b_control, "both authors reachable via control");
@@ -77,7 +88,10 @@ fn validation_reveals_exactly_the_ground_truth_set() {
     for name in &a.has {
         let id = s.platform.attributes.id_of(name).expect("catalog attr");
         assert!(
-            s.platform.profile(s.author_a).expect("author").has_attribute(id),
+            s.platform
+                .profile(s.author_a)
+                .expect("author")
+                .has_attribute(id),
             "decoded a false fact: {name}"
         );
     }

@@ -51,7 +51,10 @@ fn run_group(m: usize, member_idx: Option<usize>, seed: u64) -> Option<String> {
         .expect("page opt-in");
     let user = platform.register_user(30, Gender::Unspecified, "Ohio", "43004");
     if let Some(idx) = member_idx {
-        let id = platform.attributes.id_of(&format!("Band {idx}")).expect("band");
+        let id = platform
+            .attributes
+            .id_of(&format!("Band {idx}"))
+            .expect("band");
         platform.profiles.grant_attribute(user, id).expect("user");
     }
     platform.user_likes_page(user, page).expect("like");
@@ -74,7 +77,10 @@ fn run_group(m: usize, member_idx: Option<usize>, seed: u64) -> Option<String> {
     }
     let client = TreadClient::new(provider.codebook.clone(), &platform.attributes);
     let profile = client.decode_log(&log, |_| None);
-    assert!(profile.corrupt_groups.is_empty(), "no corrupt decodes expected");
+    assert!(
+        profile.corrupt_groups.is_empty(),
+        "no corrupt decodes expected"
+    );
     profile.group_values.get("band").cloned()
 }
 

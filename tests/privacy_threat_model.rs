@@ -62,7 +62,10 @@ fn provider_view_is_aggregate_only() {
     // Coarse reporting: every delivered Tread is below-floor at this scale.
     for inf in &inferences {
         assert!(inf.below_floor || inf.estimated_holders.is_some());
-        assert!(inf.below_floor, "25-user cohort must stay under the 1000 floor");
+        assert!(
+            inf.below_floor,
+            "25-user cohort must stay under the 1000 floor"
+        );
     }
 }
 
@@ -93,9 +96,8 @@ fn suspended_provider_cannot_continue() {
     use treads_repro::treads::provider::TransparencyProvider;
 
     let mut platform = Platform::us_2018(PlatformConfig::default());
-    let mut provider =
-        TransparencyProvider::register(&mut platform, "KYD", 5, Money::dollars(10))
-            .expect("provider registers");
+    let mut provider = TransparencyProvider::register(&mut platform, "KYD", 5, Money::dollars(10))
+        .expect("provider registers");
     let (_, audience) = provider
         .setup_page_optin(&mut platform)
         .expect("page opt-in");
@@ -114,7 +116,5 @@ fn suspended_provider_cannot_continue() {
     assert!(platform.suspended.contains(&provider.account()));
     // Every further operation on the account fails.
     assert!(provider.setup_page_optin(&mut platform).is_err());
-    assert!(provider
-        .run_plan(&mut platform, &plan, audience)
-        .is_err());
+    assert!(provider.run_plan(&mut platform, &plan, audience).is_err());
 }

@@ -1,0 +1,91 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the scoped-thread API (`crossbeam::scope` /
+//! `crossbeam::thread::scope`) the engine uses, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). Semantics differ from
+//! upstream in one way: a panicking child thread propagates through
+//! `std::thread::scope` instead of surfacing as `Err` from `scope`, so the
+//! `Result` returned here is always `Ok`. Callers that `.unwrap()` the
+//! scope result (the common idiom) behave identically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use thread::scope;
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::thread as std_thread;
+
+    /// A scope handle: spawn borrows non-`'static` data from the
+    /// environment; all spawned threads join before `scope` returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned within a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller's
+    /// stack. Always returns `Ok` (see crate docs for the panic-semantics
+    /// difference from upstream).
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = crate::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,100 @@
+//! Collection strategies (`prop::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.start < self.size.end, "empty size range");
+        let len = rng.usize_in(self.size.start, self.size.end - 1);
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// A `Vec` strategy with elements from `element` and length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeSet<T>` with a target size drawn from `size`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        assert!(self.size.start < self.size.end, "empty size range");
+        let target = rng.usize_in(self.size.start, self.size.end - 1);
+        let mut set = BTreeSet::new();
+        // Duplicate draws shrink the set below `target`; cap the retries so
+        // narrow element domains still terminate.
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target.saturating_mul(10) + 16 {
+            set.insert(self.element.gen_value(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// A `BTreeSet` strategy with elements from `element` and size in `size`.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// Strategy for `BTreeMap<K, V>` with a target size drawn from `size`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        assert!(self.size.start < self.size.end, "empty size range");
+        let target = rng.usize_in(self.size.start, self.size.end - 1);
+        let mut map = BTreeMap::new();
+        let mut attempts = 0usize;
+        while map.len() < target && attempts < target.saturating_mul(10) + 16 {
+            map.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+            attempts += 1;
+        }
+        map
+    }
+}
+
+/// A `BTreeMap` strategy with keys/values from the given strategies and
+/// size in `size`.
+pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy { key, value, size }
+}

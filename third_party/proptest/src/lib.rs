@@ -1,0 +1,163 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's API this workspace's property tests
+//! use — the `proptest!` / `prop_assert*!` / `prop_oneof!` macros, the
+//! [`Strategy`] trait with `prop_map` / `prop_recursive`, range and
+//! regex-literal strategies, `prop::collection::{vec, btree_set,
+//! btree_map}`, `prop::sample::Index`, and `any::<T>()` — as a plain
+//! randomized test runner.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the case number and message;
+//!   re-running is deterministic (the RNG is seeded from the test's module
+//!   path), so failures reproduce exactly.
+//! * **Regex strategies** support the literal/class/`{m,n}` subset the
+//!   workspace uses (e.g. `"[A-Za-z0-9 ]{1,20}"`, `".{0,80}"`), not full
+//!   regex syntax.
+//! * Default case count is 64 (upstream: 256) to fit the single-core CI
+//!   budget; `ProptestConfig::with_cases` overrides per block.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+pub mod test_runner;
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+pub mod strategy;
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+pub mod arbitrary;
+pub use arbitrary::{any, Arbitrary};
+
+pub mod collection;
+pub mod sample;
+pub mod string;
+
+/// The `proptest::prelude`, mirroring the upstream import surface.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::string;
+    }
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items, as upstream.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $( let $arg = $crate::Strategy::gen_value(&($strat), &mut rng); )*
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l == r,
+                    "assertion failed: {:?} != {:?}: {}",
+                    l,
+                    r,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+            }
+        }
+    };
+}
+
+/// Picks one of several strategies (uniformly) per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![ $( $crate::Strategy::boxed($arm) ),+ ])
+    };
+}
+
+// Internal helper used by BoxedStrategy.
+pub(crate) type DynStrategy<V> = Arc<dyn strategy::StrategyObj<Value = V>>;

@@ -1,0 +1,24 @@
+//! Sampling helpers (`prop::sample`).
+
+/// An arbitrary index into a collection of as-yet-unknown size, as in
+/// upstream proptest: draw one via `any::<prop::sample::Index>()`, then
+/// project it onto a concrete length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Self { raw }
+    }
+
+    /// Projects this index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}

@@ -1,0 +1,205 @@
+//! Regex-literal string strategies.
+//!
+//! Upstream proptest treats `&str` strategies as full regexes. This stand-in
+//! parses the subset the workspace actually writes:
+//!
+//! * literal characters (everything outside the forms below)
+//! * `.` — any printable ASCII (0x20..=0x7E)
+//! * `[...]` character classes with ranges (`A-Z`), literal members, and a
+//!   trailing `-` treated literally
+//! * `{n}` / `{m,n}` repetition applied to the preceding atom
+//!
+//! Anything else is generated verbatim as a literal.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One parsed unit of the pattern: a set of candidate chars plus a
+/// repetition range (inclusive).
+#[derive(Debug, Clone)]
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled pattern strategy; see [`pattern`].
+#[derive(Debug, Clone)]
+pub struct PatternStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for PatternStrategy {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = rng.usize_in(atom.min, atom.max);
+            for _ in 0..count {
+                let pick = rng.usize_in(0, atom.chars.len() - 1);
+                out.push(atom.chars[pick]);
+            }
+        }
+        out
+    }
+}
+
+/// All printable ASCII, the expansion of `.` here.
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..=0x7Eu8).map(|b| b as char).collect()
+}
+
+/// Parses a `[...]` body (without brackets) into its member characters.
+fn parse_class(body: &str) -> Vec<char> {
+    let mut chars = Vec::new();
+    let items: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    while i < items.len() {
+        if i + 2 < items.len() && items[i + 1] == '-' {
+            let (lo, hi) = (items[i], items[i + 2]);
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            // Covers literal members and a trailing '-'.
+            chars.push(items[i]);
+            i += 1;
+        }
+    }
+    chars.sort_unstable();
+    chars.dedup();
+    assert!(!chars.is_empty(), "empty character class");
+    chars
+}
+
+/// Parses a `{n}` / `{m,n}` body (without braces) into (min, max).
+fn parse_repeat(body: &str) -> (usize, usize) {
+    match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("bad repetition lower bound"),
+            hi.trim().parse().expect("bad repetition upper bound"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("bad repetition count");
+            (n, n)
+        }
+    }
+}
+
+/// Compiles `pat` into a string strategy.
+pub fn pattern(pat: impl AsRef<str>) -> PatternStrategy {
+    let pat = pat.as_ref();
+    let mut atoms: Vec<Atom> = Vec::new();
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '.' => {
+                atoms.push(Atom {
+                    chars: printable_ascii(),
+                    min: 1,
+                    max: 1,
+                });
+                i += 1;
+            }
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + 1 + p)
+                    .expect("unterminated character class");
+                let body: String = chars[i + 1..close].iter().collect();
+                atoms.push(Atom {
+                    chars: parse_class(&body),
+                    min: 1,
+                    max: 1,
+                });
+                i = close + 1;
+            }
+            '{' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + 1 + p)
+                    .expect("unterminated repetition");
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = parse_repeat(&body);
+                let atom = atoms.last_mut().expect("repetition with no atom");
+                atom.min = min;
+                atom.max = max;
+                i = close + 1;
+            }
+            '\\' => {
+                // Escaped literal.
+                let lit = chars.get(i + 1).copied().expect("dangling escape");
+                atoms.push(Atom {
+                    chars: vec![lit],
+                    min: 1,
+                    max: 1,
+                });
+                i += 2;
+            }
+            c => {
+                atoms.push(Atom {
+                    chars: vec![c],
+                    min: 1,
+                    max: 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    PatternStrategy { atoms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_range_and_literals() {
+        let s = pattern("[A-Za-z0-9 ]{1,20}");
+        let mut rng = TestRng::from_name("class_test");
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng);
+            assert!((1..=20).contains(&v.chars().count()), "{v:?}");
+            assert!(
+                v.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_repetition_allows_empty() {
+        let s = pattern(".{0,80}");
+        let mut rng = TestRng::from_name("dot_test");
+        let mut saw_empty = false;
+        for _ in 0..400 {
+            let v = s.gen_value(&mut rng);
+            assert!(v.chars().count() <= 80);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)), "{v:?}");
+            saw_empty |= v.is_empty();
+        }
+        assert!(saw_empty, "length 0 should occur in 400 draws");
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let s = pattern("[a-c-]{1,8}");
+        let mut rng = TestRng::from_name("dash_test");
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!(v.chars().all(|c| matches!(c, 'a'..='c' | '-')), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn plain_literal_round_trips() {
+        let s = pattern("hello");
+        let mut rng = TestRng::from_name("lit_test");
+        assert_eq!(s.gen_value(&mut rng), "hello");
+    }
+}

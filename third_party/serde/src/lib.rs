@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace decorates types with `#[derive(Serialize, Deserialize)]`
+//! but never serializes them (no format crate is in the tree), so this
+//! stub provides blanket-implemented marker traits and re-exports the
+//! no-op derives under the upstream names. Swapping the real serde back in
+//! requires only restoring the registry dependency — call sites are
+//! source-compatible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
