@@ -70,6 +70,22 @@ pub enum AuctionOutcome {
     Unfilled,
 }
 
+/// How one auction unfolded — the observability counterpart of
+/// [`AuctionOutcome`].
+///
+/// Produced by [`run_auction_traced`] from exactly the same computation
+/// (and RNG draws) as [`run_auction`]; callers that don't need the trace
+/// pay nothing extra by using the untraced form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuctionTrace {
+    /// Advertiser bids that entered the auction.
+    pub advertiser_bids: u32,
+    /// Background competitors sampled for this opportunity.
+    pub background_competitors: u32,
+    /// The strongest background CPM (zero when no competitor bid).
+    pub best_background_cpm: Money,
+}
+
 /// Samples a log-normal value with the given median and log-space sigma,
 /// via the Box–Muller transform (no external distribution crate).
 fn sample_lognormal<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
@@ -87,6 +103,17 @@ fn sample_lognormal<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
 /// Deterministic given the RNG state; ties between our bids break toward
 /// the lowest [`AdId`] so reruns are stable.
 pub fn run_auction<R: Rng>(bids: &[Bid], config: &AuctionConfig, rng: &mut R) -> AuctionOutcome {
+    run_auction_traced(bids, config, rng).0
+}
+
+/// [`run_auction`] plus an [`AuctionTrace`] describing the competitive
+/// environment. Consumes the RNG identically to the untraced form, so
+/// swapping one for the other never perturbs a simulation.
+pub fn run_auction_traced<R: Rng>(
+    bids: &[Bid],
+    config: &AuctionConfig,
+    rng: &mut R,
+) -> (AuctionOutcome, AuctionTrace) {
     // Sample the background competition (Knuth Poisson; rates are small).
     let n_competitors = sample_poisson(rng, config.competitor_rate);
     let mut best_bg = Money::ZERO;
@@ -108,7 +135,7 @@ pub fn run_auction<R: Rng>(bids: &[Bid], config: &AuctionConfig, rng: &mut R) ->
         .filter(|b| b.cpm >= config.reserve_cpm)
         .max_by(|a, b| a.cpm.cmp(&b.cpm).then(b.ad.cmp(&a.ad)));
 
-    match our_best {
+    let outcome = match our_best {
         Some(best) if best.cpm >= best_bg => {
             // Second price: max of (best background bid, our runner-up,
             // reserve).
@@ -132,7 +159,13 @@ pub fn run_auction<R: Rng>(bids: &[Bid], config: &AuctionConfig, rng: &mut R) ->
                 AuctionOutcome::Unfilled
             }
         }
-    }
+    };
+    let trace = AuctionTrace {
+        advertiser_bids: bids.len() as u32,
+        background_competitors: n_competitors,
+        best_background_cpm: best_bg,
+    };
+    (outcome, trace)
 }
 
 /// Knuth's Poisson sampler (adequate for the small rates used here).
@@ -293,6 +326,33 @@ mod tests {
         let high = win_rate(Money::dollars(10), 7);
         assert!(high > low + 0.15, "high={high} low={low}");
         assert!(high > 0.9, "a 5x bid should nearly always win: {high}");
+    }
+
+    #[test]
+    fn traced_auction_matches_untraced_and_counts_competition() {
+        let config = AuctionConfig::default();
+        let bids = [
+            Bid {
+                ad: AdId(1),
+                cpm: Money::dollars(10),
+            },
+            Bid {
+                ad: AdId(2),
+                cpm: Money::dollars(4),
+            },
+        ];
+        for seed in 0..50 {
+            // Identical RNG state for both forms → identical outcomes.
+            let mut a = substream(seed, "auction-traced");
+            let mut b = substream(seed, "auction-traced");
+            let plain = run_auction(&bids, &config, &mut a);
+            let (traced, trace) = run_auction_traced(&bids, &config, &mut b);
+            assert_eq!(plain, traced);
+            assert_eq!(trace.advertiser_bids, 2);
+            if trace.background_competitors == 0 {
+                assert_eq!(trace.best_background_cpm, Money::ZERO);
+            }
+        }
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub struct BillingLedger {
     campaign_account: BTreeMap<CampaignId, AccountId>,
     /// Campaigns whose accrued spend is below this are waived at invoicing.
     pub small_spend_waiver: Money,
+    // Lifetime observability counters, kept as primitives so `Default`
+    // derives cleanly and reads are a plain copy.
+    impressions_charged: u64,
+    charged_micros: i64,
 }
 
 impl BillingLedger {
@@ -94,7 +98,19 @@ impl BillingLedger {
         *self.campaign_spend.entry(campaign).or_default() += price;
         *self.ad_spend.entry(ad).or_default() += price;
         self.campaign_account.insert(campaign, account);
+        self.impressions_charged += 1;
+        self.charged_micros += price.as_micros();
         price
+    }
+
+    /// Lifetime count of impressions this ledger has charged.
+    pub fn impressions_charged(&self) -> u64 {
+        self.impressions_charged
+    }
+
+    /// Lifetime sum of every charge (before waivers).
+    pub fn total_charged(&self) -> Money {
+        Money::micros(self.charged_micros)
     }
 
     /// Accrued spend of a campaign.
@@ -175,6 +191,17 @@ mod tests {
         assert_eq!(ledger.ad_spend(AdId(1)), Money::micros(2_000));
         assert_eq!(ledger.campaign_spend(CampaignId(1)), Money::micros(2_000));
         assert_eq!(ledger.account_spend(AccountId(1)), Money::micros(2_000));
+        assert_eq!(ledger.impressions_charged(), 1);
+        assert_eq!(ledger.total_charged(), Money::micros(2_000));
+    }
+
+    #[test]
+    fn lifetime_counters_span_accounts_and_campaigns() {
+        let mut ledger = BillingLedger::new(Money::ZERO);
+        ledger.charge_impression(AccountId(1), CampaignId(1), AdId(1), Money::dollars(2));
+        ledger.charge_impression(AccountId(2), CampaignId(2), AdId(2), Money::dollars(4));
+        assert_eq!(ledger.impressions_charged(), 2);
+        assert_eq!(ledger.total_charged(), Money::micros(6_000));
     }
 
     #[test]

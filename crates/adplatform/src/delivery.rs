@@ -15,7 +15,7 @@
 //! what makes a received Tread a proof about the recipient's own profile —
 //! the integration tests assert it end-to-end.
 
-use crate::auction::{run_auction, AuctionConfig, AuctionOutcome, Bid};
+use crate::auction::{run_auction_traced, AuctionConfig, AuctionOutcome, AuctionTrace, Bid};
 use crate::audience::AudienceStore;
 use crate::billing::{BillingLedger, BudgetView};
 use crate::campaign::CampaignStore;
@@ -103,6 +103,31 @@ pub struct Decision {
     pub pending: Option<PendingImpression>,
 }
 
+/// Why ads did or did not enter one opportunity's auction — a census of
+/// the eligibility filter, in filter order.
+///
+/// Every ad in the store lands in exactly one bucket (the first filter
+/// that rejects it, or `eligible`), so
+/// `considered == not_servable + suspended + over_budget +
+/// frequency_capped + targeting_mismatch + eligible`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EligibilityBreakdown {
+    /// Ads examined (everything in the campaign store).
+    pub considered: u32,
+    /// Rejected: not approved, or campaign missing.
+    pub not_servable: u32,
+    /// Rejected: owning account suspended.
+    pub suspended: u32,
+    /// Rejected: campaign budget exhausted.
+    pub over_budget: u32,
+    /// Rejected: per-user frequency cap reached.
+    pub frequency_capped: u32,
+    /// Rejected: targeting spec does not match this user.
+    pub targeting_mismatch: u32,
+    /// Survived every filter and entered a bid.
+    pub eligible: u32,
+}
+
 /// Collects the bids eligible for an opportunity shown to `user`.
 ///
 /// Eligibility = ad approved ∧ owning account active ∧ campaign within
@@ -117,33 +142,72 @@ pub fn eligible_bids<B: BudgetView>(
     billing: &B,
     freq: &FrequencyCaps,
 ) -> Vec<Bid> {
+    eligible_bids_traced(user, campaigns, audiences, suspended, billing, freq).0
+}
+
+/// [`eligible_bids`] plus the [`EligibilityBreakdown`] saying where every
+/// non-eligible ad was filtered out. The filter logic is shared — the
+/// traced and untraced forms can never disagree.
+pub fn eligible_bids_traced<B: BudgetView>(
+    user: &UserProfile,
+    campaigns: &CampaignStore,
+    audiences: &AudienceStore,
+    suspended: &BTreeSet<AccountId>,
+    billing: &B,
+    freq: &FrequencyCaps,
+) -> (Vec<Bid>, EligibilityBreakdown) {
     let mut bids = Vec::new();
+    let mut breakdown = EligibilityBreakdown::default();
     for ad in campaigns.ads() {
+        breakdown.considered += 1;
         if !ad.is_servable() {
+            breakdown.not_servable += 1;
             continue;
         }
         let campaign = match campaigns.campaign(ad.campaign) {
             Ok(c) => c,
-            Err(_) => continue,
+            Err(_) => {
+                breakdown.not_servable += 1;
+                continue;
+            }
         };
         if suspended.contains(&campaign.account) {
+            breakdown.suspended += 1;
             continue;
         }
         if !billing.within_budget(campaign.id, campaign.budget) {
+            breakdown.over_budget += 1;
             continue;
         }
         if !freq.allows(ad.id, user.id) {
+            breakdown.frequency_capped += 1;
             continue;
         }
         if !ad.targeting.matches(user, audiences) {
+            breakdown.targeting_mismatch += 1;
             continue;
         }
+        breakdown.eligible += 1;
         bids.push(Bid {
             ad: ad.id,
             cpm: campaign.bid_cpm,
         });
     }
-    bids
+    (bids, breakdown)
+}
+
+/// A [`Decision`] together with the telemetry the decide phase produced
+/// along the way: the eligibility census and the auction trace. Returned
+/// by [`decide_opportunity_traced`]; the engine forwards the extras to its
+/// metrics registry and flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracedDecision {
+    /// The decision itself (what [`decide_opportunity`] returns).
+    pub decision: Decision,
+    /// Where every considered ad was filtered (or not).
+    pub breakdown: EligibilityBreakdown,
+    /// The competitive environment of the auction.
+    pub auction: AuctionTrace,
 }
 
 /// The **decide** half of opportunity handling: eligibility + auction,
@@ -163,8 +227,38 @@ pub fn decide_opportunity<B: BudgetView, R: Rng>(
     auction_cfg: &AuctionConfig,
     rng: &mut R,
 ) -> Decision {
-    let bids = eligible_bids(user, campaigns, audiences, suspended, billing, freq);
-    let outcome = run_auction(&bids, auction_cfg, rng);
+    decide_opportunity_traced(
+        user,
+        at,
+        campaigns,
+        audiences,
+        suspended,
+        billing,
+        freq,
+        auction_cfg,
+        rng,
+    )
+    .decision
+}
+
+/// [`decide_opportunity`] with full tracing. Same filters, same auction,
+/// same RNG consumption — the traced form is the implementation and the
+/// untraced form discards the extras.
+#[allow(clippy::too_many_arguments)]
+pub fn decide_opportunity_traced<B: BudgetView, R: Rng>(
+    user: &UserProfile,
+    at: SimTime,
+    campaigns: &CampaignStore,
+    audiences: &AudienceStore,
+    suspended: &BTreeSet<AccountId>,
+    billing: &B,
+    freq: &FrequencyCaps,
+    auction_cfg: &AuctionConfig,
+    rng: &mut R,
+) -> TracedDecision {
+    let (bids, breakdown) =
+        eligible_bids_traced(user, campaigns, audiences, suspended, billing, freq);
+    let (outcome, auction) = run_auction_traced(&bids, auction_cfg, rng);
     let pending = match outcome {
         AuctionOutcome::Won { ad, clearing_cpm } => {
             // The ad and campaign must exist: they produced a bid above.
@@ -183,7 +277,11 @@ pub fn decide_opportunity<B: BudgetView, R: Rng>(
         }
         AuctionOutcome::LostToBackground | AuctionOutcome::Unfilled => None,
     };
-    Decision { outcome, pending }
+    TracedDecision {
+        decision: Decision { outcome, pending },
+        breakdown,
+        auction,
+    }
 }
 
 /// The **apply** half: charges billing, bumps the frequency counter, and
@@ -443,6 +541,88 @@ mod tests {
         // Billing charged $2 CPM / 1000 = $0.002 to account 2.
         assert_eq!(r.billing.account_spend(AccountId(2)), Money::micros(2_000));
         assert_eq!(r.billing.account_spend(AccountId(1)), Money::ZERO);
+    }
+
+    #[test]
+    fn eligibility_breakdown_buckets_every_ad_once() {
+        let mut r = rig();
+        let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
+        let everyone = TargetingSpec::including(TargetingExpr::Everyone);
+        // One eligible, one suspended, one frequency-capped, one with a
+        // non-matching targeting spec, one unapproved.
+        approved_ad(&mut r, 1, Money::dollars(10), everyone.clone());
+        approved_ad(&mut r, 2, Money::dollars(5), everyone.clone());
+        r.suspended.insert(AccountId(2));
+        let capped = approved_ad(&mut r, 3, Money::dollars(5), everyone.clone());
+        r.freq.bump(capped, user);
+        r.freq.bump(capped, user);
+        approved_ad(
+            &mut r,
+            4,
+            Money::dollars(5),
+            TargetingSpec::including(TargetingExpr::Attr(AttributeId(99))),
+        );
+        let camp = r
+            .campaigns
+            .create_campaign(AccountId(5), "c", Money::dollars(5), None);
+        r.campaigns
+            .create_ad(camp, AdCreative::text("h", "b"), everyone)
+            .expect("ad"); // stays PendingReview
+
+        let profile = r.profiles.get(user).expect("user").clone();
+        let (bids, b) = eligible_bids_traced(
+            &profile,
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+        );
+        assert_eq!(bids.len(), 1);
+        assert_eq!(b.considered, 5);
+        assert_eq!(b.not_servable, 1);
+        assert_eq!(b.suspended, 1);
+        assert_eq!(b.frequency_capped, 1);
+        assert_eq!(b.targeting_mismatch, 1);
+        assert_eq!(b.eligible, 1);
+        assert_eq!(
+            b.considered,
+            b.not_servable
+                + b.suspended
+                + b.over_budget
+                + b.frequency_capped
+                + b.targeting_mismatch
+                + b.eligible
+        );
+
+        // The traced decision agrees with the untraced one.
+        let mut rng_a = substream(77, "delivery-traced");
+        let mut rng_b = substream(77, "delivery-traced");
+        let traced = decide_opportunity_traced(
+            &profile,
+            SimTime(0),
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+            &r.cfg,
+            &mut rng_a,
+        );
+        let plain = decide_opportunity(
+            &profile,
+            SimTime(0),
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+            &r.cfg,
+            &mut rng_b,
+        );
+        assert_eq!(traced.decision, plain);
+        assert_eq!(traced.breakdown, b);
+        assert_eq!(traced.auction.advertiser_bids, 1);
     }
 
     #[test]

@@ -19,7 +19,8 @@ use crate::audience::{AudienceStore, ReachEstimate};
 use crate::billing::{BillingLedger, BudgetView, Invoice};
 use crate::campaign::{AdCreative, AdStatus, CampaignStore};
 use crate::delivery::{
-    apply_impression, decide_opportunity, Decision, DeliveryStats, FrequencyCaps, PendingImpression,
+    apply_impression, decide_opportunity, decide_opportunity_traced, Decision, DeliveryStats,
+    FrequencyCaps, PendingImpression, TracedDecision,
 };
 use crate::enforcement::{scan_account, EnforcementConfig, SuspicionReport};
 use crate::pages::PageRegistry;
@@ -483,8 +484,26 @@ impl Platform {
         freq: &FrequencyCaps,
         rng: &mut R,
     ) -> Result<Decision> {
+        Ok(self
+            .decide_browse_traced(user, at, budget, freq, rng)?
+            .decision)
+    }
+
+    /// [`Platform::decide_browse`] with the eligibility breakdown and
+    /// auction trace attached. The engine's instrumented shard loop calls
+    /// this form and forwards the extras to its telemetry; RNG consumption
+    /// is identical to the untraced form, so mixing the two across runs
+    /// never changes simulation results.
+    pub fn decide_browse_traced<B: BudgetView, R: rand::Rng>(
+        &self,
+        user: UserId,
+        at: SimTime,
+        budget: &B,
+        freq: &FrequencyCaps,
+        rng: &mut R,
+    ) -> Result<TracedDecision> {
         let profile = self.profiles.get(user)?;
-        Ok(decide_opportunity(
+        Ok(decide_opportunity_traced(
             profile,
             at,
             &self.campaigns,

@@ -31,6 +31,12 @@ pub struct Summary {
     pub min: f64,
     /// Maximum observation (0 for an empty sample).
     pub max: f64,
+    /// Median (0 for an empty sample).
+    pub p50: f64,
+    /// 95th percentile (0 for an empty sample).
+    pub p95: f64,
+    /// 99th percentile (0 for an empty sample).
+    pub p99: f64,
 }
 
 impl Summary {
@@ -43,6 +49,9 @@ impl Summary {
                 stddev: 0.0,
                 min: 0.0,
                 max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
             };
         }
         let n = xs.len() as f64;
@@ -50,14 +59,32 @@ impl Summary {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN observations"));
         Summary {
             n: xs.len(),
             mean,
             stddev: var.sqrt(),
             min,
             max,
+            p50: quantile_sorted(&sorted, 0.50),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
         }
     }
+}
+
+/// The `q`-quantile of an ascending-sorted, non-empty sample, by linear
+/// interpolation between closest ranks (the numpy/R type-7 default):
+/// the quantile sits at fractional index `q · (n − 1)`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile domain: 0 <= q <= 1");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 /// `ln Γ(x)` for `x > 0`, by the Lanczos approximation (g = 7, n = 9).
@@ -292,6 +319,40 @@ mod tests {
         let empty = Summary::of(&[]);
         assert_eq!(empty.n, 0);
         assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.p50, 0.0);
+    }
+
+    #[test]
+    fn summary_quantiles_match_reference_values() {
+        // 1..=4 under type-7 interpolation: p50 = 2.5, p95 = 3.85,
+        // p99 = 3.97 (reference: numpy.percentile default).
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]); // unsorted on purpose
+        close(s.p50, 2.5, 1e-12);
+        close(s.p95, 3.85, 1e-12);
+        close(s.p99, 3.97, 1e-12);
+        // 0..=100: quantiles are exact at integer ranks.
+        let xs: Vec<f64> = (0..=100).map(f64::from).collect();
+        let s = Summary::of(&xs);
+        close(s.p50, 50.0, 1e-12);
+        close(s.p95, 95.0, 1e-12);
+        close(s.p99, 99.0, 1e-12);
+        // A constant sample collapses every quantile to the constant.
+        let s = Summary::of(&[7.0; 13]);
+        close(s.p50, 7.0, 1e-12);
+        close(s.p99, 7.0, 1e-12);
+        // Singleton.
+        let s = Summary::of(&[42.0]);
+        close(s.p50, 42.0, 1e-12);
+        close(s.p95, 42.0, 1e-12);
+    }
+
+    #[test]
+    fn quantile_sorted_interpolates_linearly() {
+        let xs = [10.0, 20.0];
+        close(quantile_sorted(&xs, 0.0), 10.0, 1e-12);
+        close(quantile_sorted(&xs, 0.5), 15.0, 1e-12);
+        close(quantile_sorted(&xs, 0.75), 17.5, 1e-12);
+        close(quantile_sorted(&xs, 1.0), 20.0, 1e-12);
     }
 
     #[test]

@@ -3,15 +3,16 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use adplatform::Platform;
-use adsim_types::{SimTime, UserId};
+use adsim_types::{CampaignId, SimTime, UserId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use treads_telemetry::{span, FlightEvent, FlightKind, Telemetry};
 use treads_workload::ShardPlan;
 use websim::{ExtensionLog, SessionConfig, SiteRegistry};
 
 use crate::event::ShardEvent;
 use crate::merge::merge_batches;
-use crate::shard::{ShardBatch, ShardState};
+use crate::shard::{ShardBatch, ShardState, TickProbe};
 
 /// Milliseconds per simulated day.
 pub const DAY_MS: u64 = 86_400_000;
@@ -109,6 +110,47 @@ impl Engine {
         users: &[UserId],
         extension_users: &BTreeSet<UserId>,
     ) -> EngineOutcome {
+        let mut telemetry = Telemetry::disabled();
+        self.run_with_telemetry(platform, sites, users, extension_users, &mut telemetry)
+    }
+
+    /// [`Engine::run`] with full observability: returns the outcome plus a
+    /// [`Telemetry`] snapshot holding per-phase wall-time histograms
+    /// (`phase.session_gen_ns`, `phase.auction_ns`, `phase.delivery_ns`,
+    /// `phase.merge_ns`, `phase.apply_ns`), per-tick latency
+    /// (`engine.tick_ns`), deterministic counters, and the flight journal.
+    ///
+    /// Instrumentation never draws randomness or feeds back into the
+    /// simulation, so instrumented and uninstrumented runs produce
+    /// bit-identical platform state; and because shard metric registries
+    /// merge by addition in shard-index order, the merged counters and
+    /// value histograms are also identical across shard counts (only the
+    /// `*_ns` wall-time histograms vary run to run).
+    pub fn run_instrumented(
+        &self,
+        platform: &mut Platform,
+        sites: &SiteRegistry,
+        users: &[UserId],
+        extension_users: &BTreeSet<UserId>,
+    ) -> (EngineOutcome, Telemetry) {
+        let mut telemetry = Telemetry::new();
+        let outcome =
+            self.run_with_telemetry(platform, sites, users, extension_users, &mut telemetry);
+        (outcome, telemetry)
+    }
+
+    /// The engine core: runs the simulation, recording into the caller's
+    /// `telemetry` handle (which may be disabled — [`Engine::run`] passes a
+    /// disabled one, making instrumentation overhead measurable in a
+    /// single binary).
+    pub fn run_with_telemetry(
+        &self,
+        platform: &mut Platform,
+        sites: &SiteRegistry,
+        users: &[UserId],
+        extension_users: &BTreeSet<UserId>,
+        telemetry: &mut Telemetry,
+    ) -> EngineOutcome {
         let plan = ShardPlan::partition(users, self.config.shards);
         let site_ids = sites.ids();
         let frequency_cap = platform.config.frequency_cap;
@@ -117,32 +159,34 @@ impl Engine {
 
         // Shard construction (session generation) is itself per-user
         // deterministic, so it parallelizes the same way ticks do.
-        let mut shards: Vec<ShardState> = crossbeam::scope(|s| {
-            let handles: Vec<_> = plan
-                .shards()
-                .iter()
-                .enumerate()
-                .map(|(index, shard_users)| {
-                    let site_ids = &site_ids;
-                    s.spawn(move |_| {
-                        ShardState::new(
-                            index,
-                            shard_users,
-                            extension_users,
-                            site_ids,
-                            session,
-                            seed,
-                            frequency_cap,
-                        )
+        let mut shards: Vec<ShardState> = span!(telemetry, "phase.session_gen_ns", {
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = plan
+                    .shards()
+                    .iter()
+                    .enumerate()
+                    .map(|(index, shard_users)| {
+                        let site_ids = &site_ids;
+                        s.spawn(move |_| {
+                            ShardState::new(
+                                index,
+                                shard_users,
+                                extension_users,
+                                site_ids,
+                                session,
+                                seed,
+                                frequency_cap,
+                            )
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard construction does not panic"))
-                .collect()
-        })
-        .expect("engine scope");
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard construction does not panic"))
+                    .collect()
+            })
+            .expect("engine scope")
+        });
 
         let horizon = self.config.session.days * DAY_MS;
         let mut report = EngineReport {
@@ -151,8 +195,17 @@ impl Engine {
             ..EngineReport::default()
         };
 
+        let probe = TickProbe {
+            record: telemetry.is_enabled(),
+            flight_capacity: telemetry.flight_capacity(),
+        };
+        // Campaigns already seen crossing their budget, so exhaustion is
+        // journaled once per campaign, at the tick whose fold crossed it.
+        let mut exhausted: BTreeSet<CampaignId> = BTreeSet::new();
+
         let mut tick_start = 0u64;
         while tick_start < horizon {
+            let tick_timer = telemetry.span();
             let tick_end = (tick_start + self.config.tick_ms).min(horizon);
             let budget = platform.billing.budget_snapshot();
             let collected: Mutex<Vec<ShardBatch>> = Mutex::new(Vec::new());
@@ -163,15 +216,21 @@ impl Engine {
                 crossbeam::scope(|s| {
                     for shard in shards.iter_mut() {
                         s.spawn(move |_| {
-                            let batch = shard.run_tick(platform, budget, sites, SimTime(tick_end));
+                            let batch =
+                                shard.run_tick(platform, budget, sites, SimTime(tick_end), probe);
                             collected.lock().push(batch);
                         });
                     }
                 })
                 .expect("engine tick scope");
             }
-            let batches = collected.into_inner();
+            let mut batches = collected.into_inner();
+            // Threads push batches in completion order; shard-index order
+            // is the canonical one for every per-tick fold below.
+            batches.sort_by_key(|b| b.shard);
 
+            let mut tick_flight: Vec<FlightEvent> = Vec::new();
+            let mut shard_flight_dropped = 0u64;
             for batch in &batches {
                 report.page_views += batch.page_views;
                 report.opportunities += batch.stats.opportunities;
@@ -179,9 +238,27 @@ impl Engine {
                 platform.stats.won += batch.stats.won;
                 platform.stats.lost_to_background += batch.stats.lost_to_background;
                 platform.stats.unfilled += batch.stats.unfilled;
+                telemetry.merge_registry(&batch.telemetry);
+                tick_flight.extend(batch.flight.iter().copied());
+                shard_flight_dropped += batch.flight_dropped;
+            }
+            // Flight events sort by the same canonical key as the event
+            // merge, so journal content is shard-count-invariant (as long
+            // as no shard's per-tick ring overflowed).
+            tick_flight.sort_by_key(FlightEvent::key);
+            telemetry.append_events(tick_flight);
+            if shard_flight_dropped > 0 {
+                telemetry.count("flight.dropped_in_shards", shard_flight_dropped);
             }
 
-            let merged = merge_batches(batches.into_iter().map(|b| b.events).collect());
+            let merged = span!(telemetry, "phase.merge_ns", {
+                merge_batches(batches.into_iter().map(|b| b.events).collect())
+            });
+            let apply_timer = telemetry.span();
+            let recording = telemetry.is_enabled();
+            let mut charged_campaigns: BTreeSet<CampaignId> = BTreeSet::new();
+            let mut pixel_fires = 0u64;
+            let mut impressions = 0u64;
             for event in merged {
                 match event {
                     ShardEvent::PixelFire {
@@ -189,18 +266,67 @@ impl Engine {
                     } => {
                         if platform.apply_pixel_fire(user, pixel, at).is_ok() {
                             report.pixel_fires += 1;
+                            pixel_fires += 1;
                         }
                     }
-                    ShardEvent::Impression { pending, .. } => {
-                        platform.apply_impression(&pending);
+                    ShardEvent::Impression {
+                        user_seq, pending, ..
+                    } => {
+                        let price = platform.apply_impression(&pending);
                         report.impressions += 1;
+                        impressions += 1;
+                        if recording {
+                            charged_campaigns.insert(pending.campaign);
+                            telemetry.record_event(FlightEvent {
+                                at: pending.at,
+                                user: pending.user,
+                                seq: user_seq,
+                                kind: FlightKind::ImpressionBilled {
+                                    ad: pending.ad.raw(),
+                                    campaign: pending.campaign.raw(),
+                                    account: pending.account.raw(),
+                                    price_micros: price.as_micros(),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+            telemetry.count("engine.pixel_fires", pixel_fires);
+            telemetry.count("engine.impressions", impressions);
+            telemetry.end_span("phase.apply_ns", apply_timer);
+
+            // A campaign can only cross its budget in a tick that charged
+            // it, so checking the charged set covers every transition.
+            if telemetry.is_enabled() {
+                for campaign in charged_campaigns {
+                    if exhausted.contains(&campaign) {
+                        continue;
+                    }
+                    let budget_limit = match platform.campaigns.campaign(campaign) {
+                        Ok(c) => c.budget,
+                        Err(_) => continue,
+                    };
+                    if !platform.billing.within_budget(campaign, budget_limit) {
+                        exhausted.insert(campaign);
+                        telemetry.count("delivery.budget_exhaustions", 1);
+                        telemetry.record_event(FlightEvent {
+                            at: SimTime(tick_end),
+                            user: UserId(0),
+                            seq: campaign.raw(),
+                            kind: FlightKind::BudgetExhausted {
+                                campaign: campaign.raw(),
+                            },
+                        });
                     }
                 }
             }
 
             platform.clock.advance_to(SimTime(tick_end));
             report.ticks += 1;
+            telemetry.count("engine.ticks", 1);
             tick_start = tick_end;
+            telemetry.end_span("engine.tick_ns", tick_timer);
         }
 
         let mut extensions = BTreeMap::new();

@@ -36,7 +36,11 @@ pub mod shard;
 pub use engine::{Engine, EngineConfig, EngineOutcome, EngineReport, DAY_MS};
 pub use event::ShardEvent;
 pub use merge::merge_batches;
-pub use shard::{ShardBatch, ShardState};
+pub use shard::{ShardBatch, ShardState, TickProbe};
+// The observability substrate, re-exported so engine callers can name
+// `Telemetry` and friends without depending on the crate directly.
+pub use treads_telemetry as telemetry;
+pub use treads_telemetry::Telemetry;
 
 #[cfg(test)]
 mod tests {
@@ -135,6 +139,51 @@ mod tests {
             for (u, log) in &o1.extensions {
                 assert_eq!(log.observations(), on.extensions[u].observations());
             }
+        }
+    }
+
+    #[test]
+    fn instrumentation_does_not_perturb_the_simulation() {
+        // The same scenario through run() and run_instrumented() must
+        // mutate the platform identically: telemetry observes, it does
+        // not perturb (no RNG draws, no state feedback).
+        let (mut p_plain, sites, users, _camp) = scenario(25);
+        let (mut p_inst, _, _, _) = scenario(25);
+        let config = EngineConfig {
+            shards: 3,
+            session: SessionConfig {
+                views_per_user_per_day: 4.0,
+                days: 3,
+            },
+            seed: 7,
+            ..EngineConfig::default()
+        };
+        let extension_users: BTreeSet<UserId> = users.iter().copied().collect();
+        let plain = Engine::new(config.clone()).run(&mut p_plain, &sites, &users, &extension_users);
+        let (inst, telemetry) =
+            Engine::new(config).run_instrumented(&mut p_inst, &sites, &users, &extension_users);
+        assert_eq!(plain.report, inst.report);
+        assert_eq!(p_plain.stats, p_inst.stats);
+        assert_eq!(p_plain.log.all(), p_inst.log.all());
+        for (u, log) in &plain.extensions {
+            assert_eq!(log.observations(), inst.extensions[u].observations());
+        }
+        // The instrumented run actually recorded (when compiled in).
+        if cfg!(feature = "telemetry") {
+            assert_eq!(
+                telemetry.metrics().counter("engine.impressions"),
+                inst.report.impressions
+            );
+            assert_eq!(telemetry.metrics().counter("engine.ticks"), 3);
+            assert_eq!(
+                telemetry.metrics().counter("auction.won"),
+                inst.report.impressions
+            );
+            assert!(telemetry.metrics().histogram("engine.tick_ns").is_some());
+            assert!(telemetry.metrics().histogram("phase.auction_ns").is_some());
+            assert!(!telemetry.flight().is_empty());
+        } else {
+            assert!(telemetry.metrics().is_empty());
         }
     }
 

@@ -23,6 +23,8 @@ use adplatform::Platform;
 use adsim_types::rng::substream;
 use adsim_types::{SimTime, SiteId, UserId};
 use rand::rngs::StdRng;
+use std::time::Instant;
+use treads_telemetry::{FlightEvent, FlightKind, FlightRecorder, Histogram, Registry};
 use websim::{BrowsingEvent, ExtensionLog, SessionConfig, SessionSchedule, SiteRegistry};
 
 use crate::event::ShardEvent;
@@ -38,6 +40,52 @@ struct UserRuntime {
     cursor: usize,
     /// Per-user event counter; becomes the `user_seq` merge-key component.
     seq: u64,
+    /// Per-user flight-event counter: the `seq` tie-breaker of this user's
+    /// journal entries. Advances only on journaled events, entirely from
+    /// user-owned state, so it is shard-count-invariant like `seq`.
+    fseq: u64,
+}
+
+/// What a shard should record during a tick, decided once by the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct TickProbe {
+    /// Record metrics and flight events this tick.
+    pub record: bool,
+    /// Ring capacity for the shard's per-tick flight journal.
+    pub flight_capacity: usize,
+}
+
+impl TickProbe {
+    /// A probe that records nothing (what [`crate::Engine::run`] uses).
+    pub fn off() -> Self {
+        Self {
+            record: false,
+            flight_capacity: 1,
+        }
+    }
+}
+
+/// Delivery (win handling) is micro-scale work — timing every win would
+/// cost more than the work itself — so `phase.delivery_ns` times one win
+/// in this many and scales the sample up.
+const DELIVERY_SAMPLE: u64 = 16;
+
+/// Tick-local counter accumulator. Hot-loop increments hit plain fields;
+/// the registry (a name-keyed map) is touched once per tick at flush.
+#[derive(Default)]
+struct TickTally {
+    page_views: u64,
+    considered: u64,
+    not_servable: u64,
+    suspended: u64,
+    over_budget: u64,
+    frequency_capped: u64,
+    targeting_mismatch: u64,
+    won: u64,
+    lost_to_background: u64,
+    unfilled: u64,
+    cap_rejections: u64,
+    treads_observed: u64,
 }
 
 /// Everything a shard hands back after one tick.
@@ -51,6 +99,12 @@ pub struct ShardBatch {
     pub stats: DeliveryStats,
     /// Page views processed this tick.
     pub page_views: u64,
+    /// Metrics recorded this tick (empty when the probe was off).
+    pub telemetry: Registry,
+    /// Flight events journaled this tick, in shard-local production order.
+    pub flight: Vec<FlightEvent>,
+    /// Flight events this shard's per-tick ring evicted.
+    pub flight_dropped: u64,
 }
 
 /// A shard: exclusive owner of its users' simulation state.
@@ -83,6 +137,7 @@ impl ShardState {
                     events: schedule.events().to_vec(),
                     cursor: 0,
                     seq: 0,
+                    fseq: 0,
                 }
             })
             .collect();
@@ -111,21 +166,44 @@ impl ShardState {
     /// extension logs). Users are processed sequentially — within a tick
     /// the decide inputs are frozen and frequency caps are per-user, so
     /// cross-user processing order cannot influence any outcome.
+    ///
+    /// `probe` controls telemetry: with it on, the shard additionally
+    /// fills the batch's metrics registry and flight journal. Telemetry
+    /// never touches an RNG and every recorded quantity derives from
+    /// user-owned state, so probed and unprobed runs simulate identically.
     pub fn run_tick<B: BudgetView>(
         &mut self,
         platform: &Platform,
         budget: &B,
         sites: &SiteRegistry,
         tick_end: SimTime,
+        probe: TickProbe,
     ) -> ShardBatch {
+        // `cfg!` first so the whole recording path const-folds away when
+        // the engine is built without its `telemetry` feature.
+        let record = cfg!(feature = "telemetry") && probe.record;
         let mut batch = ShardBatch {
             shard: self.index,
             events: Vec::new(),
             stats: DeliveryStats::default(),
             page_views: 0,
+            telemetry: Registry::new(),
+            flight: Vec::new(),
+            flight_dropped: 0,
         };
+        let mut flight = FlightRecorder::with_capacity(probe.flight_capacity.max(1));
+        // Phase wall time accumulates across the whole tick and is
+        // observed once, so the histograms read "per shard-tick". The
+        // auction timer chains per *user* (two clock reads per user-tick,
+        // not per opportunity) and covers the whole decide loop; delivery
+        // is sampled — see `DELIVERY_SAMPLE`.
+        let mut auction_ns = 0u64;
+        let mut delivery_ns = 0u64;
+        let mut tally = TickTally::default();
+        let mut eligible_hist = Histogram::small_values();
         for user in &mut self.users {
             let uid = user.id;
+            let mut chain = if record { Some(Instant::now()) } else { None };
             while user.cursor < user.events.len() {
                 let BrowsingEvent::PageView { site, at, .. } = user.events[user.cursor];
                 if at >= tick_end {
@@ -137,6 +215,7 @@ impl ShardState {
                     None => continue,
                 };
                 batch.page_views += 1;
+                tally.page_views += 1;
                 for &pixel in &site.pixels {
                     batch.events.push(ShardEvent::PixelFire {
                         at,
@@ -148,12 +227,63 @@ impl ShardState {
                 }
                 for _ in 0..site.ad_slots_per_view {
                     batch.stats.opportunities += 1;
-                    let decision = platform
-                        .decide_browse(uid, at, budget, &self.freq, &mut user.rng)
+                    let traced = platform
+                        .decide_browse_traced(uid, at, budget, &self.freq, &mut user.rng)
                         .expect("engine users are registered on the platform");
+                    if record {
+                        let b = traced.breakdown;
+                        eligible_hist.observe(u64::from(b.eligible));
+                        tally.considered += u64::from(b.considered);
+                        tally.not_servable += u64::from(b.not_servable);
+                        tally.suspended += u64::from(b.suspended);
+                        tally.over_budget += u64::from(b.over_budget);
+                        tally.frequency_capped += u64::from(b.frequency_capped);
+                        tally.targeting_mismatch += u64::from(b.targeting_mismatch);
+                        let outcome_tag = match traced.decision.outcome {
+                            adplatform::auction::AuctionOutcome::Won { .. } => "won",
+                            adplatform::auction::AuctionOutcome::LostToBackground => {
+                                "lost_to_background"
+                            }
+                            adplatform::auction::AuctionOutcome::Unfilled => "unfilled",
+                        };
+                        flight.record(FlightEvent {
+                            at,
+                            user: uid,
+                            seq: user.fseq,
+                            kind: FlightKind::AuctionDecided {
+                                outcome: outcome_tag,
+                                eligible: b.eligible,
+                                frequency_capped: b.frequency_capped,
+                                over_budget: b.over_budget,
+                            },
+                        });
+                        user.fseq += 1;
+                        if b.frequency_capped > 0 {
+                            tally.cap_rejections += 1;
+                            flight.record(FlightEvent {
+                                at,
+                                user: uid,
+                                seq: user.fseq,
+                                kind: FlightKind::CapRejection {
+                                    ads_capped: b.frequency_capped,
+                                },
+                            });
+                            user.fseq += 1;
+                        }
+                    }
+                    let decision = traced.decision;
                     match decision.outcome {
                         adplatform::auction::AuctionOutcome::Won { .. } => {
                             batch.stats.won += 1;
+                            tally.won += 1;
+                            let sample = match chain {
+                                Some(t) if tally.won % DELIVERY_SAMPLE == 0 => {
+                                    let mid = Instant::now();
+                                    auction_ns += (mid - t).as_nanos() as u64;
+                                    Some(mid)
+                                }
+                                _ => None,
+                            };
                             let pending = decision.pending.expect("a win carries an impression");
                             // The local cap counter must advance immediately
                             // so later views in this same tick see it; the
@@ -167,6 +297,18 @@ impl ShardState {
                                     .creative
                                     .clone();
                                 log.observe(pending.ad, creative, at);
+                                if record {
+                                    tally.treads_observed += 1;
+                                    flight.record(FlightEvent {
+                                        at,
+                                        user: uid,
+                                        seq: user.fseq,
+                                        kind: FlightKind::TreadObserved {
+                                            ad: pending.ad.raw(),
+                                        },
+                                    });
+                                    user.fseq += 1;
+                                }
                             }
                             batch.events.push(ShardEvent::Impression {
                                 at,
@@ -175,16 +317,46 @@ impl ShardState {
                                 pending,
                             });
                             user.seq += 1;
+                            if let Some(mid) = sample {
+                                let end = Instant::now();
+                                delivery_ns += (end - mid).as_nanos() as u64 * DELIVERY_SAMPLE;
+                                chain = Some(end);
+                            }
                         }
                         adplatform::auction::AuctionOutcome::LostToBackground => {
                             batch.stats.lost_to_background += 1;
+                            tally.lost_to_background += 1;
                         }
                         adplatform::auction::AuctionOutcome::Unfilled => {
                             batch.stats.unfilled += 1;
+                            tally.unfilled += 1;
                         }
                     }
                 }
             }
+            if let Some(t) = chain {
+                auction_ns += t.elapsed().as_nanos() as u64;
+            }
+        }
+        if record {
+            let reg = &mut batch.telemetry;
+            reg.add("engine.page_views", tally.page_views);
+            reg.add("eligibility.considered", tally.considered);
+            reg.add("eligibility.not_servable", tally.not_servable);
+            reg.add("eligibility.suspended", tally.suspended);
+            reg.add("eligibility.over_budget", tally.over_budget);
+            reg.add("eligibility.frequency_capped", tally.frequency_capped);
+            reg.add("eligibility.targeting_mismatch", tally.targeting_mismatch);
+            reg.add("auction.won", tally.won);
+            reg.add("auction.lost_to_background", tally.lost_to_background);
+            reg.add("auction.unfilled", tally.unfilled);
+            reg.add("delivery.cap_rejections", tally.cap_rejections);
+            reg.add("treads.observed", tally.treads_observed);
+            reg.merge_histogram("auction.eligible_bids", &eligible_hist);
+            reg.observe_ns("phase.auction_ns", auction_ns);
+            reg.observe_ns("phase.delivery_ns", delivery_ns);
+            batch.flight_dropped = flight.dropped();
+            batch.flight = flight.drain();
         }
         batch
     }

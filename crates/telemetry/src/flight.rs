@@ -1,0 +1,251 @@
+//! The flight recorder: a bounded journal of structured platform events.
+//!
+//! In the spirit of signed-transaction ad accountability, every decision
+//! the platform makes about a user-visible ad — auction decided, impression
+//! billed, frequency-cap rejection, budget exhaustion, Tread observed — can
+//! be journaled as a [`FlightEvent`] and dumped post-mortem. The journal is
+//! a ring buffer: it keeps the most recent `capacity` events and counts
+//! what it dropped, so a million-user run records a bounded tail instead of
+//! an unbounded log.
+//!
+//! Determinism: shard threads tag each event with the canonical
+//! `(at, user, seq)` key ([`FlightEvent::key`]); the engine sorts each
+//! tick's events by that key before appending, so the journal's *content*
+//! is identical for every shard count as long as no per-shard ring
+//! overflows within a single tick (the same canonical-order argument as
+//! the event merge).
+
+use adsim_types::{SimTime, UserId};
+
+/// What happened, with the fields a post-mortem needs.
+///
+/// Ids are raw `u64`s rather than the `adplatform` newtypes so this crate
+/// stays at the substrate layer (it must not depend on the platform it
+/// observes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// An impression opportunity was auctioned.
+    AuctionDecided {
+        /// `"won"`, `"lost_to_background"`, or `"unfilled"`.
+        outcome: &'static str,
+        /// Ads that survived every eligibility filter and entered bids.
+        eligible: u32,
+        /// Ads excluded by the per-user frequency cap.
+        frequency_capped: u32,
+        /// Ads excluded because their campaign budget was exhausted.
+        over_budget: u32,
+    },
+    /// A won impression was charged and logged.
+    ImpressionBilled {
+        /// The delivered ad.
+        ad: u64,
+        /// Its campaign.
+        campaign: u64,
+        /// The charged account.
+        account: u64,
+        /// Price charged for this impression, in micro-USD.
+        price_micros: i64,
+    },
+    /// The frequency cap excluded at least one otherwise-eligible ad.
+    CapRejection {
+        /// How many ads the cap filtered from this opportunity.
+        ads_capped: u32,
+    },
+    /// A campaign's accrued spend crossed its budget this tick.
+    BudgetExhausted {
+        /// The exhausted campaign.
+        campaign: u64,
+    },
+    /// An extension user observed a Tread-carrying ad.
+    TreadObserved {
+        /// The observed ad.
+        ad: u64,
+    },
+}
+
+impl FlightKind {
+    /// A stable lowercase tag for serialization.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FlightKind::AuctionDecided { .. } => "auction_decided",
+            FlightKind::ImpressionBilled { .. } => "impression_billed",
+            FlightKind::CapRejection { .. } => "cap_rejection",
+            FlightKind::BudgetExhausted { .. } => "budget_exhausted",
+            FlightKind::TreadObserved { .. } => "tread_observed",
+        }
+    }
+}
+
+/// One journaled platform event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Simulated instant of the event.
+    pub at: SimTime,
+    /// The user involved (`UserId(0)` for campaign-level events such as
+    /// budget exhaustion, which no single user owns).
+    pub user: UserId,
+    /// Deterministic tie-breaker: a per-user event counter for user
+    /// events, the campaign id for campaign-level events.
+    pub seq: u64,
+    /// What happened.
+    pub kind: FlightKind,
+}
+
+impl FlightEvent {
+    /// The canonical sort key, mirroring the engine's event-merge key.
+    pub fn key(&self) -> (SimTime, UserId, u64) {
+        (self.at, self.user, self.seq)
+    }
+}
+
+/// A bounded ring-buffer journal of [`FlightEvent`]s.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    /// Overwrite ring: grows by pushing until `capacity`, then wraps.
+    /// `start` indexes the oldest retained event (always 0 until full).
+    events: Vec<FlightEvent>,
+    start: usize,
+    dropped: u64,
+}
+
+/// Default journal capacity (events retained before the ring drops the
+/// oldest).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` events. The ring is
+    /// preallocated in full so the hot recording path never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs a positive capacity");
+        Self {
+            capacity,
+            events: Vec::with_capacity(capacity),
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Journals one event, overwriting the oldest if the ring is full.
+    pub fn record(&mut self, event: FlightEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.start] = event;
+            self.start += 1;
+            if self.start == self.capacity {
+                self.start = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Appends a batch of events in the given order (the engine sorts each
+    /// tick's events canonically before calling this).
+    pub fn append(&mut self, events: impl IntoIterator<Item = FlightEvent>) {
+        for e in events {
+            self.record(e);
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.events[self.start..]
+            .iter()
+            .chain(self.events[..self.start].iter())
+    }
+
+    /// Drains the retained events, oldest first, leaving the ring empty
+    /// (drop accounting is preserved).
+    pub fn drain(&mut self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.start..]);
+        out.extend_from_slice(&self.events[..self.start]);
+        self.events.clear();
+        self.start = 0;
+        out
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, user: u64, seq: u64) -> FlightEvent {
+        FlightEvent {
+            at: SimTime(at),
+            user: UserId(user),
+            seq,
+            kind: FlightKind::CapRejection { ads_capped: 1 },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_latest_events() {
+        let mut r = FlightRecorder::with_capacity(3);
+        for i in 0..5 {
+            r.record(ev(i, 1, i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ats: Vec<u64> = r.events().map(|e| e.at.0).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn key_orders_like_the_engine_merge() {
+        let mut events = [ev(2, 1, 0), ev(1, 9, 3), ev(1, 2, 1), ev(1, 2, 0)];
+        events.sort_by_key(FlightEvent::key);
+        let keys: Vec<(u64, u64, u64)> = events
+            .iter()
+            .map(|e| (e.at.0, e.user.raw(), e.seq))
+            .collect();
+        assert_eq!(keys, vec![(1, 2, 0), (1, 2, 1), (1, 9, 3), (2, 1, 0)]);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_drop_count() {
+        let mut r = FlightRecorder::with_capacity(2);
+        r.append([ev(0, 1, 0), ev(1, 1, 1), ev(2, 1, 2)]);
+        assert_eq!(r.dropped(), 1);
+        let drained = r.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn kind_tags_are_stable() {
+        assert_eq!(
+            FlightKind::BudgetExhausted { campaign: 1 }.tag(),
+            "budget_exhausted"
+        );
+        assert_eq!(FlightKind::TreadObserved { ad: 2 }.tag(), "tread_observed");
+    }
+}

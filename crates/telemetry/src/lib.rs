@@ -1,0 +1,278 @@
+//! Deterministic observability for the Treads simulation stack: metrics,
+//! spans, and a flight recorder.
+//!
+//! Three layers, all allocation-light and free of global state:
+//!
+//! - [`metrics`] — named counters and fixed-bucket histograms with
+//!   p50/p95/p99 readout. Shards own private registries and the engine
+//!   folds them together at tick boundaries in shard-index order, so
+//!   merged counter totals and value histograms are **bit-identical
+//!   across shard counts**.
+//! - [`span`] — a scoped stopwatch ([`SpanTimer`]) plus the [`span!`]
+//!   macro for timing the engine's per-tick phases (session generation,
+//!   auction, delivery, merge, apply) into `*_ns` histograms.
+//! - [`flight`] — a bounded ring-buffer journal ([`FlightRecorder`]) of
+//!   structured platform events (auction decided, impression billed,
+//!   frequency-cap rejection, budget exhaustion, Tread observed) for
+//!   post-mortem dumps.
+//!
+//! The [`Telemetry`] handle bundles all three behind a runtime `enabled`
+//! switch and a compile-time `record` feature: with the feature off every
+//! recording call is an inlined no-op, so instrumentation points cost
+//! nothing in compiled-out builds. Telemetry never draws randomness and
+//! never feeds back into simulation state — it observes, it does not
+//! perturb.
+//!
+//! Snapshots render by hand (the workspace vendors a no-op `serde`
+//! stand-in) as JSON ([`Telemetry::snapshot_json`]) or Prometheus text
+//! ([`Telemetry::snapshot_prometheus`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+
+pub use flight::{FlightEvent, FlightKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use metrics::{Histogram, Registry};
+pub use span::SpanTimer;
+
+/// The bundled telemetry handle: a metrics [`Registry`], a
+/// [`FlightRecorder`], and an on/off switch.
+///
+/// All recording methods are no-ops when the handle is disabled or the
+/// `record` feature is compiled out; read methods always work (and simply
+/// see empty state).
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    enabled: bool,
+    metrics: Registry,
+    flight: FlightRecorder,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// An enabled handle with the default flight capacity.
+    pub fn new() -> Self {
+        Self::with_flight_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// An enabled handle whose flight recorder retains `capacity` events.
+    pub fn with_flight_capacity(capacity: usize) -> Self {
+        Self {
+            enabled: true,
+            metrics: Registry::new(),
+            flight: FlightRecorder::with_capacity(capacity),
+        }
+    }
+
+    /// A handle whose recording methods all no-op. Useful for measuring
+    /// instrumentation overhead in the same binary.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::new()
+        }
+    }
+
+    /// True if recording is compiled in *and* this handle is switched on.
+    pub fn is_enabled(&self) -> bool {
+        cfg!(feature = "record") && self.enabled
+    }
+
+    /// The flight recorder's ring capacity.
+    pub fn flight_capacity(&self) -> usize {
+        self.flight.capacity()
+    }
+
+    /// Adds `delta` to the named counter.
+    #[inline]
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        if self.is_enabled() {
+            self.metrics.add(name, delta);
+        }
+    }
+
+    /// Records a wall-time observation, in nanoseconds.
+    #[inline]
+    pub fn observe_ns(&mut self, name: &'static str, ns: u64) {
+        if self.is_enabled() {
+            self.metrics.observe_ns(name, ns);
+        }
+    }
+
+    /// Records a small count-valued observation.
+    #[inline]
+    pub fn observe_value(&mut self, name: &'static str, value: u64) {
+        if self.is_enabled() {
+            self.metrics.observe_value(name, value);
+        }
+    }
+
+    /// Journals one flight event.
+    #[inline]
+    pub fn record_event(&mut self, event: FlightEvent) {
+        if self.is_enabled() {
+            self.flight.record(event);
+        }
+    }
+
+    /// Appends pre-sorted flight events (the engine sorts each tick's
+    /// events by [`FlightEvent::key`] before calling this).
+    pub fn append_events(&mut self, events: impl IntoIterator<Item = FlightEvent>) {
+        if self.is_enabled() {
+            self.flight.append(events);
+        }
+    }
+
+    /// Starts a span timer bound to this handle's enabled state. Pair with
+    /// [`Telemetry::end_span`], or use the [`span!`] macro.
+    #[inline]
+    pub fn span(&self) -> SpanTimer {
+        SpanTimer::start_if(self.is_enabled())
+    }
+
+    /// Ends a span timer, recording its elapsed time into the named
+    /// wall-time histogram (no-op for inert timers).
+    #[inline]
+    pub fn end_span(&mut self, name: &'static str, timer: SpanTimer) {
+        if timer.is_running() {
+            self.observe_ns(name, timer.elapsed_ns());
+        }
+    }
+
+    /// Folds another metrics registry into this handle's (shard → engine
+    /// merge path). Addition commutes, so totals are shard-count-invariant.
+    pub fn merge_registry(&mut self, other: &Registry) {
+        if self.is_enabled() {
+            self.metrics.merge(other);
+        }
+    }
+
+    /// Folds another handle's metrics and flight journal into this one.
+    pub fn merge(&mut self, other: &Telemetry) {
+        if self.is_enabled() {
+            self.metrics.merge(&other.metrics);
+            self.flight.append(other.flight.events().copied());
+        }
+    }
+
+    /// The metrics registry (read-only).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The flight recorder (read-only).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Drains and returns the flight journal, oldest first.
+    pub fn take_flight_events(&mut self) -> Vec<FlightEvent> {
+        self.flight.drain()
+    }
+
+    /// Renders the full snapshot as JSON (see [`snapshot::to_json`]).
+    pub fn snapshot_json(&self) -> String {
+        snapshot::to_json(self)
+    }
+
+    /// Renders counters and histograms as Prometheus text
+    /// (see [`snapshot::to_prometheus`]).
+    pub fn snapshot_prometheus(&self) -> String {
+        snapshot::to_prometheus(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsim_types::{SimTime, UserId};
+
+    fn tread_event(seq: u64) -> FlightEvent {
+        FlightEvent {
+            at: SimTime(seq),
+            user: UserId(1),
+            seq,
+            kind: FlightKind::TreadObserved { ad: seq },
+        }
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn enabled_handle_records_everything() {
+        let mut t = Telemetry::new();
+        assert!(t.is_enabled());
+        t.count("auction.won", 2);
+        t.observe_value("auction.eligible_bids", 5);
+        t.record_event(tread_event(0));
+        let timer = t.span();
+        assert!(timer.is_running());
+        t.end_span("phase.auction_ns", timer);
+
+        assert_eq!(t.metrics().counter("auction.won"), 2);
+        assert_eq!(
+            t.metrics()
+                .histogram("auction.eligible_bids")
+                .expect("recorded")
+                .count(),
+            1
+        );
+        assert!(t.metrics().histogram("phase.auction_ns").is_some());
+        assert_eq!(t.flight().len(), 1);
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let mut t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.count("auction.won", 2);
+        t.observe_ns("engine.tick_ns", 1_000);
+        t.observe_value("auction.eligible_bids", 5);
+        t.record_event(tread_event(0));
+        let timer = t.span();
+        assert!(!timer.is_running());
+        t.end_span("phase.auction_ns", timer);
+
+        assert!(t.metrics().is_empty());
+        assert!(t.flight().is_empty());
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn merge_folds_metrics_and_flight() {
+        let mut a = Telemetry::new();
+        a.count("engine.impressions", 1);
+        a.record_event(tread_event(0));
+        let mut b = Telemetry::new();
+        b.count("engine.impressions", 2);
+        b.observe_value("auction.eligible_bids", 3);
+        b.record_event(tread_event(1));
+
+        a.merge(&b);
+        assert_eq!(a.metrics().counter("engine.impressions"), 3);
+        assert_eq!(a.flight().len(), 2);
+
+        let mut c = Telemetry::new();
+        c.merge_registry(b.metrics());
+        assert_eq!(c.metrics().counter("engine.impressions"), 2);
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn take_flight_events_drains_in_order() {
+        let mut t = Telemetry::new();
+        t.append_events([tread_event(0), tread_event(1)]);
+        let events = t.take_flight_events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].key() < events[1].key());
+        assert!(t.flight().is_empty());
+    }
+}

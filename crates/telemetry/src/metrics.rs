@@ -1,0 +1,459 @@
+//! Counters and fixed-bucket histograms.
+//!
+//! Both are plain owned values — a shard owns one [`Registry`], mutates it
+//! without any synchronization, and hands it back to the engine, which
+//! folds shard registries together with [`Registry::merge`] in shard-index
+//! order at tick boundaries. Merging is element-wise addition, so merged
+//! **counter totals and value histograms are invariant to the shard
+//! count** (addition commutes); only wall-clock histograms (the `*_ns`
+//! namespace) vary run to run.
+
+use std::collections::BTreeMap;
+
+/// Default bucket bounds for wall-time observations, in nanoseconds:
+/// 1 µs … ~17 s, doubling per bucket (25 bounds + overflow).
+pub fn time_bounds_ns() -> Vec<u64> {
+    (0..25).map(|i| 1_000u64 << i).collect()
+}
+
+/// Default bucket bounds for small count-valued observations
+/// (0, 1, 2, …, 16, 32, 64, 128, 256 + overflow).
+pub fn small_value_bounds() -> Vec<u64> {
+    let mut b: Vec<u64> = (0..=16).collect();
+    b.extend([32, 64, 128, 256]);
+    b
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Buckets are defined by strictly increasing upper bounds (inclusive,
+/// `value <= bound`), plus one implicit overflow bucket. Two histograms
+/// with identical bounds merge by adding bucket counts, which makes the
+/// merge **associative and commutative** (property-tested in this crate
+/// and in the workspace integration suite).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` entries; the last is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given strictly increasing bucket bounds.
+    pub fn with_bounds(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Self {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// A histogram shaped for nanosecond wall times (see [`time_bounds_ns`]).
+    pub fn time_ns() -> Self {
+        Self::with_bounds(time_bounds_ns())
+    }
+
+    /// A histogram shaped for small counts (see [`small_value_bounds`]).
+    pub fn small_values() -> Self {
+        Self::with_bounds(small_value_bounds())
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds another histogram into this one. Panics if the bucket bounds
+    /// differ — merging only makes sense between same-shaped histograms.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The bucket upper bounds (exclusive of the overflow bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries, overflow last).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimates the `q`-quantile (0 < q ≤ 1) from the bucket counts.
+    ///
+    /// Finds the bucket containing the target rank and interpolates
+    /// linearly between its lower and upper bound; the result is clamped
+    /// to the exactly-tracked `[min, max]`, so single-bucket and tail
+    /// estimates stay sane.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile domain: 0 <= q <= 1");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lower = if idx == 0 { 0 } else { self.bounds[idx - 1] };
+                let upper = if idx < self.bounds.len() {
+                    self.bounds[idx]
+                } else {
+                    self.max
+                };
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lower as f64 + (upper.saturating_sub(lower)) as f64 * frac;
+                return (est as u64).clamp(self.min(), self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// The `[p50, p95, p99]` quantile estimates.
+    pub fn percentiles(&self) -> [u64; 3] {
+        [
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        ]
+    }
+}
+
+/// A named collection of counters and histograms.
+///
+/// Metric names are `&'static str` so the hot path never allocates; the
+/// `BTreeMap` keeps every snapshot deterministically ordered. Naming
+/// convention: dotted namespaces (`auction.won`), and wall-clock
+/// histograms end in `_ns` — the determinism tests exclude exactly that
+/// suffix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records a wall-time observation in nanoseconds (auto-registering a
+    /// [`Histogram::time_ns`]-shaped histogram).
+    pub fn observe_ns(&mut self, name: &'static str, ns: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(Histogram::time_ns)
+            .observe(ns);
+    }
+
+    /// Records a small count-valued observation (auto-registering a
+    /// [`Histogram::small_values`]-shaped histogram).
+    pub fn observe_value(&mut self, name: &'static str, value: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(Histogram::small_values)
+            .observe(value);
+    }
+
+    /// Folds a locally-accumulated histogram into the named one (created
+    /// empty with `h`'s bounds if absent). Hot loops observe into a local
+    /// [`Histogram`] and flush once, instead of paying a name lookup per
+    /// observation.
+    pub fn merge_histogram(&mut self, name: &'static str, h: &Histogram) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::with_bounds(h.bounds().to_vec()))
+            .merge(h);
+    }
+
+    /// The named counter's value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any observation registered it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counters
+    }
+
+    /// All histograms, name-ordered.
+    pub fn histograms(&self) -> &BTreeMap<&'static str, Histogram> {
+        &self.histograms
+    }
+
+    /// Folds another registry into this one: counters add, histograms
+    /// merge bucket-wise. Order-independent, so merging shard registries
+    /// in shard-index order yields totals invariant to the shard count.
+    pub fn merge(&mut self, other: &Registry) {
+        for (&name, &v) in &other.counters {
+            self.add(name, v);
+        }
+        for (&name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name, h.clone());
+                }
+            }
+        }
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_default_to_zero() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("auction.won"), 0);
+        r.add("auction.won", 2);
+        r.add("auction.won", 3);
+        assert_eq!(r.counter("auction.won"), 5);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_count_sum_min_max() {
+        let mut h = Histogram::with_bounds(vec![10, 100, 1000]);
+        for v in [1, 5, 50, 500, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5556);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 5000);
+        assert_eq!(h.bucket_counts(), &[2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::time_ns();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_match_reference_values() {
+        // 100 observations 1..=100 against bounds 10, 20, …, 100: every
+        // bucket holds exactly 10, so interpolation is exact at bucket
+        // edges and the classic percentiles land where expected.
+        let mut h = Histogram::with_bounds((1..=10).map(|i| i * 10).collect());
+        for v in 1..=100 {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.50), 50);
+        assert_eq!(h.quantile(0.95), 95);
+        assert_eq!(h.quantile(0.99), 99);
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.percentiles(), [50, 95, 99]);
+    }
+
+    #[test]
+    fn quantile_of_constant_sample_is_the_constant() {
+        let mut h = Histogram::with_bounds(vec![1_000, 1_000_000]);
+        for _ in 0..37 {
+            h.observe(4_242);
+        }
+        // Interpolation would guess inside (1000, 1000000]; the min/max
+        // clamp pins it to the only observed value.
+        assert_eq!(h.quantile(0.5), 4_242);
+        assert_eq!(h.quantile(0.99), 4_242);
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_uses_max() {
+        let mut h = Histogram::with_bounds(vec![10]);
+        h.observe(5);
+        h.observe(1_000);
+        h.observe(2_000);
+        assert_eq!(h.quantile(1.0), 2_000);
+        assert!(h.quantile(0.99) <= 2_000);
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_stats() {
+        let mut a = Histogram::with_bounds(vec![10, 100]);
+        let mut b = a.clone();
+        a.observe(5);
+        a.observe(50);
+        b.observe(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1]);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::with_bounds(vec![10]);
+        let b = Histogram::with_bounds(vec![20]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn registry_merge_is_order_invariant() {
+        let mut a = Registry::new();
+        a.add("x", 1);
+        a.observe_value("h", 3);
+        let mut b = Registry::new();
+        b.add("x", 2);
+        b.add("y", 7);
+        b.observe_value("h", 9);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("x"), 3);
+        assert_eq!(ab.counter("y"), 7);
+        assert_eq!(ab.histogram("h").expect("merged").count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hist_of(values: &[u64]) -> Histogram {
+        let mut h = Histogram::small_values();
+        for &v in values {
+            h.observe(v);
+        }
+        h
+    }
+
+    proptest! {
+        /// Histogram merge is commutative: a ⊕ b == b ⊕ a.
+        #[test]
+        fn merge_commutes(
+            a in prop::collection::vec(0u64..1_000, 0..40),
+            b in prop::collection::vec(0u64..1_000, 0..40),
+        ) {
+            let (ha, hb) = (hist_of(&a), hist_of(&b));
+            let mut ab = ha.clone();
+            ab.merge(&hb);
+            let mut ba = hb.clone();
+            ba.merge(&ha);
+            prop_assert_eq!(ab, ba);
+        }
+
+        /// Histogram merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c),
+        /// and both equal observing everything into one histogram.
+        #[test]
+        fn merge_associates(
+            a in prop::collection::vec(0u64..1_000, 0..30),
+            b in prop::collection::vec(0u64..1_000, 0..30),
+            c in prop::collection::vec(0u64..1_000, 0..30),
+        ) {
+            let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+            let mut right_tail = hb.clone();
+            right_tail.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&right_tail);
+            prop_assert_eq!(&left, &right);
+
+            let mut all: Vec<u64> = a.clone();
+            all.extend(&b);
+            all.extend(&c);
+            prop_assert_eq!(left, hist_of(&all));
+        }
+
+        /// Quantile estimates always land within the observed range and
+        /// are monotone in q.
+        #[test]
+        fn quantiles_are_bounded_and_monotone(
+            values in prop::collection::vec(0u64..10_000, 1..60),
+        ) {
+            let h = hist_of(&values);
+            let lo = *values.iter().min().expect("nonempty");
+            let hi = *values.iter().max().expect("nonempty");
+            let mut prev = 0u64;
+            for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+                let v = h.quantile(q);
+                prop_assert!(v >= lo && v <= hi, "q={q}: {v} outside [{lo}, {hi}]");
+                prop_assert!(v >= prev, "quantiles must be monotone");
+                prev = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate a treads-telemetry JSON snapshot.
+
+Used by CI after an instrumented simulation run: checks that the snapshot
+parses as JSON and contains the metric catalog an engine run must emit
+(see DESIGN.md "Observability"). Exits non-zero with a diagnostic when a
+required key is missing or a histogram is empty.
+
+Usage: check_telemetry_snapshot.py <snapshot.json>
+"""
+
+import json
+import sys
+
+REQUIRED_COUNTERS = [
+    "engine.ticks",
+    "engine.page_views",
+    "engine.impressions",
+    "auction.won",
+    "eligibility.considered",
+]
+
+REQUIRED_HISTOGRAMS = [
+    "engine.tick_ns",
+    "phase.session_gen_ns",
+    "phase.auction_ns",
+    "phase.delivery_ns",
+    "phase.merge_ns",
+    "phase.apply_ns",
+    "auction.eligible_bids",
+]
+
+HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "p50", "p95", "p99", "buckets"]
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <snapshot.json>")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    if snap.get("enabled") is not True:
+        fail("snapshot says telemetry was not enabled")
+
+    counters = snap.get("counters")
+    if not isinstance(counters, dict):
+        fail("missing 'counters' object")
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            fail(f"missing counter '{name}' (have: {sorted(counters)})")
+        if not isinstance(counters[name], int) or counters[name] < 0:
+            fail(f"counter '{name}' is not a non-negative integer")
+    if counters["engine.impressions"] == 0:
+        fail("instrumented run delivered no impressions")
+
+    histograms = snap.get("histograms")
+    if not isinstance(histograms, dict):
+        fail("missing 'histograms' object")
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in histograms:
+            fail(f"missing histogram '{name}' (have: {sorted(histograms)})")
+        h = histograms[name]
+        for field in HISTOGRAM_FIELDS:
+            if field not in h:
+                fail(f"histogram '{name}' lacks field '{field}'")
+        if h["count"] == 0:
+            fail(f"histogram '{name}' recorded no observations")
+        if not (h["min"] <= h["p50"] <= h["p95"] <= h["p99"] <= h["max"]):
+            fail(f"histogram '{name}' quantiles are not monotone: {h}")
+        if not any(b.get("le") == "+Inf" for b in h["buckets"]):
+            fail(f"histogram '{name}' lacks a +Inf bucket")
+
+    flight = snap.get("flight")
+    if not isinstance(flight, dict) or "events" not in flight:
+        fail("missing 'flight' journal")
+    if not flight["events"]:
+        fail("flight journal is empty")
+    kinds = {e.get("kind") for e in flight["events"]}
+    if "auction_decided" not in kinds:
+        fail(f"flight journal has no auction_decided events (kinds: {sorted(kinds)})")
+
+    print(
+        f"OK: {path}: {len(counters)} counters, {len(histograms)} histograms, "
+        f"{len(flight['events'])} flight events "
+        f"({counters['engine.impressions']} impressions over {counters['engine.ticks']} ticks)"
+    )
+
+
+if __name__ == "__main__":
+    main()
