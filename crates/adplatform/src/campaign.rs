@@ -6,6 +6,7 @@
 //! containing 507 ads — one per partner attribute — plus one control ad
 //! targeting the opted-in audience with no further parameters.
 
+use crate::index::{SelectionMode, TargetingIndex};
 use crate::targeting::TargetingSpec;
 use adsim_types::{AccountId, AdId, CampaignId, Error, Money, Result};
 use serde::{Deserialize, Serialize};
@@ -112,12 +113,20 @@ pub struct Campaign {
 }
 
 /// Store of campaigns and ads.
+///
+/// Alongside the primary maps the store maintains a
+/// [`TargetingIndex`] filing every ad under its anchor signal at
+/// creation; [`crate::delivery::eligible_bids`] consults it (or not,
+/// per [`SelectionMode`]) to avoid scanning the whole inventory per
+/// opportunity.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignStore {
     campaigns: BTreeMap<CampaignId, Campaign>,
     ads: BTreeMap<AdId, Ad>,
     next_campaign: u64,
     next_ad: u64,
+    index: TargetingIndex,
+    selection: SelectionMode,
 }
 
 impl CampaignStore {
@@ -164,6 +173,7 @@ impl CampaignStore {
         self.next_ad += 1;
         let id = AdId(self.next_ad);
         camp.ads.push(id);
+        self.index.insert(id, &targeting);
         self.ads.insert(
             id,
             Ad {
@@ -229,6 +239,23 @@ impl CampaignStore {
     /// Total number of ads.
     pub fn ad_count(&self) -> usize {
         self.ads.len()
+    }
+
+    /// The inverted targeting index over this store's ads.
+    pub fn index(&self) -> &TargetingIndex {
+        &self.index
+    }
+
+    /// How delivery gathers candidate ads from this store.
+    pub fn selection_mode(&self) -> SelectionMode {
+        self.selection
+    }
+
+    /// Switches candidate selection between the indexed path and the
+    /// linear-scan oracle. Both produce identical outputs; this exists
+    /// for verification and benchmarking.
+    pub fn set_selection_mode(&mut self, mode: SelectionMode) {
+        self.selection = mode;
     }
 }
 

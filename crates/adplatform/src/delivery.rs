@@ -5,7 +5,11 @@
 //!
 //! 1. collects the **eligible** ads — approved, account active, campaign
 //!    within budget, under the per-user frequency cap, and whose targeting
-//!    spec matches the user (the delivery contract);
+//!    spec matches the user (the delivery contract). Candidates come
+//!    either from the [`crate::index`] inverted targeting index (the
+//!    default — per-opportunity cost proportional to plausibly-matching
+//!    ads) or from a linear scan of the whole store (the verification
+//!    oracle); both produce identical bids;
 //! 2. runs the second-price [`crate::auction`] against background
 //!    competition;
 //! 3. on a win, records the impression, charges billing, and bumps the
@@ -18,7 +22,8 @@
 use crate::auction::{run_auction_traced, AuctionConfig, AuctionOutcome, AuctionTrace, Bid};
 use crate::audience::AudienceStore;
 use crate::billing::{BillingLedger, BudgetView};
-use crate::campaign::CampaignStore;
+use crate::campaign::{Ad, CampaignStore};
+use crate::index::SelectionMode;
 use crate::profile::UserProfile;
 use crate::reporting::{Impression, ImpressionLog};
 use adsim_types::{AccountId, AdId, CampaignId, Money, SimTime, UserId};
@@ -106,13 +111,25 @@ pub struct Decision {
 /// Why ads did or did not enter one opportunity's auction — a census of
 /// the eligibility filter, in filter order.
 ///
-/// Every ad in the store lands in exactly one bucket (the first filter
+/// Every ad *examined* lands in exactly one bucket (the first filter
 /// that rejects it, or `eligible`), so
 /// `considered == not_servable + suspended + over_budget +
 /// frequency_capped + targeting_mismatch + eligible`.
+///
+/// Under [`SelectionMode::LinearScan`] every ad in the store is
+/// examined and `index_pruned` is zero. Under
+/// [`SelectionMode::Indexed`] only the index's candidate set is
+/// examined; the rest — ads whose targeting provably cannot match this
+/// user — land in `index_pruned`, so
+/// `considered + index_pruned == ad_count`. Pruning never changes the
+/// bids: a pruned ad lacks a signal its include expression requires, so
+/// it would have been filtered (at `targeting_mismatch` or earlier)
+/// anyway.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EligibilityBreakdown {
-    /// Ads examined (everything in the campaign store).
+    /// Ads examined by the filter chain (the whole store under
+    /// [`SelectionMode::LinearScan`]; the index's candidate set under
+    /// [`SelectionMode::Indexed`]).
     pub considered: u32,
     /// Rejected: not approved, or campaign missing.
     pub not_servable: u32,
@@ -126,6 +143,10 @@ pub struct EligibilityBreakdown {
     pub targeting_mismatch: u32,
     /// Survived every filter and entered a bid.
     pub eligible: u32,
+    /// Skipped without examination: the inverted index proved the ad's
+    /// targeting cannot match this user. Always zero under
+    /// [`SelectionMode::LinearScan`].
+    pub index_pruned: u32,
 }
 
 /// Collects the bids eligible for an opportunity shown to `user`.
@@ -158,42 +179,96 @@ pub fn eligible_bids_traced<B: BudgetView>(
 ) -> (Vec<Bid>, EligibilityBreakdown) {
     let mut bids = Vec::new();
     let mut breakdown = EligibilityBreakdown::default();
-    for ad in campaigns.ads() {
-        breakdown.considered += 1;
-        if !ad.is_servable() {
-            breakdown.not_servable += 1;
-            continue;
-        }
-        let campaign = match campaigns.campaign(ad.campaign) {
-            Ok(c) => c,
-            Err(_) => {
-                breakdown.not_servable += 1;
-                continue;
+    match campaigns.selection_mode() {
+        SelectionMode::LinearScan => {
+            for ad in campaigns.ads() {
+                consider_ad(
+                    ad,
+                    user,
+                    campaigns,
+                    audiences,
+                    suspended,
+                    billing,
+                    freq,
+                    &mut bids,
+                    &mut breakdown,
+                );
             }
-        };
-        if suspended.contains(&campaign.account) {
-            breakdown.suspended += 1;
-            continue;
         }
-        if !billing.within_budget(campaign.id, campaign.budget) {
-            breakdown.over_budget += 1;
-            continue;
+        SelectionMode::Indexed => {
+            // Candidates come back in ascending ad-id order — the same
+            // order `campaigns.ads()` iterates — and are a superset of
+            // the targeting-matching ads, so the surviving bid vector is
+            // identical to the linear scan's.
+            let candidates = campaigns.index().candidates(user, audiences);
+            breakdown.index_pruned = (campaigns.ad_count() - candidates.len()) as u32;
+            for id in candidates {
+                let ad = campaigns.ad(id).expect("indexed ads exist in the store");
+                consider_ad(
+                    ad,
+                    user,
+                    campaigns,
+                    audiences,
+                    suspended,
+                    billing,
+                    freq,
+                    &mut bids,
+                    &mut breakdown,
+                );
+            }
         }
-        if !freq.allows(ad.id, user.id) {
-            breakdown.frequency_capped += 1;
-            continue;
-        }
-        if !ad.targeting.matches(user, audiences) {
-            breakdown.targeting_mismatch += 1;
-            continue;
-        }
-        breakdown.eligible += 1;
-        bids.push(Bid {
-            ad: ad.id,
-            cpm: campaign.bid_cpm,
-        });
     }
     (bids, breakdown)
+}
+
+/// Runs one ad through the eligibility filter chain, pushing a bid if it
+/// survives and bucketing it in the breakdown either way. Shared by both
+/// selection modes so they can never disagree on filter semantics.
+#[allow(clippy::too_many_arguments)]
+fn consider_ad<B: BudgetView>(
+    ad: &Ad,
+    user: &UserProfile,
+    campaigns: &CampaignStore,
+    audiences: &AudienceStore,
+    suspended: &BTreeSet<AccountId>,
+    billing: &B,
+    freq: &FrequencyCaps,
+    bids: &mut Vec<Bid>,
+    breakdown: &mut EligibilityBreakdown,
+) {
+    breakdown.considered += 1;
+    if !ad.is_servable() {
+        breakdown.not_servable += 1;
+        return;
+    }
+    let campaign = match campaigns.campaign(ad.campaign) {
+        Ok(c) => c,
+        Err(_) => {
+            breakdown.not_servable += 1;
+            return;
+        }
+    };
+    if suspended.contains(&campaign.account) {
+        breakdown.suspended += 1;
+        return;
+    }
+    if !billing.within_budget(campaign.id, campaign.budget) {
+        breakdown.over_budget += 1;
+        return;
+    }
+    if !freq.allows(ad.id, user.id) {
+        breakdown.frequency_capped += 1;
+        return;
+    }
+    if !ad.targeting.matches(user, audiences) {
+        breakdown.targeting_mismatch += 1;
+        return;
+    }
+    breakdown.eligible += 1;
+    bids.push(Bid {
+        ad: ad.id,
+        cpm: campaign.bid_cpm,
+    });
 }
 
 /// A [`Decision`] together with the telemetry the decide phase produced
@@ -546,6 +621,8 @@ mod tests {
     #[test]
     fn eligibility_breakdown_buckets_every_ad_once() {
         let mut r = rig();
+        // Linear-scan semantics: every ad in the store is examined.
+        r.campaigns.set_selection_mode(SelectionMode::LinearScan);
         let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
         let everyone = TargetingSpec::including(TargetingExpr::Everyone);
         // One eligible, one suspended, one frequency-capped, one with a
@@ -623,6 +700,57 @@ mod tests {
         assert_eq!(traced.decision, plain);
         assert_eq!(traced.breakdown, b);
         assert_eq!(traced.auction.advertiser_bids, 1);
+    }
+
+    #[test]
+    fn indexed_selection_prunes_without_changing_bids() {
+        let mut r = rig();
+        let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
+        let everyone = TargetingSpec::including(TargetingExpr::Everyone);
+        approved_ad(&mut r, 1, Money::dollars(10), everyone.clone());
+        approved_ad(&mut r, 2, Money::dollars(5), everyone);
+        // Anchored on an attribute the user lacks: the index proves it
+        // cannot match and never hands it to the filter chain.
+        approved_ad(
+            &mut r,
+            3,
+            Money::dollars(5),
+            TargetingSpec::including(TargetingExpr::Attr(AttributeId(99))),
+        );
+        let profile = r.profiles.get(user).expect("user").clone();
+
+        assert_eq!(r.campaigns.selection_mode(), SelectionMode::Indexed);
+        let (indexed_bids, ib) = eligible_bids_traced(
+            &profile,
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+        );
+        assert_eq!(ib.considered, 2);
+        assert_eq!(ib.index_pruned, 1);
+        assert_eq!(ib.targeting_mismatch, 0);
+        assert_eq!(
+            ib.considered + ib.index_pruned,
+            r.campaigns.ad_count() as u32
+        );
+
+        r.campaigns.set_selection_mode(SelectionMode::LinearScan);
+        let (scanned_bids, sb) = eligible_bids_traced(
+            &profile,
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+        );
+        // The modes disagree only on what was examined, never on bids.
+        assert_eq!(indexed_bids, scanned_bids);
+        assert_eq!(sb.considered, 3);
+        assert_eq!(sb.index_pruned, 0);
+        assert_eq!(sb.targeting_mismatch, 1);
+        assert_eq!(ib.eligible, sb.eligible);
     }
 
     #[test]

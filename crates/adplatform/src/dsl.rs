@@ -4,9 +4,30 @@
 //! our library equivalent is a compact expression language, convenient in
 //! examples, tests, and experiment configs:
 //!
-//! ```text
-//! age 24-39 AND zip:60601 AND attr:'Interest: musicals (Music)'
-//!     AND NOT attr:'Relationship: in a relationship'
+//! ```
+//! use adplatform::attributes::{AttributeCatalog, AttributeSource};
+//! use adplatform::dsl;
+//! use adplatform::targeting::TargetingExpr;
+//!
+//! let mut catalog = AttributeCatalog::new();
+//! catalog.register("Interest: musicals (Music)", AttributeSource::Platform, None, 0.1);
+//!
+//! let expr = dsl::parse(
+//!     "age 24-39 AND zip:60601 AND attr:'Interest: musicals (Music)' \
+//!      AND NOT attr:'#2'",
+//!     &catalog,
+//! );
+//! // Unknown attribute names fail at parse time, not silently at match time:
+//! assert!(expr.is_err());
+//!
+//! let expr = dsl::parse(
+//!     "age 24-39 AND zip:60601 AND attr:'Interest: musicals (Music)'",
+//!     &catalog,
+//! )?;
+//! assert!(matches!(expr, TargetingExpr::And(_)));
+//! // `render` emits canonical DSL that parses back to the same tree:
+//! assert_eq!(dsl::parse(&dsl::render(&expr, &catalog), &catalog)?, expr);
+//! # Ok::<(), adsim_types::Error>(())
 //! ```
 //!
 //! Grammar (case-sensitive keywords, whitespace-insensitive):

@@ -32,6 +32,9 @@
 //!   (`age 24-39 AND attr:'musicals' AND NOT attr:'in a relationship'`).
 //! * [`auction`] — per-impression second-price auction against simulated
 //!   background competition (the paper raises its bid cap 5× to win).
+//! * [`index`] — the inverted targeting index: signal → candidate ads,
+//!   so delivery's per-opportunity cost scales with *plausibly matching*
+//!   ads instead of the whole inventory.
 //! * [`delivery`] — the event loop turning browsing impressions into
 //!   auctions, impressions, frequency capping, and billing.
 //! * [`billing`] — CPM accounting with the small-spend waiver that makes
@@ -106,6 +109,7 @@ pub mod clicks;
 pub mod delivery;
 pub mod dsl;
 pub mod enforcement;
+pub mod index;
 pub mod pages;
 pub mod pixel;
 pub mod platform;
@@ -118,6 +122,7 @@ pub mod transparency;
 pub use attributes::{AttributeCatalog, AttributeDef, AttributeSource};
 pub use audience::{Audience, AudienceKind};
 pub use campaign::{Ad, AdCreative, AdStatus, Campaign};
+pub use index::{AnchorKey, SelectionMode, TargetingIndex};
 pub use platform::{Platform, PlatformConfig};
 pub use profile::{Gender, PiiProvenance, UserProfile};
 pub use targeting::{TargetingExpr, TargetingSpec};

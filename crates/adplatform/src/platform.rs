@@ -23,6 +23,7 @@ use crate::delivery::{
     FrequencyCaps, PendingImpression, TracedDecision,
 };
 use crate::enforcement::{scan_account, EnforcementConfig, SuspicionReport};
+use crate::index::SelectionMode;
 use crate::pages::PageRegistry;
 use crate::pixel::PixelRegistry;
 use crate::policy::{PolicyEngine, Strictness};
@@ -60,6 +61,9 @@ pub struct PlatformConfig {
     pub strictness: Strictness,
     /// Enforcement detector parameters.
     pub enforcement: EnforcementConfig,
+    /// How delivery gathers candidate ads (indexed by default; the
+    /// linear scan is the verification oracle).
+    pub candidate_selection: SelectionMode,
 }
 
 impl Default for PlatformConfig {
@@ -82,6 +86,7 @@ impl PlatformConfig {
             auction: AuctionConfig::default(),
             strictness: Strictness::Standard,
             enforcement: EnforcementConfig::default(),
+            candidate_selection: SelectionMode::default(),
         }
     }
 
@@ -172,7 +177,11 @@ impl Platform {
             ),
             pixels: PixelRegistry::new(),
             pages: PageRegistry::new(),
-            campaigns: CampaignStore::new(),
+            campaigns: {
+                let mut c = CampaignStore::new();
+                c.set_selection_mode(config.candidate_selection);
+                c
+            },
             billing: BillingLedger::new(config.small_spend_waiver),
             freq: FrequencyCaps::new(config.frequency_cap),
             log: ImpressionLog::new(),

@@ -21,15 +21,22 @@
 //! 8-shard run cannot beat the 1-shard run, and the JSON records the
 //! honest numbers next to the thread count so readers can judge.
 //!
+//! It also sweeps **inventory size** (100 → 10 000 ads) with candidate
+//! selection toggled between the inverted targeting index and the
+//! linear-scan oracle, verifying both modes produce identical outputs
+//! and recording the indexed-vs-scan speedup (`ad_sweep` in the JSON).
+//!
 //! Knobs: `TREADS_SEED` (seed), `TREADS_ENGINE_SWEEP_USERS` (sweep
-//! population, default 20 000), `TREADS_ENGINE_BIG_USERS` (big run
-//! population, default 1 000 000; `0` skips it).
+//! population, default 20 000), `TREADS_ENGINE_AD_SWEEP_USERS`
+//! (ad-sweep population, default 1 000), `TREADS_ENGINE_BIG_USERS` (big
+//! run population, default 1 000 000; `0` skips it).
 
 use adplatform::campaign::AdCreative;
+use adplatform::index::SelectionMode;
 use adplatform::profile::Gender;
 use adplatform::targeting::{TargetingExpr, TargetingSpec};
 use adplatform::{Platform, PlatformConfig};
-use adsim_types::{Money, UserId};
+use adsim_types::{AttributeId, Money, UserId};
 use std::collections::BTreeSet;
 use std::time::Instant;
 use treads_bench::{banner, section, verdict, Table};
@@ -84,6 +91,100 @@ fn build(n: u64, seed: u64) -> (Platform, SiteRegistry, Vec<UserId>) {
     let pixel = p.create_pixel(acct, "shop pixel").expect("pixel");
     sites.embed_pixel(shop, pixel);
     (p, sites, users)
+}
+
+/// Attribute pool for the ad-count sweep. Ads anchor on one attribute
+/// each; users hold three. Expected candidates per opportunity are then
+/// ~3/50 of the inventory, so the linear scan's per-opportunity cost
+/// grows ~17x faster with inventory size than the indexed path's.
+const SWEEP_ATTRS: u64 = 50;
+
+/// An inventory-heavy platform for the candidate-selection sweep:
+/// `n_ads` attribute-anchored ads, `n_users` users holding three
+/// deterministic attributes each, one plain site.
+fn build_inventory(n_users: u64, n_ads: u64, seed: u64) -> (Platform, SiteRegistry, Vec<UserId>) {
+    let mut p = Platform::us_2018(PlatformConfig::facebook_like(seed));
+    let adv = p.register_advertiser("inventory-advertiser");
+    let acct = p.open_account(adv).expect("account");
+    let camp = p
+        .create_campaign(acct, "inventory", Money::dollars(3), None)
+        .expect("campaign");
+    for j in 0..n_ads {
+        p.submit_ad(
+            camp,
+            AdCreative::text(format!("ad {j}"), "ad-sweep workload"),
+            TargetingSpec::including(TargetingExpr::Attr(AttributeId(j % SWEEP_ATTRS + 1))),
+        )
+        .expect("ad");
+    }
+    let users: Vec<UserId> = (0..n_users)
+        .map(|i| {
+            let id = p.register_user(
+                18 + (i % 60) as u8,
+                if i % 2 == 0 {
+                    Gender::Female
+                } else {
+                    Gender::Male
+                },
+                "Ohio",
+                "43004",
+            );
+            for k in [
+                i % SWEEP_ATTRS,
+                (i * 7 + 3) % SWEEP_ATTRS,
+                (i * 13 + 11) % SWEEP_ATTRS,
+            ] {
+                p.profiles
+                    .grant_attribute(id, AttributeId(k + 1))
+                    .expect("grant");
+            }
+            id
+        })
+        .collect();
+    let mut sites = SiteRegistry::new();
+    sites.create("feed.example", 2);
+    (p, sites, users)
+}
+
+/// One mode's run at one ad-count point.
+struct ModeRun {
+    elapsed_s: f64,
+    report: EngineReport,
+    invoiced: Money,
+    log_len: usize,
+}
+
+fn measure_inventory(
+    n_users: u64,
+    n_ads: u64,
+    seed: u64,
+    shards: usize,
+    session: SessionConfig,
+    mode: SelectionMode,
+) -> ModeRun {
+    let (mut p, sites, users) = build_inventory(n_users, n_ads, seed);
+    p.campaigns.set_selection_mode(mode);
+    let engine = Engine::new(EngineConfig {
+        shards,
+        session,
+        seed,
+        ..EngineConfig::default()
+    });
+    let start = Instant::now();
+    let outcome = engine.run(&mut p, &sites, &users, &BTreeSet::new());
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let account = p
+        .campaigns
+        .campaigns()
+        .next()
+        .expect("campaigns exist")
+        .account;
+    ModeRun {
+        elapsed_s,
+        report: outcome.report,
+        invoiced: p.billing.invoice(account).gross,
+        log_len: p.log.all().len(),
+    }
 }
 
 struct Measured {
@@ -257,6 +358,78 @@ fn main() {
         println!("  (single-core host: shards serialize, so ~1x is the physical ceiling)");
     }
 
+    section("Ad-count sweep (indexed vs linear-scan candidate selection)");
+    let ad_sweep_users = env_u64("TREADS_ENGINE_AD_SWEEP_USERS", 1_000);
+    let ad_session = SessionConfig {
+        views_per_user_per_day: 2.0,
+        days: 1,
+    };
+    let ad_shards = threads.clamp(1, 4);
+    struct AdPoint {
+        ads: u64,
+        indexed: ModeRun,
+        scan: ModeRun,
+        identical: bool,
+    }
+    let mut ad_points: Vec<AdPoint> = Vec::new();
+    let mut at = Table::new([
+        "ads",
+        "indexed s",
+        "scan s",
+        "indexed auctions/s",
+        "scan auctions/s",
+        "speedup",
+    ]);
+    for ads in [100u64, 1_000, 10_000] {
+        let indexed = measure_inventory(
+            ad_sweep_users,
+            ads,
+            seed,
+            ad_shards,
+            ad_session,
+            SelectionMode::Indexed,
+        );
+        let scan = measure_inventory(
+            ad_sweep_users,
+            ads,
+            seed,
+            ad_shards,
+            ad_session,
+            SelectionMode::LinearScan,
+        );
+        let identical = indexed.invoiced == scan.invoiced
+            && indexed.log_len == scan.log_len
+            && indexed.report.impressions == scan.report.impressions
+            && indexed.report.opportunities == scan.report.opportunities;
+        at.row([
+            ads.to_string(),
+            format!("{:.3}", indexed.elapsed_s),
+            format!("{:.3}", scan.elapsed_s),
+            format!(
+                "{:.0}",
+                indexed.report.opportunities as f64 / indexed.elapsed_s
+            ),
+            format!("{:.0}", scan.report.opportunities as f64 / scan.elapsed_s),
+            format!("{:.2}x", scan.elapsed_s / indexed.elapsed_s),
+        ]);
+        ad_points.push(AdPoint {
+            ads,
+            indexed,
+            scan,
+            identical,
+        });
+    }
+    at.print();
+    let ad_outputs_identical = ad_points.iter().all(|p| p.identical);
+    let last_point = ad_points.last().expect("ad sweep ran");
+    let speedup_10k = (last_point.indexed.report.opportunities as f64
+        / last_point.indexed.elapsed_s)
+        / (last_point.scan.report.opportunities as f64 / last_point.scan.elapsed_s);
+    println!(
+        "  at {} ads: indexed selection sustains {:.2}x the linear scan's auctions/sec",
+        last_point.ads, speedup_10k
+    );
+
     section("Per-phase breakdown (8-shard sweep run)");
     let mut pt = Table::new(["phase", "observations", "p50 ms", "p95 ms", "p99 ms"]);
     let mut phases_recorded = true;
@@ -377,6 +550,32 @@ fn main() {
         "  \"telemetry_deterministic_across_shard_counts\": {telemetry_deterministic},\n"
     ));
     json.push_str(&format!("  \"speedup_8_shards\": {speedup8:.3},\n"));
+    json.push_str(&format!(
+        "  \"ad_sweep_users\": {ad_sweep_users},\n  \"ad_sweep\": [\n"
+    ));
+    for (i, pt) in ad_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"ads\": {}, \"indexed_elapsed_s\": {:.4}, \"scan_elapsed_s\": {:.4}, \
+             \"indexed_auctions_per_sec\": {:.1}, \"scan_auctions_per_sec\": {:.1}, \
+             \"speedup\": {:.3}, \"outputs_identical\": {}}}{}\n",
+            pt.ads,
+            pt.indexed.elapsed_s,
+            pt.scan.elapsed_s,
+            pt.indexed.report.opportunities as f64 / pt.indexed.elapsed_s,
+            pt.scan.report.opportunities as f64 / pt.scan.elapsed_s,
+            (pt.indexed.report.opportunities as f64 / pt.indexed.elapsed_s)
+                / (pt.scan.report.opportunities as f64 / pt.scan.elapsed_s),
+            pt.identical,
+            if i + 1 < ad_points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"ad_sweep_outputs_identical\": {ad_outputs_identical},\n"
+    ));
+    json.push_str(&format!(
+        "  \"ad_sweep_speedup_at_10k\": {speedup_10k:.3},\n"
+    ));
     json.push_str("  \"telemetry\": {\n");
     json.push_str(&format!(
         "    \"overhead_pct\": {overhead_pct:.3},\n    \"overhead_shards\": {overhead_shards},\n    \
@@ -422,6 +621,14 @@ fn main() {
     verdict(
         "merged telemetry counters and value histograms are shard-count-invariant",
         telemetry_deterministic,
+    );
+    verdict(
+        "indexed and linear-scan selection produce identical outputs at every ad count",
+        ad_outputs_identical,
+    );
+    verdict(
+        "indexed selection sustains >=3x the scan's auctions/sec at 10k ads",
+        speedup_10k >= 3.0,
     );
     verdict(
         "every engine phase recorded wall time (session-gen/auction/delivery/merge/apply)",

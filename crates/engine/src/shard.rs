@@ -86,6 +86,8 @@ struct TickTally {
     unfilled: u64,
     cap_rejections: u64,
     treads_observed: u64,
+    index_candidates: u64,
+    index_pruned: u64,
 }
 
 /// Everything a shard hands back after one tick.
@@ -201,6 +203,7 @@ impl ShardState {
         let mut delivery_ns = 0u64;
         let mut tally = TickTally::default();
         let mut eligible_hist = Histogram::small_values();
+        let mut candidate_hist = Histogram::small_values();
         for user in &mut self.users {
             let uid = user.id;
             let mut chain = if record { Some(Instant::now()) } else { None };
@@ -233,6 +236,12 @@ impl ShardState {
                     if record {
                         let b = traced.breakdown;
                         eligible_hist.observe(u64::from(b.eligible));
+                        // Under indexed selection `considered` IS the
+                        // candidate-set size; under the linear scan it is
+                        // the whole inventory and `index_pruned` is zero.
+                        candidate_hist.observe(u64::from(b.considered));
+                        tally.index_candidates += u64::from(b.considered);
+                        tally.index_pruned += u64::from(b.index_pruned);
                         tally.considered += u64::from(b.considered);
                         tally.not_servable += u64::from(b.not_servable);
                         tally.suspended += u64::from(b.suspended);
@@ -352,7 +361,10 @@ impl ShardState {
             reg.add("auction.unfilled", tally.unfilled);
             reg.add("delivery.cap_rejections", tally.cap_rejections);
             reg.add("treads.observed", tally.treads_observed);
+            reg.add("index.candidates", tally.index_candidates);
+            reg.add("index.pruned", tally.index_pruned);
             reg.merge_histogram("auction.eligible_bids", &eligible_hist);
+            reg.merge_histogram("index.candidate_set_size", &candidate_hist);
             reg.observe_ns("phase.auction_ns", auction_ns);
             reg.observe_ns("phase.delivery_ns", delivery_ns);
             batch.flight_dropped = flight.dropped();

@@ -8,7 +8,7 @@
 //!   folds them together at tick boundaries in shard-index order, so
 //!   merged counter totals and value histograms are **bit-identical
 //!   across shard counts**.
-//! - [`span`] — a scoped stopwatch ([`SpanTimer`]) plus the [`span!`]
+//! - [`span`](mod@span) — a scoped stopwatch ([`SpanTimer`]) plus the [`span!`]
 //!   macro for timing the engine's per-tick phases (session generation,
 //!   auction, delivery, merge, apply) into `*_ns` histograms.
 //! - [`flight`] — a bounded ring-buffer journal ([`FlightRecorder`]) of

@@ -18,6 +18,7 @@ REQUIRED_COUNTERS = [
     "engine.impressions",
     "auction.won",
     "eligibility.considered",
+    "index.candidates",
 ]
 
 REQUIRED_HISTOGRAMS = [
@@ -28,6 +29,7 @@ REQUIRED_HISTOGRAMS = [
     "phase.merge_ns",
     "phase.apply_ns",
     "auction.eligible_bids",
+    "index.candidate_set_size",
 ]
 
 HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "p50", "p95", "p99", "buckets"]

@@ -15,7 +15,7 @@
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
 
-/// Error type for fallible RNG operations (never produced by [`StdRng`]).
+/// Error type for fallible RNG operations (never produced by [`rngs::StdRng`]).
 #[derive(Debug)]
 pub struct Error;
 
