@@ -266,6 +266,30 @@ impl AudienceStore {
         }
     }
 
+    /// Exports every audience's membership, sorted by audience id.
+    ///
+    /// Pixel- and page-sourced audiences grow *during* an engine run, so
+    /// memberships are dynamic state a checkpoint must carry; the audience
+    /// definitions themselves are host configuration.
+    pub fn memberships(&self) -> Vec<(AudienceId, Vec<UserId>)> {
+        self.audiences
+            .iter()
+            .map(|(id, aud)| (*id, aud.members.iter().copied().collect()))
+            .collect()
+    }
+
+    /// Restores memberships exported by [`AudienceStore::memberships`].
+    /// Audiences absent from the snapshot are left untouched (they did not
+    /// exist when the checkpoint was taken, so they must be empty or
+    /// host-recreated).
+    pub fn restore_memberships(&mut self, memberships: &[(AudienceId, Vec<UserId>)]) {
+        for (id, members) in memberships {
+            if let Some(aud) = self.audiences.get_mut(id) {
+                aud.members = members.iter().copied().collect();
+            }
+        }
+    }
+
     /// Looks up an audience (platform-internal).
     pub fn get(&self, id: AudienceId) -> Result<&Audience> {
         self.audiences

@@ -149,6 +149,39 @@ impl BillingLedger {
         }
     }
 
+    /// Exports the full ledger state for checkpointing.
+    ///
+    /// Every map is flattened to a sorted `Vec` so the encoding is
+    /// canonical: two ledgers that compare equal export byte-identical
+    /// state regardless of insertion history.
+    pub fn export_state(&self) -> LedgerState {
+        LedgerState {
+            account_spend: self.account_spend.iter().map(|(k, v)| (*k, *v)).collect(),
+            campaign_spend: self.campaign_spend.iter().map(|(k, v)| (*k, *v)).collect(),
+            ad_spend: self.ad_spend.iter().map(|(k, v)| (*k, *v)).collect(),
+            campaign_account: self
+                .campaign_account
+                .iter()
+                .map(|(k, v)| (*k, *v))
+                .collect(),
+            small_spend_waiver: self.small_spend_waiver,
+            impressions_charged: self.impressions_charged,
+            charged_micros: self.charged_micros,
+        }
+    }
+
+    /// Replaces this ledger's contents with a state exported by
+    /// [`BillingLedger::export_state`].
+    pub fn restore_state(&mut self, state: &LedgerState) {
+        self.account_spend = state.account_spend.iter().copied().collect();
+        self.campaign_spend = state.campaign_spend.iter().copied().collect();
+        self.ad_spend = state.ad_spend.iter().copied().collect();
+        self.campaign_account = state.campaign_account.iter().copied().collect();
+        self.small_spend_waiver = state.small_spend_waiver;
+        self.impressions_charged = state.impressions_charged;
+        self.charged_micros = state.charged_micros;
+    }
+
     /// Produces the account's invoice, applying the small-spend waiver per
     /// campaign.
     pub fn invoice(&self, account: AccountId) -> Invoice {
@@ -170,6 +203,29 @@ impl BillingLedger {
             due: gross - waived,
         }
     }
+}
+
+/// A flattened, canonical copy of a [`BillingLedger`], as stored in an
+/// engine checkpoint.
+///
+/// All maps are exported as `Vec`s sorted by key (the source maps are
+/// `BTreeMap`s, so iteration order is already canonical).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LedgerState {
+    /// Accrued spend per account, sorted by account id.
+    pub account_spend: Vec<(AccountId, Money)>,
+    /// Accrued spend per campaign, sorted by campaign id.
+    pub campaign_spend: Vec<(CampaignId, Money)>,
+    /// Accrued spend per ad, sorted by ad id.
+    pub ad_spend: Vec<(AdId, Money)>,
+    /// Campaign → owning account, sorted by campaign id.
+    pub campaign_account: Vec<(CampaignId, AccountId)>,
+    /// The waiver threshold in force when the checkpoint was taken.
+    pub small_spend_waiver: Money,
+    /// Lifetime impressions charged.
+    pub impressions_charged: u64,
+    /// Lifetime charged micro-dollars.
+    pub charged_micros: i64,
 }
 
 impl BudgetView for BillingLedger {

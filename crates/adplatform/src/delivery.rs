@@ -62,6 +62,22 @@ impl FrequencyCaps {
     pub fn count(&self, ad: AdId, user: UserId) -> u32 {
         self.counts.get(&(ad, user)).copied().unwrap_or(0)
     }
+
+    /// Exports every non-zero count, sorted by `(ad, user)` key.
+    ///
+    /// The backing map is a `HashMap`, so the sort is what makes the
+    /// exported form canonical for checkpoint encoding.
+    pub fn entries(&self) -> Vec<((AdId, UserId), u32)> {
+        let mut entries: Vec<_> = self.counts.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// Replaces all counts with entries exported by
+    /// [`FrequencyCaps::entries`]. The configured `cap` is untouched.
+    pub fn restore_entries(&mut self, entries: &[((AdId, UserId), u32)]) {
+        self.counts = entries.iter().copied().collect();
+    }
 }
 
 /// Delivery-loop statistics (per simulation run).

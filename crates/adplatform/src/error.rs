@@ -1,0 +1,86 @@
+//! The platform's fallible-API error surface.
+//!
+//! [`PlatformError`] wraps the workspace's domain [`Error`] with the two
+//! failure classes a *production* ad platform adds on top of domain rules:
+//! transient unavailability (API brownouts, rate limiting) and internal
+//! invariant violations. The resilience layer's fault injector produces
+//! `Unavailable` errors, and the provider-side retry loop keys its
+//! retry-vs-give-up decision on [`PlatformError::is_transient`].
+
+use adsim_types::{Duration, Error};
+
+/// An error returned by a fallible platform API call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The API is transiently unavailable (brownout / rate limit). Safe to
+    /// retry after the suggested simulated delay.
+    Unavailable {
+        /// Platform-suggested minimum wait before retrying.
+        retry_in: Duration,
+    },
+    /// A domain-rule rejection (policy violation, suspended account,
+    /// unknown entity…). Retrying the identical call cannot succeed.
+    Api(Error),
+    /// An internal invariant was violated; the call's effects (if any)
+    /// must be considered lost.
+    Internal {
+        /// Which invariant broke.
+        what: String,
+    },
+}
+
+impl PlatformError {
+    /// True if retrying the same call can succeed (only transient
+    /// unavailability qualifies — domain rejections are deterministic).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PlatformError::Unavailable { .. })
+    }
+}
+
+impl From<Error> for PlatformError {
+    fn from(e: Error) -> Self {
+        match e {
+            Error::Internal { what } => PlatformError::Internal { what },
+            other => PlatformError::Api(other),
+        }
+    }
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::Unavailable { retry_in } => {
+                write!(f, "platform API unavailable, retry in {} ms", retry_in.0)
+            }
+            PlatformError::Api(e) => write!(f, "{e}"),
+            PlatformError::Internal { what } => {
+                write!(f, "platform internal invariant violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(PlatformError::Unavailable {
+            retry_in: Duration(100)
+        }
+        .is_transient());
+        assert!(!PlatformError::Api(Error::invalid("x")).is_transient());
+        assert!(!PlatformError::Internal { what: "x".into() }.is_transient());
+    }
+
+    #[test]
+    fn internal_domain_errors_map_to_internal() {
+        let e: PlatformError = Error::Internal { what: "w".into() }.into();
+        assert_eq!(e, PlatformError::Internal { what: "w".into() });
+        let e: PlatformError = Error::invalid("bad").into();
+        assert!(matches!(e, PlatformError::Api(_)));
+    }
+}

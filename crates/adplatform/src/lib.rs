@@ -48,6 +48,11 @@
 //!   attributes").
 //! * [`enforcement`] — account-level detection of mass personal-attribute
 //!   campaigns, for the paper's evading-shutdown discussion.
+//! * [`error`] — [`PlatformError`], the fallible-API error surface
+//!   (transient unavailability vs. deterministic domain rejections), used
+//!   by the resilience layer's retry loops.
+//! * [`state`] — [`PlatformState`], the engine-mutable slice of the
+//!   platform exported for tick-boundary checkpointing.
 //! * [`platform`] — the façade tying the stores together behind the
 //!   advertiser- and simulation-facing API.
 //!
@@ -109,6 +114,7 @@ pub mod clicks;
 pub mod delivery;
 pub mod dsl;
 pub mod enforcement;
+pub mod error;
 pub mod index;
 pub mod pages;
 pub mod pixel;
@@ -116,13 +122,16 @@ pub mod platform;
 pub mod policy;
 pub mod profile;
 pub mod reporting;
+pub mod state;
 pub mod targeting;
 pub mod transparency;
 
 pub use attributes::{AttributeCatalog, AttributeDef, AttributeSource};
 pub use audience::{Audience, AudienceKind};
 pub use campaign::{Ad, AdCreative, AdStatus, Campaign};
+pub use error::PlatformError;
 pub use index::{AnchorKey, SelectionMode, TargetingIndex};
 pub use platform::{Platform, PlatformConfig};
 pub use profile::{Gender, PiiProvenance, UserProfile};
+pub use state::PlatformState;
 pub use targeting::{TargetingExpr, TargetingSpec};

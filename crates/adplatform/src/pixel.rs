@@ -81,6 +81,13 @@ impl PixelRegistry {
         Ok(())
     }
 
+    /// Replaces the fire journal with a checkpointed event list. The
+    /// registered pixels themselves are static configuration and are
+    /// reconstructed by the host, not checkpointed.
+    pub fn restore_events(&mut self, events: Vec<PixelEvent>) {
+        self.events = events;
+    }
+
     /// Number of registered pixels.
     pub fn len(&self) -> usize {
         self.pixels.len()

@@ -347,7 +347,7 @@ impl Platform {
         }
         let review = self.policy.review(&creative);
         let ad = self.campaigns.create_ad(campaign, creative, targeting)?;
-        self.campaigns.ad_mut(ad).expect("just created").status = match review {
+        self.campaigns.ad_mut(ad)?.status = match review {
             Ok(()) => AdStatus::Approved,
             Err(Error::PolicyViolation { reason }) => AdStatus::Rejected { reason },
             Err(other) => return Err(other),
@@ -467,7 +467,12 @@ impl Platform {
         match decision.outcome {
             crate::auction::AuctionOutcome::Won { .. } => {
                 self.stats.won += 1;
-                let pending = decision.pending.expect("win carries an impression");
+                // A win must carry its impression; a decide-path bug here
+                // is reported, not a panic, so one bad opportunity cannot
+                // abort a multi-day run.
+                let pending = decision.pending.ok_or_else(|| Error::Internal {
+                    what: "auction win carried no pending impression".into(),
+                })?;
                 apply_impression(&pending, &mut self.billing, &mut self.freq, &mut self.log);
             }
             crate::auction::AuctionOutcome::LostToBackground => {
@@ -543,7 +548,12 @@ impl Platform {
         let users: Vec<UserId> = self.profiles.ids();
         for user in users {
             let (emails, phones) = {
-                let profile = self.profiles.get(user).expect("listed user exists");
+                // `ids()` just listed this user; if the profile store
+                // disagrees with itself, skip the user rather than abort
+                // the whole onboarding pass.
+                let Ok(profile) = self.profiles.get(user) else {
+                    continue;
+                };
                 (
                     profile
                         .hashed_emails()
@@ -561,10 +571,9 @@ impl Platform {
             if let treads_broker::MatchOutcome::Matched { attributes, .. } = outcome {
                 for name in attributes {
                     if let Some(id) = self.attributes.id_of(&name) {
-                        self.profiles
-                            .grant_attribute(user, id)
-                            .expect("listed user exists");
-                        grants += 1;
+                        if self.profiles.grant_attribute(user, id).is_ok() {
+                            grants += 1;
+                        }
                     }
                 }
             }

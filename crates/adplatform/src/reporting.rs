@@ -72,6 +72,13 @@ impl ImpressionLog {
         &self.records
     }
 
+    /// Replaces the log's contents with a checkpointed record list.
+    /// Delivery order is preserved verbatim — it is part of the
+    /// byte-identical resume contract.
+    pub fn restore(&mut self, records: Vec<Impression>) {
+        self.records = records;
+    }
+
     /// Number of impressions recorded.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -1,0 +1,116 @@
+//! Checkpointable platform state.
+//!
+//! An engine run mutates a small, well-defined slice of the platform:
+//! the clock, the billing ledger, frequency caps, the impression log,
+//! delivery stats, the pixel fire journal, and audience memberships
+//! (pixel/page audiences grow as users browse). Everything else —
+//! campaigns, profiles, the attribute catalog, policy configuration,
+//! accounts — is *host configuration* that the experiment driver
+//! reconstructs deterministically from its own setup code, so a
+//! checkpoint deliberately excludes it.
+//!
+//! [`PlatformState`] is the flattened, canonical copy of that mutable
+//! slice. "Canonical" matters: the resume contract is byte-identical
+//! output, so every map is exported sorted by key and every journal in
+//! its original order. The binary encoding itself lives in
+//! `treads-resilience` (the platform only defines *what* is state, not
+//! how it is framed on disk).
+
+use crate::delivery::DeliveryStats;
+use crate::pixel::PixelEvent;
+use crate::platform::Platform;
+use crate::reporting::Impression;
+use adsim_types::{AdId, AudienceId, SimTime, UserId};
+
+use crate::billing::LedgerState;
+
+/// The engine-mutable slice of a [`Platform`], in canonical order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlatformState {
+    /// The simulated instant the checkpoint was taken (a tick boundary).
+    pub clock_now: SimTime,
+    /// Full billing ledger contents.
+    pub billing: LedgerState,
+    /// Platform-side frequency-cap counts, sorted by `(ad, user)`.
+    pub freq: Vec<((AdId, UserId), u32)>,
+    /// The impression log, in delivery order.
+    pub impressions: Vec<Impression>,
+    /// Delivery-loop statistics.
+    pub stats: DeliveryStats,
+    /// The pixel fire journal, in fire order.
+    pub pixel_events: Vec<PixelEvent>,
+    /// Audience memberships, sorted by audience id.
+    pub audience_members: Vec<(AudienceId, Vec<UserId>)>,
+}
+
+impl Platform {
+    /// Exports the engine-mutable platform state for checkpointing.
+    pub fn export_state(&self) -> PlatformState {
+        PlatformState {
+            clock_now: self.clock.now(),
+            billing: self.billing.export_state(),
+            freq: self.freq.entries(),
+            impressions: self.log.all().to_vec(),
+            stats: self.stats,
+            pixel_events: self.pixels.events().to_vec(),
+            audience_members: self.audiences.memberships(),
+        }
+    }
+
+    /// Restores state exported by [`Platform::export_state`] onto this
+    /// platform.
+    ///
+    /// The platform must be a freshly reconstructed host configuration
+    /// (same seed, same campaigns, same audiences) whose clock has not
+    /// advanced past the checkpoint instant — the clock is monotone, so
+    /// restoring onto a platform that already ran further panics in
+    /// `SimClock::advance_to`.
+    pub fn restore_state(&mut self, state: &PlatformState) {
+        self.clock.advance_to(state.clock_now);
+        self.billing.restore_state(&state.billing);
+        self.freq.restore_entries(&state.freq);
+        self.log.restore(state.impressions.clone());
+        self.stats = state.stats;
+        self.pixels.restore_events(state.pixel_events.clone());
+        self.audiences.restore_memberships(&state.audience_members);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformConfig;
+    use crate::profile::Gender;
+
+    fn tiny_platform() -> Platform {
+        let mut p = Platform::us_2018(PlatformConfig::default());
+        p.config.auction.competitor_rate = 0.0;
+        p
+    }
+
+    #[test]
+    fn export_restore_round_trips() {
+        let mut p = tiny_platform();
+        let u = p.register_user(30, Gender::Female, "Illinois", "60601");
+        p.clock.advance_to(SimTime(5));
+        p.browse(u).unwrap();
+        let state = p.export_state();
+
+        let mut fresh = tiny_platform();
+        fresh.register_user(30, Gender::Female, "Illinois", "60601");
+        fresh.restore_state(&state);
+        assert_eq!(fresh.export_state(), state);
+        assert_eq!(fresh.clock.now(), SimTime(5));
+    }
+
+    #[test]
+    fn export_is_deterministic_across_identical_runs() {
+        let run = || {
+            let mut p = tiny_platform();
+            let u = p.register_user(40, Gender::Male, "Ohio", "43004");
+            p.browse(u).unwrap();
+            p.export_state()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -48,6 +48,15 @@ pub enum Error {
         /// What was wrong with the payload.
         reason: String,
     },
+    /// An internal invariant was violated.
+    ///
+    /// Returned instead of panicking on "impossible" states so a fault in
+    /// one shard or one API call degrades into a reportable error rather
+    /// than aborting a multi-day run.
+    Internal {
+        /// Which invariant broke.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -65,6 +74,7 @@ impl std::fmt::Display for Error {
             }
             Error::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
             Error::DecodeFailure { reason } => write!(f, "decode failure: {reason}"),
+            Error::Internal { what } => write!(f, "internal invariant violated: {what}"),
         }
     }
 }

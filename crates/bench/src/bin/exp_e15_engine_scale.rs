@@ -26,10 +26,17 @@
 //! linear-scan oracle, verifying both modes produce identical outputs
 //! and recording the indexed-vs-scan speedup (`ad_sweep` in the JSON).
 //!
+//! It also measures **checkpoint/restore overhead**: the supervised run
+//! with tick-boundary checkpointing off vs every tick, the snapshot's
+//! encoded size, and a resume-from-snapshot that must reproduce the
+//! uninterrupted run's outputs exactly (`checkpoint` in the JSON).
+//!
 //! Knobs: `TREADS_SEED` (seed), `TREADS_ENGINE_SWEEP_USERS` (sweep
 //! population, default 20 000), `TREADS_ENGINE_AD_SWEEP_USERS`
-//! (ad-sweep population, default 1 000), `TREADS_ENGINE_BIG_USERS` (big
-//! run population, default 1 000 000; `0` skips it).
+//! (ad-sweep population, default 1 000), `TREADS_ENGINE_CHECKPOINT_USERS`
+//! (checkpoint run population, default = sweep population),
+//! `TREADS_ENGINE_BIG_USERS` (big run population, default 1 000 000;
+//! `0` skips it).
 
 use adplatform::campaign::AdCreative;
 use adplatform::index::SelectionMode;
@@ -40,7 +47,9 @@ use adsim_types::{AttributeId, Money, UserId};
 use std::collections::BTreeSet;
 use std::time::Instant;
 use treads_bench::{banner, section, verdict, Table};
-use treads_engine::{Engine, EngineConfig, EngineReport, Telemetry};
+use treads_engine::{
+    Engine, EngineCheckpoint, EngineConfig, EngineReport, FaultPlan, ResilienceOptions, Telemetry,
+};
 use treads_telemetry::FlightEvent;
 use websim::{SessionConfig, SiteRegistry};
 
@@ -482,6 +491,108 @@ fn main() {
          -> {overhead_pct:+.2}% overhead"
     );
 
+    section("Checkpoint/restore overhead (tick-boundary snapshots)");
+    // Same supervised code path with checkpointing off vs every tick, then
+    // a resume from the first snapshot on a freshly built host. Best-of-3
+    // per side for the same scheduler-noise reason as the overhead section.
+    let ckpt_users = env_u64("TREADS_ENGINE_CHECKPOINT_USERS", sweep_users);
+    let ckpt_shards = threads.clamp(1, 4);
+    let run_supervised = |every: u64| {
+        let (mut p, sites, users) = build(ckpt_users, seed);
+        let engine = Engine::new(EngineConfig {
+            shards: ckpt_shards,
+            session: sweep_session,
+            seed,
+            ..EngineConfig::default()
+        });
+        let options = ResilienceOptions {
+            faults: FaultPlan::new(),
+            max_retries_per_shard_tick: 3,
+            checkpoint_every_ticks: every,
+        };
+        let start = Instant::now();
+        let out = engine
+            .run_resilient(&mut p, &sites, &users, &BTreeSet::new(), &options)
+            .expect("supervised run");
+        let elapsed_s = start.elapsed().as_secs_f64();
+        let account = p
+            .campaigns
+            .campaigns()
+            .next()
+            .expect("campaigns exist")
+            .account;
+        (
+            elapsed_s,
+            out,
+            p.billing.invoice(account).gross,
+            p.log.all().len(),
+        )
+    };
+    let mut plain_ckpt_s = f64::INFINITY;
+    let mut every_tick_s = f64::INFINITY;
+    let mut checkpointed = None;
+    for _ in 0..3 {
+        plain_ckpt_s = plain_ckpt_s.min(run_supervised(0).0);
+        let run = run_supervised(1);
+        every_tick_s = every_tick_s.min(run.0);
+        checkpointed = Some(run);
+    }
+    let (_, ckpt_out, ckpt_invoiced, ckpt_log_len) = checkpointed.expect("checkpointed run ran");
+    let n_checkpoints = ckpt_out.checkpoints.len();
+    assert!(n_checkpoints > 0, "every-tick cadence took checkpoints");
+    let encode_start = Instant::now();
+    let first_bytes = ckpt_out.checkpoints[0].to_bytes();
+    let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
+    let ckpt_bytes = first_bytes.len();
+    let ckpt_overhead_pct = (every_tick_s - plain_ckpt_s) / plain_ckpt_s * 100.0;
+    let per_ckpt_ms = (every_tick_s - plain_ckpt_s) / n_checkpoints as f64 * 1e3;
+    println!(
+        "  {ckpt_users} users, {ckpt_shards} shard(s), {n_checkpoints} checkpoint(s): \
+         {plain_ckpt_s:.3}s off, {every_tick_s:.3}s every tick -> {ckpt_overhead_pct:+.2}% \
+         ({per_ckpt_ms:.2} ms/checkpoint, {ckpt_bytes} bytes, encode {encode_ms:.2} ms)"
+    );
+
+    // Resume from the first snapshot on a fresh host: decode the bytes,
+    // rebuild the identical platform, and finish the run. The resumed
+    // outputs must match the uninterrupted checkpointed run exactly.
+    let decoded = EngineCheckpoint::from_bytes(&first_bytes).expect("checkpoint decodes");
+    let (resumed_invoiced, resumed_log_len, resumed_report) = {
+        let (mut p, sites, users) = build(ckpt_users, seed);
+        let engine = Engine::new(EngineConfig {
+            shards: ckpt_shards,
+            session: sweep_session,
+            seed,
+            ..EngineConfig::default()
+        });
+        let options = ResilienceOptions {
+            faults: FaultPlan::new(),
+            max_retries_per_shard_tick: 3,
+            checkpoint_every_ticks: 1,
+        };
+        let out = engine
+            .resume_from(&mut p, &sites, &users, &BTreeSet::new(), &options, &decoded)
+            .expect("resume completes");
+        let account = p
+            .campaigns
+            .campaigns()
+            .next()
+            .expect("campaigns exist")
+            .account;
+        (
+            p.billing.invoice(account).gross,
+            p.log.all().len(),
+            out.outcome.report,
+        )
+    };
+    let resume_identical = resumed_invoiced == ckpt_invoiced
+        && resumed_log_len == ckpt_log_len
+        && resumed_report.impressions == ckpt_out.outcome.report.impressions
+        && resumed_report.pixel_fires == ckpt_out.outcome.report.pixel_fires;
+    println!(
+        "  resume from checkpoint 1/{}: identical outputs = {}",
+        n_checkpoints, resume_identical
+    );
+
     section("Million-user run");
     let big_users = env_u64("TREADS_ENGINE_BIG_USERS", 1_000_000);
     let big = if big_users > 0 {
@@ -596,6 +707,13 @@ fn main() {
     }
     json.push_str("    }\n");
     json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"checkpoint\": {{\"users\": {ckpt_users}, \"shards\": {ckpt_shards}, \
+         \"checkpoints\": {n_checkpoints}, \"plain_elapsed_s\": {plain_ckpt_s:.4}, \
+         \"every_tick_elapsed_s\": {every_tick_s:.4}, \"overhead_pct\": {ckpt_overhead_pct:.3}, \
+         \"per_checkpoint_ms\": {per_ckpt_ms:.3}, \"bytes\": {ckpt_bytes}, \
+         \"encode_ms\": {encode_ms:.3}, \"resume_identical\": {resume_identical}}},\n"
+    ));
     match &big {
         Some(m) => json.push_str(&format!(
             "  \"million\": {{\"users\": {}, \"shards\": {}, \"elapsed_s\": {:.4}, \
@@ -640,6 +758,10 @@ fn main() {
     verdict(
         "instrumentation overhead stays in low single digits (<8%)",
         overhead_pct < 8.0,
+    );
+    verdict(
+        "resume from a decoded checkpoint reproduces the uninterrupted run",
+        resume_identical,
     );
     verdict(
         "million-user run completes",

@@ -102,5 +102,5 @@ pub use client::{RevealedProfile, TreadClient};
 pub use disclosure::Disclosure;
 pub use encoding::{Codebook, Encoding};
 pub use planner::{CampaignPlan, PlannedTread};
-pub use provider::{ProviderView, RunReceipt, TransparencyProvider};
+pub use provider::{ProviderView, ResilientReceipt, RunReceipt, TransparencyProvider};
 pub use tread::{DisclosureChannel, Tread};

@@ -20,15 +20,17 @@ use crate::encoding::Codebook;
 use crate::planner::{group_bit_members, CampaignPlan};
 use crate::tread::Tread;
 use adplatform::billing::Invoice;
-use adplatform::campaign::AdStatus;
+use adplatform::campaign::{AdCreative, AdStatus};
 use adplatform::reporting::AdReport;
-use adplatform::Platform;
+use adplatform::targeting::TargetingSpec;
+use adplatform::{Platform, PlatformError};
 use adsim_types::hash::Digest;
 use adsim_types::{
-    AccountId, AdId, AdvertiserId, AudienceId, CampaignId, Error, Money, PixelId, Result,
+    AccountId, AdId, AdvertiserId, AudienceId, CampaignId, Duration, Error, Money, PixelId, Result,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use treads_resilience::{BackoffPolicy, FaultPlan, FlakyPlatform, SubmissionApi};
 
 /// A Tread that has been placed on the platform.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +71,75 @@ impl RunReceipt {
     /// Number of policy-rejected Treads.
     pub fn rejected_count(&self) -> usize {
         self.placed.iter().filter(|p| !p.approved).count()
+    }
+}
+
+/// A [`RunReceipt`] plus the retry accounting of a resilient run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilientReceipt {
+    /// The run's receipt (identical to a fault-free run's whenever every
+    /// transient failure was retried through).
+    pub receipt: RunReceipt,
+    /// Total transient failures that were retried.
+    pub retries: u64,
+    /// Plan indices abandoned after the retry budget ran out. Disjoint
+    /// from both `receipt.placed` and `receipt.unplaceable`.
+    pub gave_up: Vec<usize>,
+    /// Simulated time a production client would have slept in backoff.
+    pub simulated_delay: Duration,
+}
+
+/// A Tread whose targeting resolved and whose creative is built, awaiting
+/// submission. Phase 1 of the two-phase retry run.
+struct PreparedSubmission {
+    index: usize,
+    tread: Tread,
+    creative: AdCreative,
+    targeting: TargetingSpec,
+}
+
+/// Drives `op` through `policy`'s retry schedule. `Ok(Some(v))` on
+/// success, `Ok(None)` when the budget ran out on transient errors (the
+/// caller degrades gracefully), `Err` on the first non-transient error.
+///
+/// The jitter schedule derives from `(seed, label)` — one label per
+/// logical operation — so a replay retries with the identical simulated
+/// delays.
+fn retry_call<T>(
+    policy: &BackoffPolicy,
+    seed: u64,
+    label: &str,
+    retries: &mut u64,
+    simulated_delay: &mut Duration,
+    mut op: impl FnMut() -> std::result::Result<T, PlatformError>,
+) -> Result<Option<T>> {
+    let delays = policy.delays(seed, label);
+    let mut attempt = 0usize;
+    loop {
+        match op() {
+            Ok(v) => return Ok(Some(v)),
+            Err(e) if e.is_transient() => {
+                let Some(delay) = delays.get(attempt) else {
+                    return Ok(None);
+                };
+                *retries += 1;
+                *simulated_delay = *simulated_delay + *delay;
+                attempt += 1;
+            }
+            Err(e) => return Err(flatten_platform_error(e)),
+        }
+    }
+}
+
+/// Lowers a non-transient [`PlatformError`] back into the workspace
+/// [`Error`] the provider's fallible API speaks.
+fn flatten_platform_error(e: PlatformError) -> Error {
+    match e {
+        PlatformError::Api(e) => e,
+        PlatformError::Internal { what } => Error::Internal { what },
+        PlatformError::Unavailable { .. } => Error::Internal {
+            what: "transient platform error escaped the retry loop".into(),
+        },
     }
 }
 
@@ -258,6 +329,120 @@ impl TransparencyProvider {
         optin_audience: AudienceId,
     ) -> Result<RunReceipt> {
         self.run_plan_as(platform, self.account(), plan, optin_audience)
+    }
+
+    /// [`TransparencyProvider::run_plan`] against a flaky platform:
+    /// submission calls that brown out (per `faults`' schedule) are
+    /// retried with deterministic exponential backoff under `policy`.
+    ///
+    /// The run is **two-phase**. Phase 1 resolves every Tread's targeting
+    /// and builds its creative read-only, so the codebook is identical to
+    /// a fault-free run's regardless of where brownouts strike. Phase 2
+    /// submits through [`FlakyPlatform`], which fails *before* any
+    /// platform effect — so a retry can never double-create. A Tread whose
+    /// retry budget runs out lands in [`ResilientReceipt::gave_up`] with
+    /// no partial billing; a non-transient error still fails the run.
+    ///
+    /// With every transient failure retried through, the receipt is
+    /// identical to [`TransparencyProvider::run_plan`]'s.
+    pub fn run_plan_with_retry(
+        &mut self,
+        platform: &mut Platform,
+        plan: &CampaignPlan,
+        optin_audience: AudienceId,
+        faults: &FaultPlan,
+        policy: &BackoffPolicy,
+    ) -> Result<ResilientReceipt> {
+        // Phase 1: read-only resolution, exactly as `run_plan_as` does it.
+        let mut prepared = Vec::with_capacity(plan.len());
+        let mut unplaceable = Vec::new();
+        for planned in &plan.treads {
+            let targeting = {
+                let catalog = &platform.attributes;
+                planned.tread.targeting(
+                    optin_audience,
+                    |name| catalog.id_of(name),
+                    |group, bit| {
+                        let members: Vec<_> = catalog.group(group).iter().map(|d| d.id).collect();
+                        group_bit_members(&members, bit)
+                    },
+                    |batch| self.pii_audiences.get(batch).copied(),
+                )
+            };
+            let Some(targeting) = targeting else {
+                unplaceable.push(planned.index);
+                continue;
+            };
+            prepared.push(PreparedSubmission {
+                index: planned.index,
+                tread: planned.tread.clone(),
+                creative: planned.tread.build_creative(&mut self.codebook),
+                targeting,
+            });
+        }
+
+        // Phase 2: submission through the flaky platform, with per-call
+        // retry. One backoff label per (plan, Tread, operation) keeps the
+        // jitter schedules independent and the whole run replayable.
+        let account = self.account();
+        let bid_cpm = self.bid_cpm;
+        let mut flaky = FlakyPlatform::new(platform, faults);
+        let mut retries = 0u64;
+        let mut simulated_delay = Duration::ZERO;
+        let mut gave_up = Vec::new();
+        let mut placed = Vec::with_capacity(prepared.len());
+        for prep in prepared {
+            let name = format!("{}-{}", plan.name, prep.index);
+            let campaign = retry_call(
+                policy,
+                faults.seed,
+                &format!("{name}-campaign"),
+                &mut retries,
+                &mut simulated_delay,
+                || flaky.create_campaign(account, &name, bid_cpm, None),
+            )?;
+            let Some(campaign) = campaign else {
+                gave_up.push(prep.index);
+                continue;
+            };
+            let ad = retry_call(
+                policy,
+                faults.seed,
+                &format!("{name}-ad"),
+                &mut retries,
+                &mut simulated_delay,
+                || flaky.submit_ad(campaign, prep.creative.clone(), prep.targeting.clone()),
+            )?;
+            let Some(ad) = ad else {
+                // The campaign exists but carries no ad — harmless (it can
+                // never bill), and exactly what a real outage leaves behind.
+                gave_up.push(prep.index);
+                continue;
+            };
+            let approved = matches!(
+                flaky.ad_status(ad).map_err(flatten_platform_error)?,
+                AdStatus::Approved
+            );
+            placed.push(PlacedTread {
+                index: prep.index,
+                tread: prep.tread,
+                campaign,
+                ad,
+                approved,
+            });
+        }
+        Ok(ResilientReceipt {
+            receipt: RunReceipt {
+                plan_name: plan.name.clone(),
+                account,
+                placed,
+                unplaceable,
+                control: None,
+            },
+            retries,
+            gave_up,
+            simulated_delay,
+        })
     }
 
     /// Runs the control ad: targets the opted-in audience with no further
@@ -495,6 +680,73 @@ mod tests {
         };
         let receipt = prov.run_plan(&mut p, &plan, audience).expect("run");
         assert_eq!(receipt.approved_count(), 1);
+    }
+
+    #[test]
+    fn retried_run_matches_fault_free_run() {
+        // The same plan, once fault-free and once through a brownout that
+        // the retry budget covers: identical receipts (the byte-identical
+        // replay claim, at the provider layer).
+        let plan = CampaignPlan::binary_in_ad(
+            "nw",
+            &["Net worth: $2M+", "Interest: coffee"],
+            Encoding::CodebookToken,
+        );
+        let run = |faults: &FaultPlan| {
+            let mut p = platform();
+            let mut prov = provider(&mut p);
+            let (_, audience) = prov.setup_page_optin(&mut p).expect("optin");
+            let r = prov
+                .run_plan_with_retry(&mut p, &plan, audience, faults, &BackoffPolicy::default())
+                .expect("run");
+            (r, prov.codebook.len())
+        };
+        let (clean, clean_codebook) = run(&FaultPlan::new());
+        assert_eq!(clean.retries, 0);
+        assert_eq!(clean.simulated_delay, Duration::ZERO);
+        // Calls: (campaign + ad) per Tread = 4; brown out calls 1..=3.
+        let (flaky, flaky_codebook) = run(&FaultPlan::new().brownout(1, 3));
+        assert_eq!(flaky.retries, 3);
+        assert!(flaky.simulated_delay >= Duration::ZERO);
+        assert!(flaky.gave_up.is_empty());
+        assert_eq!(flaky.receipt, clean.receipt);
+        assert_eq!(flaky_codebook, clean_codebook);
+        // And the whole thing replays exactly.
+        let (again, _) = run(&FaultPlan::new().brownout(1, 3));
+        assert_eq!(again.retries, flaky.retries);
+        assert_eq!(again.simulated_delay, flaky.simulated_delay);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_degrades_gracefully() {
+        let mut p = platform();
+        let mut prov = provider(&mut p);
+        let (_, audience) = prov.setup_page_optin(&mut p).expect("optin");
+        let plan = CampaignPlan::binary_in_ad(
+            "nw",
+            &["Net worth: $2M+", "Interest: coffee"],
+            Encoding::CodebookToken,
+        );
+        // A brownout longer than the whole retry budget, starting at the
+        // first Tread's ad submission: Tread 0 is abandoned mid-way.
+        let policy = BackoffPolicy {
+            max_retries: 2,
+            ..BackoffPolicy::default()
+        };
+        let long_outage = FaultPlan::new().brownout(1, 3);
+        let r = prov
+            .run_plan_with_retry(&mut p, &plan, audience, &long_outage, &policy)
+            .expect("run");
+        assert_eq!(r.gave_up, vec![0]);
+        assert_eq!(r.retries, 2);
+        // Tread 1 placed normally once the outage ended.
+        assert_eq!(r.receipt.placed.len(), 1);
+        assert_eq!(r.receipt.placed[0].index, 1);
+        // The abandoned Tread's orphan campaign never bills.
+        assert_eq!(
+            p.billing.account_spend(r.receipt.account),
+            adsim_types::Money::ZERO
+        );
     }
 
     #[test]

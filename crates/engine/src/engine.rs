@@ -1,18 +1,21 @@
-//! The tick loop: snapshot → parallel shards → deterministic merge.
+//! The tick loop: snapshot → parallel shards → deterministic merge —
+//! supervised for fault injection, crash recovery, and checkpoint/resume.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use adplatform::Platform;
-use adsim_types::{CampaignId, SimTime, UserId};
+use adsim_types::{CampaignId, Error, SimTime, UserId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use treads_resilience::checkpoint::{ConfigEcho, EngineCheckpoint, ReportCounters};
+use treads_resilience::{FaultPlan, FaultReport};
 use treads_telemetry::{span, FlightEvent, FlightKind, Telemetry};
 use treads_workload::ShardPlan;
 use websim::{ExtensionLog, SessionConfig, SiteRegistry};
 
 use crate::event::ShardEvent;
 use crate::merge::merge_batches;
-use crate::shard::{ShardBatch, ShardState, TickProbe};
+use crate::shard::{CrashPoint, CrashSignal, ShardBatch, ShardState, TickProbe};
 
 /// Milliseconds per simulated day.
 pub const DAY_MS: u64 = 86_400_000;
@@ -62,11 +65,47 @@ pub struct EngineReport {
 }
 
 /// Everything an engine run produces beyond the platform mutations.
+#[derive(Debug)]
 pub struct EngineOutcome {
     /// Run counters.
     pub report: EngineReport,
     /// Extension logs of the users who ran the Treads extension.
     pub extensions: BTreeMap<UserId, ExtensionLog>,
+}
+
+/// Supervisor knobs for a resilient run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceOptions {
+    /// The fault schedule to inject (empty by default).
+    pub faults: FaultPlan,
+    /// Re-execution attempts the supervisor grants a crashed shard tick
+    /// before abandoning its work as [`treads_resilience::LostWork`].
+    pub max_retries_per_shard_tick: u32,
+    /// Take an [`EngineCheckpoint`] after every N completed ticks
+    /// (0 = never).
+    pub checkpoint_every_ticks: u64,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> Self {
+        Self {
+            faults: FaultPlan::new(),
+            max_retries_per_shard_tick: 3,
+            checkpoint_every_ticks: 0,
+        }
+    }
+}
+
+/// An [`EngineOutcome`] plus the supervisor's fault accounting and any
+/// checkpoints taken along the way.
+#[derive(Debug)]
+pub struct ResilientOutcome {
+    /// The simulation outcome.
+    pub outcome: EngineOutcome,
+    /// What was injected, recovered, and lost.
+    pub faults: FaultReport,
+    /// Checkpoints taken at tick boundaries, in tick order.
+    pub checkpoints: Vec<EngineCheckpoint>,
 }
 
 /// The sharded, deterministic parallel simulation engine.
@@ -139,10 +178,10 @@ impl Engine {
         (outcome, telemetry)
     }
 
-    /// The engine core: runs the simulation, recording into the caller's
-    /// `telemetry` handle (which may be disabled — [`Engine::run`] passes a
-    /// disabled one, making instrumentation overhead measurable in a
-    /// single binary).
+    /// The fault-free engine core: runs the simulation, recording into the
+    /// caller's `telemetry` handle (which may be disabled — [`Engine::run`]
+    /// passes a disabled one, making instrumentation overhead measurable
+    /// in a single binary).
     pub fn run_with_telemetry(
         &self,
         platform: &mut Platform,
@@ -151,6 +190,155 @@ impl Engine {
         extension_users: &BTreeSet<UserId>,
         telemetry: &mut Telemetry,
     ) -> EngineOutcome {
+        self.run_core(
+            platform,
+            sites,
+            users,
+            extension_users,
+            telemetry,
+            &ResilienceOptions::default(),
+            None,
+        )
+        .expect("a fault-free, non-resumed run cannot fail")
+        .outcome
+    }
+
+    /// Runs the simulation under the supervisor with `options`' fault
+    /// schedule, retry budget, and checkpoint cadence.
+    ///
+    /// Recoverable faults (crashes within the retry budget, duplicated or
+    /// delayed batches) leave the run **byte-identical** to a fault-free
+    /// one; unrecoverable crashes degrade gracefully, with the abandoned
+    /// work itemized exactly in the returned [`FaultReport`].
+    pub fn run_resilient(
+        &self,
+        platform: &mut Platform,
+        sites: &SiteRegistry,
+        users: &[UserId],
+        extension_users: &BTreeSet<UserId>,
+        options: &ResilienceOptions,
+    ) -> adsim_types::Result<ResilientOutcome> {
+        let mut telemetry = Telemetry::disabled();
+        self.run_core(
+            platform,
+            sites,
+            users,
+            extension_users,
+            &mut telemetry,
+            options,
+            None,
+        )
+    }
+
+    /// [`Engine::run_resilient`] recording into `telemetry` (adds the
+    /// `faults.injected` / `faults.recovered` / `faults.unrecoverable` /
+    /// `checkpoint.bytes` counters, all present — at zero — even in a
+    /// fault-free run).
+    pub fn run_resilient_with_telemetry(
+        &self,
+        platform: &mut Platform,
+        sites: &SiteRegistry,
+        users: &[UserId],
+        extension_users: &BTreeSet<UserId>,
+        options: &ResilienceOptions,
+        telemetry: &mut Telemetry,
+    ) -> adsim_types::Result<ResilientOutcome> {
+        self.run_core(
+            platform,
+            sites,
+            users,
+            extension_users,
+            telemetry,
+            options,
+            None,
+        )
+    }
+
+    /// Resumes a checkpointed run on a **freshly constructed** host: the
+    /// same engine config, the same deterministic setup (`platform` as the
+    /// driver built it before the original run, `sites`, `users`,
+    /// `extension_users`), plus the checkpoint. Produces output
+    /// byte-identical to the uninterrupted run from which the checkpoint
+    /// was taken.
+    ///
+    /// Fails with [`Error::InvalidInput`] — before mutating anything —
+    /// if the checkpoint's [`ConfigEcho`] does not match this engine and
+    /// user set.
+    pub fn resume_from(
+        &self,
+        platform: &mut Platform,
+        sites: &SiteRegistry,
+        users: &[UserId],
+        extension_users: &BTreeSet<UserId>,
+        options: &ResilienceOptions,
+        checkpoint: &EngineCheckpoint,
+    ) -> adsim_types::Result<ResilientOutcome> {
+        let mut telemetry = Telemetry::disabled();
+        self.run_core(
+            platform,
+            sites,
+            users,
+            extension_users,
+            &mut telemetry,
+            options,
+            Some(checkpoint),
+        )
+    }
+
+    /// The [`ConfigEcho`] this engine stamps into checkpoints.
+    fn config_echo(&self, users: usize) -> ConfigEcho {
+        ConfigEcho {
+            shards: self.config.shards as u64,
+            seed: self.config.seed,
+            tick_ms: self.config.tick_ms,
+            users: users as u64,
+            days: self.config.session.days,
+            views_bits: self.config.session.views_per_user_per_day.to_bits(),
+        }
+    }
+
+    /// The supervised engine core. See the supervisor walk-through in
+    /// ARCHITECTURE.md; in short, each tick:
+    ///
+    /// 1. snapshots any shard the fault plan schedules a crash for;
+    /// 2. runs all shards in parallel, handing crash-scheduled ones their
+    ///    attempt-0 [`CrashPoint`];
+    /// 3. sequentially re-executes each crashed shard from its snapshot
+    ///    (restore first — a crashed attempt leaves half-mutated state)
+    ///    until it succeeds or the retry budget runs out, in which case the
+    ///    snapshot is restored one last time and the tick's events are
+    ///    skipped with exact [`treads_resilience::LostWork`] accounting;
+    /// 4. injects scheduled duplicate/late batch deliveries, then cancels
+    ///    them the way a real pipeline must: duplicates are dropped by
+    ///    batch identity, late arrivals vanish under the canonical sort;
+    /// 5. merges, folds, advances the clock, and (on cadence) checkpoints.
+    #[allow(clippy::too_many_arguments)]
+    fn run_core(
+        &self,
+        platform: &mut Platform,
+        sites: &SiteRegistry,
+        users: &[UserId],
+        extension_users: &BTreeSet<UserId>,
+        telemetry: &mut Telemetry,
+        options: &ResilienceOptions,
+        resume: Option<&EngineCheckpoint>,
+    ) -> adsim_types::Result<ResilientOutcome> {
+        let echo = self.config_echo(users.len());
+        if let Some(cp) = resume {
+            if cp.config != echo {
+                return Err(Error::invalid(format!(
+                    "checkpoint config {:?} does not match engine config {:?}",
+                    cp.config, echo
+                )));
+            }
+            if cp.shards.len() != self.config.shards {
+                return Err(Error::invalid(format!(
+                    "checkpoint has {} shard states, engine has {} shards",
+                    cp.shards.len(),
+                    self.config.shards
+                )));
+            }
+        }
         let plan = ShardPlan::partition(users, self.config.shards);
         let site_ids = sites.ids();
         let frequency_cap = platform.config.frequency_cap;
@@ -203,31 +391,202 @@ impl Engine {
         // journaled once per campaign, at the tick whose fold crossed it.
         let mut exhausted: BTreeSet<CampaignId> = BTreeSet::new();
 
+        let mut fault_report = FaultReport::default();
+        let mut checkpoints: Vec<EngineCheckpoint> = Vec::new();
+        // Fault counters exist (at zero) in every snapshot, so dashboards
+        // and the CI snapshot check can *require* them without a fault.
+        telemetry.count("faults.injected", 0);
+        telemetry.count("faults.recovered", 0);
+        telemetry.count("faults.unrecoverable", 0);
+        telemetry.count("checkpoint.bytes", 0);
+
         let mut tick_start = 0u64;
+        if let Some(cp) = resume {
+            platform.restore_state(&cp.platform);
+            for (shard, frozen) in shards.iter_mut().zip(&cp.shards) {
+                shard.restore_cursors(frozen)?;
+            }
+            report.ticks = cp.report.ticks;
+            report.page_views = cp.report.page_views;
+            report.pixel_fires = cp.report.pixel_fires;
+            report.opportunities = cp.report.opportunities;
+            report.impressions = cp.report.impressions;
+            exhausted = cp.exhausted.iter().copied().collect();
+            fault_report = cp.faults.clone();
+            tick_start = cp.next_tick_start;
+        }
         while tick_start < horizon {
             let tick_timer = telemetry.span();
             let tick_end = (tick_start + self.config.tick_ms).min(horizon);
+            let tick_index = report.ticks;
             let budget = platform.billing.budget_snapshot();
-            let collected: Mutex<Vec<ShardBatch>> = Mutex::new(Vec::new());
+
+            // Supervisor step 1: snapshot every shard the plan crashes
+            // this tick, *before* any attempt can half-mutate it.
+            let crashes = options.faults.crashes_at(tick_index);
+            let snapshots: BTreeMap<usize, ShardState> = crashes
+                .iter()
+                .filter(|(s, _)| *s < shards.len())
+                .map(|&(s, _)| (s, shards[s].clone()))
+                .collect();
+            let attempt0: Vec<Option<CrashPoint>> = (0..shards.len())
+                .map(|i| {
+                    snapshots.contains_key(&i).then_some(CrashPoint {
+                        after_page_views: 0,
+                    })
+                })
+                .collect();
+
+            let collected: Mutex<Vec<(usize, Result<ShardBatch, CrashSignal>)>> =
+                Mutex::new(Vec::new());
             {
                 let platform: &Platform = platform;
                 let budget = &budget;
                 let collected = &collected;
                 crossbeam::scope(|s| {
-                    for shard in shards.iter_mut() {
+                    for (shard, &crash) in shards.iter_mut().zip(&attempt0) {
                         s.spawn(move |_| {
-                            let batch =
-                                shard.run_tick(platform, budget, sites, SimTime(tick_end), probe);
-                            collected.lock().push(batch);
+                            let index = shard.index();
+                            let result = shard.try_run_tick(
+                                platform,
+                                budget,
+                                sites,
+                                SimTime(tick_end),
+                                probe,
+                                crash,
+                            );
+                            collected.lock().push((index, result));
                         });
                     }
                 })
                 .expect("engine tick scope");
             }
-            let mut batches = collected.into_inner();
+            let mut batches: Vec<ShardBatch> = Vec::with_capacity(shards.len());
+            let mut crashed: Vec<usize> = Vec::new();
+            for (index, result) in collected.into_inner() {
+                match result {
+                    Ok(batch) => batches.push(batch),
+                    Err(CrashSignal) => crashed.push(index),
+                }
+            }
+            crashed.sort_unstable();
+
+            // Supervisor step 2: sequential recovery, one crashed shard at
+            // a time. Restore the snapshot before *every* attempt — the
+            // crashed attempt advanced cursors and RNGs partway — so the
+            // re-execution replays the identical tick and the recovery is
+            // idempotent.
+            for index in crashed {
+                fault_report.injected += 1;
+                telemetry.count("faults.injected", 1);
+                let scheduled = crashes
+                    .iter()
+                    .find(|(s, _)| *s == index)
+                    .map(|&(_, attempts)| attempts)
+                    .unwrap_or(1);
+                let snapshot = snapshots
+                    .get(&index)
+                    .expect("only crash-scheduled shards can crash");
+                let mut recovered = None;
+                let mut attempt = 1u32;
+                while attempt <= options.max_retries_per_shard_tick {
+                    shards[index] = snapshot.clone();
+                    // Later scheduled failures strike deeper into the tick
+                    // than attempt 0's, so every retry dies at a *new*
+                    // partial state.
+                    let crash = (attempt < scheduled).then_some(CrashPoint {
+                        after_page_views: u64::from(attempt),
+                    });
+                    match shards[index].try_run_tick(
+                        &*platform,
+                        &budget,
+                        sites,
+                        SimTime(tick_end),
+                        probe,
+                        crash,
+                    ) {
+                        Ok(batch) => {
+                            recovered = Some(batch);
+                            break;
+                        }
+                        Err(CrashSignal) => {
+                            fault_report.injected += 1;
+                            telemetry.count("faults.injected", 1);
+                            attempt += 1;
+                        }
+                    }
+                }
+                match recovered {
+                    Some(batch) => {
+                        fault_report.recovered += 1;
+                        telemetry.count("faults.recovered", 1);
+                        batches.push(batch);
+                    }
+                    None => {
+                        // Retry budget exhausted: degrade gracefully.
+                        // Restore the snapshot, advance cursors past the
+                        // tick without simulating, and account for every
+                        // event abandoned.
+                        shards[index] = snapshot.clone();
+                        let mut lost = shards[index].skip_tick(sites, SimTime(tick_end));
+                        lost.tick = tick_index;
+                        fault_report.unrecoverable += 1;
+                        telemetry.count("faults.unrecoverable", 1);
+                        fault_report.lost.push(lost);
+                    }
+                }
+            }
+
+            // Supervisor step 3: scheduled at-least-once deliveries. A
+            // duplicated batch is pushed verbatim; a delayed batch is moved
+            // behind every on-time one, emulating late arrival.
+            let dup_count = batches
+                .iter()
+                .filter(|b| options.faults.duplicated(tick_index, b.shard))
+                .count();
+            if dup_count > 0 {
+                let extra: Vec<ShardBatch> = batches
+                    .iter()
+                    .filter(|b| options.faults.duplicated(tick_index, b.shard))
+                    .cloned()
+                    .collect();
+                fault_report.injected += extra.len() as u64;
+                telemetry.count("faults.injected", extra.len() as u64);
+                batches.extend(extra);
+            }
+            let late_count = batches
+                .iter()
+                .filter(|b| options.faults.delayed(tick_index, b.shard))
+                .count();
+            if late_count > 0 {
+                let (on_time, late): (Vec<_>, Vec<_>) = batches
+                    .into_iter()
+                    .partition(|b| !options.faults.delayed(tick_index, b.shard));
+                fault_report.injected += late.len() as u64;
+                telemetry.count("faults.injected", late.len() as u64);
+                // Reordering is fully absorbed by the canonical sort below,
+                // so a late arrival is recovered the moment it lands.
+                fault_report.recovered += late.len() as u64;
+                telemetry.count("faults.recovered", late.len() as u64);
+                batches = on_time;
+                batches.extend(late);
+            }
+
             // Threads push batches in completion order; shard-index order
-            // is the canonical one for every per-tick fold below.
+            // is the canonical one for every per-tick fold below. The sort
+            // is stable, so a duplicated batch sits right after its
+            // original and is dropped by batch identity (tick, shard) —
+            // the idempotent-apply guarantee.
             batches.sort_by_key(|b| b.shard);
+            batches.dedup_by(|b, kept| {
+                if b.shard == kept.shard {
+                    fault_report.recovered += 1;
+                    telemetry.count("faults.recovered", 1);
+                    true
+                } else {
+                    false
+                }
+            });
 
             let mut tick_flight: Vec<FlightEvent> = Vec::new();
             let mut shard_flight_dropped = 0u64;
@@ -253,7 +612,10 @@ impl Engine {
 
             let merged = span!(telemetry, "phase.merge_ns", {
                 merge_batches(batches.into_iter().map(|b| b.events).collect())
-            });
+            })
+            .map_err(|e| Error::Internal {
+                what: format!("tick {tick_index}: {e}"),
+            })?;
             let apply_timer = telemetry.span();
             let recording = telemetry.is_enabled();
             let mut charged_campaigns: BTreeSet<CampaignId> = BTreeSet::new();
@@ -325,6 +687,33 @@ impl Engine {
             platform.clock.advance_to(SimTime(tick_end));
             report.ticks += 1;
             telemetry.count("engine.ticks", 1);
+
+            // Tick-boundary checkpoint: everything below is now folded and
+            // frozen, so the capture is a consistent cut of the run.
+            if options.checkpoint_every_ticks > 0
+                && report.ticks.is_multiple_of(options.checkpoint_every_ticks)
+            {
+                let cp = EngineCheckpoint {
+                    config: echo.clone(),
+                    next_tick_start: tick_end,
+                    report: ReportCounters {
+                        users: report.users,
+                        shards: report.shards,
+                        ticks: report.ticks,
+                        page_views: report.page_views,
+                        pixel_fires: report.pixel_fires,
+                        opportunities: report.opportunities,
+                        impressions: report.impressions,
+                    },
+                    exhausted: exhausted.iter().copied().collect(),
+                    faults: fault_report.clone(),
+                    platform: platform.export_state(),
+                    shards: shards.iter().map(ShardState::export_cursors).collect(),
+                };
+                telemetry.count("checkpoint.bytes", cp.to_bytes().len() as u64);
+                checkpoints.push(cp);
+            }
+
             tick_start = tick_end;
             telemetry.end_span("engine.tick_ns", tick_timer);
         }
@@ -333,6 +722,10 @@ impl Engine {
         for shard in shards {
             extensions.extend(shard.into_extensions());
         }
-        EngineOutcome { report, extensions }
+        Ok(ResilientOutcome {
+            outcome: EngineOutcome { report, extensions },
+            faults: fault_report,
+            checkpoints,
+        })
     }
 }

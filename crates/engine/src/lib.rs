@@ -24,6 +24,14 @@
 //!    `(at, user, user_seq)` — a key computed entirely from user-owned
 //!    state — before they touch the platform, making the merge invariant
 //!    to how users were partitioned.
+//!
+//! The same three rules are what make the engine **supervisable** (see
+//! DESIGN.md "Failure model & recovery"): because a shard only mutates
+//! state it owns and only reads frozen state, a crashed shard tick can be
+//! re-executed from its tick-start snapshot with no cross-shard
+//! coordination ([`Engine::run_resilient`]), and a tick boundary is a
+//! consistent cut the whole run can be checkpointed at and resumed from
+//! ([`Engine::resume_from`]) — byte-identically in both cases.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,10 +41,17 @@ pub mod event;
 pub mod merge;
 pub mod shard;
 
-pub use engine::{Engine, EngineConfig, EngineOutcome, EngineReport, DAY_MS};
+pub use engine::{
+    Engine, EngineConfig, EngineOutcome, EngineReport, ResilienceOptions, ResilientOutcome, DAY_MS,
+};
 pub use event::ShardEvent;
-pub use merge::merge_batches;
-pub use shard::{ShardBatch, ShardState, TickProbe};
+pub use merge::{merge_batches, MergeError};
+pub use shard::{CrashPoint, CrashSignal, ShardBatch, ShardState, TickProbe};
+// The resilience substrate (fault plans, checkpoints), re-exported so
+// engine callers can schedule faults and resume runs without depending on
+// the crate directly.
+pub use treads_resilience as resilience;
+pub use treads_resilience::{EngineCheckpoint, FaultPlan, FaultReport};
 // The observability substrate, re-exported so engine callers can name
 // `Telemetry` and friends without depending on the crate directly.
 pub use treads_telemetry as telemetry;

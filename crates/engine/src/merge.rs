@@ -1,6 +1,40 @@
 //! Deterministic merge of per-shard event batches.
 
+use adsim_types::{SimTime, UserId};
+
 use crate::event::ShardEvent;
+
+/// A violation of the merge key's uniqueness invariant.
+///
+/// `(at, user, user_seq)` is unique per event by construction — each
+/// user's `seq` counter advances once per event — so a duplicate key can
+/// only mean a replay bug: the same batch folded twice, a shard tick
+/// re-executed without restoring its cursor snapshot, or a corrupted
+/// checkpoint. Surfacing it as a typed error (instead of silently
+/// accepting, or a debug-only assert) is what lets the resilience
+/// supervisor prove its recovery paths really are idempotent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeError {
+    /// The duplicated key's timestamp.
+    pub at: SimTime,
+    /// The duplicated key's user.
+    pub user: UserId,
+    /// The duplicated key's per-user sequence number.
+    pub user_seq: u64,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "duplicate event key (at={}, user={}, seq={}): a batch was applied twice \
+             or a shard re-ran without snapshot restore",
+            self.at.0, self.user, self.user_seq
+        )
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Merges per-shard event batches into the canonical global order.
 ///
@@ -11,16 +45,25 @@ use crate::event::ShardEvent;
 /// merges to the identical sequence. This is the property that makes
 /// 1-shard and 8-shard runs byte-identical, and it is checked by a
 /// property test in the workspace integration suite.
-pub fn merge_batches(batches: Vec<Vec<ShardEvent>>) -> Vec<ShardEvent> {
+///
+/// A duplicate key fails with [`MergeError`] — see its docs for why that
+/// can only be a replay bug.
+pub fn merge_batches(batches: Vec<Vec<ShardEvent>>) -> Result<Vec<ShardEvent>, MergeError> {
     let mut all: Vec<ShardEvent> = batches.into_iter().flatten().collect();
     all.sort_by_key(ShardEvent::key);
-    all
+    for pair in all.windows(2) {
+        let (at, user, user_seq) = pair[0].key();
+        if (at, user, user_seq) == pair[1].key() {
+            return Err(MergeError { at, user, user_seq });
+        }
+    }
+    Ok(all)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adsim_types::{PixelId, SimTime, UserId};
+    use adsim_types::PixelId;
 
     fn fire(at: u64, user: u64, seq: u64) -> ShardEvent {
         ShardEvent::PixelFire {
@@ -34,9 +77,10 @@ mod tests {
     #[test]
     fn merge_is_partition_invariant() {
         let events = vec![fire(3, 1, 0), fire(1, 2, 0), fire(1, 2, 1), fire(2, 1, 1)];
-        let one = merge_batches(vec![events.clone()]);
-        let two = merge_batches(vec![events[..2].to_vec(), events[2..].to_vec()]);
-        let four = merge_batches(events.iter().map(|&e| vec![e]).collect());
+        let one = merge_batches(vec![events.clone()]).expect("unique keys");
+        let two =
+            merge_batches(vec![events[..2].to_vec(), events[2..].to_vec()]).expect("unique keys");
+        let four = merge_batches(events.iter().map(|&e| vec![e]).collect()).expect("unique keys");
         assert_eq!(one, two);
         assert_eq!(one, four);
         // And the order is the canonical one.
@@ -48,7 +92,29 @@ mod tests {
 
     #[test]
     fn empty_batches_are_fine() {
-        assert!(merge_batches(vec![]).is_empty());
-        assert!(merge_batches(vec![vec![], vec![]]).is_empty());
+        assert!(merge_batches(vec![]).expect("empty").is_empty());
+        assert!(merge_batches(vec![vec![], vec![]])
+            .expect("empty")
+            .is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_surface_as_typed_errors() {
+        // The same batch delivered twice — the at-least-once failure mode.
+        let batch = vec![fire(1, 2, 0), fire(2, 2, 1)];
+        let err = merge_batches(vec![batch.clone(), batch]).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError {
+                at: SimTime(1),
+                user: UserId(2),
+                user_seq: 0,
+            }
+        );
+        assert!(err.to_string().contains("duplicate event key"));
+        // Duplicates across *different* variants with one key also fail:
+        // key equality is what matters, not payload equality.
+        let err = merge_batches(vec![vec![fire(5, 1, 3)], vec![fire(5, 1, 3)]]).unwrap_err();
+        assert_eq!(err.user_seq, 3);
     }
 }

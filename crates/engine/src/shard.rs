@@ -27,9 +27,18 @@ use std::time::Instant;
 use treads_telemetry::{FlightEvent, FlightKind, FlightRecorder, Histogram, Registry};
 use websim::{BrowsingEvent, ExtensionLog, SessionConfig, SessionSchedule, SiteRegistry};
 
+use treads_resilience::checkpoint::{ExtensionSnapshot, ShardCheckpoint, UserCursor};
+use treads_resilience::LostWork;
+
 use crate::event::ShardEvent;
 
 /// One user's execution state inside its owning shard.
+///
+/// `Clone` is what makes crash recovery cheap to reason about: the
+/// supervisor snapshots a shard before a tick attempt and restores the
+/// snapshot wholesale, so a half-executed attempt can never leak partial
+/// cursor/RNG state into the retry.
+#[derive(Clone)]
 struct UserRuntime {
     id: UserId,
     /// Auction randomness: substream `engine-user-{id}` of the engine seed.
@@ -109,7 +118,28 @@ pub struct ShardBatch {
     pub flight_dropped: u64,
 }
 
+/// A point inside a tick at which an injected crash strikes.
+///
+/// The crash fires when the attempt's page-view count *exceeds*
+/// `after_page_views`, so successive retry attempts (which pass their
+/// attempt number here) die progressively deeper into the tick — each
+/// failed attempt leaves behind a *different* half-mutated state, which is
+/// exactly what snapshot-restore recovery must be robust to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Page views the attempt completes before dying.
+    pub after_page_views: u64,
+}
+
+/// A shard tick attempt died mid-execution.
+///
+/// Carries no payload on purpose: a crashed process reports nothing, and
+/// the supervisor must recover from the tick-start snapshot alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSignal;
+
 /// A shard: exclusive owner of its users' simulation state.
+#[derive(Clone)]
 pub struct ShardState {
     index: usize,
     users: Vec<UserRuntime>,
@@ -181,6 +211,26 @@ impl ShardState {
         tick_end: SimTime,
         probe: TickProbe,
     ) -> ShardBatch {
+        self.try_run_tick(platform, budget, sites, tick_end, probe, None)
+            .expect("a tick without an injected crash point cannot crash")
+    }
+
+    /// [`Self::run_tick`], but with an optional injected [`CrashPoint`].
+    ///
+    /// On `Err(CrashSignal)` the shard's state is **half-mutated garbage**
+    /// (cursors and RNGs advanced partway through the tick) and the
+    /// partial batch is discarded; the caller must restore a tick-start
+    /// snapshot before retrying. The fault-free path (`crash: None`) can
+    /// never fail.
+    pub fn try_run_tick<B: BudgetView>(
+        &mut self,
+        platform: &Platform,
+        budget: &B,
+        sites: &SiteRegistry,
+        tick_end: SimTime,
+        probe: TickProbe,
+        crash: Option<CrashPoint>,
+    ) -> Result<ShardBatch, CrashSignal> {
         // `cfg!` first so the whole recording path const-folds away when
         // the engine is built without its `telemetry` feature.
         let record = cfg!(feature = "telemetry") && probe.record;
@@ -219,6 +269,13 @@ impl ShardState {
                 };
                 batch.page_views += 1;
                 tally.page_views += 1;
+                if let Some(cp) = crash {
+                    if batch.page_views > cp.after_page_views {
+                        // Die with cursors/RNGs already advanced for this
+                        // page view: the most hostile partial state.
+                        return Err(CrashSignal);
+                    }
+                }
                 for &pixel in &site.pixels {
                     batch.events.push(ShardEvent::PixelFire {
                         at,
@@ -370,7 +427,149 @@ impl ShardState {
             batch.flight_dropped = flight.dropped();
             batch.flight = flight.drain();
         }
-        batch
+        Ok(batch)
+    }
+
+    /// Skips all of this shard's browsing events with `at < tick_end`
+    /// without executing them, returning an exact inventory of the work
+    /// abandoned. Used by the supervisor when a shard tick exhausts its
+    /// retry budget: the cursor must still advance (or the events would
+    /// replay next tick at the wrong time) but nothing else may move.
+    ///
+    /// `seq`, RNGs, frequency caps, and extension logs are deliberately
+    /// untouched. Skipped events are never merged, and every later event
+    /// has a strictly later `at`, so reusing the skipped events' sequence
+    /// numbers cannot collide in the `(at, user, user_seq)` merge key.
+    pub fn skip_tick(&mut self, sites: &SiteRegistry, tick_end: SimTime) -> LostWork {
+        let mut lost = LostWork {
+            shard: self.index,
+            ..LostWork::default()
+        };
+        for user in &mut self.users {
+            while user.cursor < user.events.len() {
+                let BrowsingEvent::PageView { site, at, .. } = user.events[user.cursor];
+                if at >= tick_end {
+                    break;
+                }
+                user.cursor += 1;
+                // Unknown sites are skipped without counting, exactly as
+                // `run_tick` skips them without simulating.
+                let site = match sites.get(site) {
+                    Some(s) => s,
+                    None => continue,
+                };
+                lost.page_views += 1;
+                lost.pixel_fires += site.pixels.len() as u64;
+                lost.opportunities += u64::from(site.ad_slots_per_view);
+            }
+        }
+        lost
+    }
+
+    /// This shard's index within the engine.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Freezes the shard's replayable state into a [`ShardCheckpoint`].
+    ///
+    /// Browsing schedules are *not* captured — they are a pure function of
+    /// `(seed, user, sites, session)` and are regenerated by the resuming
+    /// host; only the cursor into them is state.
+    pub fn export_cursors(&self) -> ShardCheckpoint {
+        ShardCheckpoint {
+            index: self.index as u64,
+            users: self
+                .users
+                .iter()
+                .map(|u| UserCursor {
+                    user: u.id,
+                    rng: u.rng.state(),
+                    cursor: u.cursor as u64,
+                    seq: u.seq,
+                    fseq: u.fseq,
+                })
+                .collect(),
+            freq: self.freq.entries(),
+            extensions: self
+                .extensions
+                .iter()
+                .map(|(&user, log)| ExtensionSnapshot {
+                    user,
+                    observations: log.observations().to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores the replayable state frozen by [`Self::export_cursors`]
+    /// into a freshly built shard (same users, same order, same seed).
+    ///
+    /// Fails without mutating anything if the checkpoint does not describe
+    /// this shard: wrong index, wrong user count, or a positional user
+    /// mismatch (shard user assignment is deterministic, so any of these
+    /// means the host was configured differently than the checkpointed
+    /// run).
+    pub fn restore_cursors(&mut self, cp: &ShardCheckpoint) -> adsim_types::Result<()> {
+        if cp.index != self.index as u64 {
+            return Err(adsim_types::Error::invalid(format!(
+                "checkpoint is for shard {}, not shard {}",
+                cp.index, self.index
+            )));
+        }
+        if cp.users.len() != self.users.len() {
+            return Err(adsim_types::Error::invalid(format!(
+                "checkpoint has {} users for shard {}, host shard has {}",
+                cp.users.len(),
+                self.index,
+                self.users.len()
+            )));
+        }
+        for (user, frozen) in self.users.iter().zip(&cp.users) {
+            if user.id != frozen.user {
+                return Err(adsim_types::Error::invalid(format!(
+                    "checkpoint user {} does not match host shard user {}",
+                    frozen.user, user.id
+                )));
+            }
+            if frozen.cursor as usize > user.events.len() {
+                return Err(adsim_types::Error::invalid(format!(
+                    "checkpoint cursor {} exceeds user {}'s schedule length {}",
+                    frozen.cursor,
+                    user.id,
+                    user.events.len()
+                )));
+            }
+        }
+        if cp.extensions.len() != self.extensions.len()
+            || cp
+                .extensions
+                .iter()
+                .any(|e| !self.extensions.contains_key(&e.user))
+        {
+            return Err(adsim_types::Error::invalid(format!(
+                "checkpoint extension-user set does not match host shard {}",
+                self.index
+            )));
+        }
+        for (user, frozen) in self.users.iter_mut().zip(&cp.users) {
+            user.rng = StdRng::restore(frozen.rng);
+            user.cursor = frozen.cursor as usize;
+            user.seq = frozen.seq;
+            user.fseq = frozen.fseq;
+        }
+        self.freq.restore_entries(&cp.freq);
+        self.extensions = cp
+            .extensions
+            .iter()
+            .map(|e| {
+                (
+                    e.user,
+                    ExtensionLog::from_parts(Some(e.user), e.observations.clone()),
+                )
+            })
+            .collect();
+        Ok(())
     }
 
     /// Consumes the shard, yielding its users' extension logs.

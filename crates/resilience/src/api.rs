@@ -1,0 +1,194 @@
+//! The fallible campaign-submission API surface.
+//!
+//! [`SubmissionApi`] is the narrow interface a transparency provider's
+//! submission loop actually exercises: create a campaign, submit an ad,
+//! poll its review status. The live [`Platform`] implements it directly
+//! (lifting domain errors into [`PlatformError`]); [`FlakyPlatform`]
+//! wraps a platform and injects the brownouts a [`FaultPlan`] schedules,
+//! which is how the provider's retry loop is tested against *exactly
+//! reproducible* outages.
+
+use adplatform::campaign::{AdCreative, AdStatus};
+use adplatform::targeting::TargetingSpec;
+use adplatform::{Platform, PlatformError};
+use adsim_types::{AccountId, AdId, CampaignId, Duration, Money};
+
+use crate::fault::FaultPlan;
+
+/// The campaign-submission calls a provider makes, with transient
+/// failures surfaced as typed [`PlatformError`]s.
+pub trait SubmissionApi {
+    /// Creates a campaign under `account`.
+    fn create_campaign(
+        &mut self,
+        account: AccountId,
+        name: &str,
+        bid_cpm: Money,
+        budget: Option<Money>,
+    ) -> Result<CampaignId, PlatformError>;
+
+    /// Submits an ad for review; returns its id whether approved or
+    /// rejected (status is polled separately, as on real platforms).
+    fn submit_ad(
+        &mut self,
+        campaign: CampaignId,
+        creative: AdCreative,
+        targeting: TargetingSpec,
+    ) -> Result<AdId, PlatformError>;
+
+    /// The ad's current review status.
+    fn ad_status(&self, ad: AdId) -> Result<AdStatus, PlatformError>;
+}
+
+impl SubmissionApi for Platform {
+    fn create_campaign(
+        &mut self,
+        account: AccountId,
+        name: &str,
+        bid_cpm: Money,
+        budget: Option<Money>,
+    ) -> Result<CampaignId, PlatformError> {
+        Platform::create_campaign(self, account, name, bid_cpm, budget).map_err(Into::into)
+    }
+
+    fn submit_ad(
+        &mut self,
+        campaign: CampaignId,
+        creative: AdCreative,
+        targeting: TargetingSpec,
+    ) -> Result<AdId, PlatformError> {
+        Platform::submit_ad(self, campaign, creative, targeting).map_err(Into::into)
+    }
+
+    fn ad_status(&self, ad: AdId) -> Result<AdStatus, PlatformError> {
+        Platform::ad_status(self, ad).cloned().map_err(Into::into)
+    }
+}
+
+/// A [`Platform`] wrapper that injects the API brownouts a [`FaultPlan`]
+/// schedules.
+///
+/// Calls are counted across all three submission methods in call order; a
+/// call landing inside a scheduled brownout fails with
+/// [`PlatformError::Unavailable`] *before* reaching the platform, so no
+/// partial effect ever leaks (what makes blind retry safe).
+#[derive(Debug)]
+pub struct FlakyPlatform<'a> {
+    inner: &'a mut Platform,
+    plan: &'a FaultPlan,
+    calls: u64,
+    injected: u64,
+}
+
+impl<'a> FlakyPlatform<'a> {
+    /// Wraps `inner`, injecting `plan`'s API faults.
+    pub fn new(inner: &'a mut Platform, plan: &'a FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            calls: 0,
+            injected: 0,
+        }
+    }
+
+    /// Submission-API calls attempted so far (including failed ones).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Brownout failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Read access to the wrapped platform.
+    pub fn platform(&self) -> &Platform {
+        self.inner
+    }
+
+    /// True if this call index browns out; advances the call counter.
+    fn gate(&mut self) -> Result<(), PlatformError> {
+        let call = self.calls;
+        self.calls += 1;
+        if self.plan.api_unavailable(call) {
+            self.injected += 1;
+            return Err(PlatformError::Unavailable {
+                retry_in: Duration(100),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl SubmissionApi for FlakyPlatform<'_> {
+    fn create_campaign(
+        &mut self,
+        account: AccountId,
+        name: &str,
+        bid_cpm: Money,
+        budget: Option<Money>,
+    ) -> Result<CampaignId, PlatformError> {
+        self.gate()?;
+        SubmissionApi::create_campaign(self.inner, account, name, bid_cpm, budget)
+    }
+
+    fn submit_ad(
+        &mut self,
+        campaign: CampaignId,
+        creative: AdCreative,
+        targeting: TargetingSpec,
+    ) -> Result<AdId, PlatformError> {
+        self.gate()?;
+        SubmissionApi::submit_ad(self.inner, campaign, creative, targeting)
+    }
+
+    fn ad_status(&self, ad: AdId) -> Result<AdStatus, PlatformError> {
+        // Status polls are read-only and never gated: brownouts model
+        // write-path unavailability, and gating a `&self` method would
+        // need interior mutability for no test value.
+        SubmissionApi::ad_status(&*self.inner, ad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adplatform::targeting::TargetingExpr;
+    use adplatform::PlatformConfig;
+
+    #[test]
+    fn brownout_gates_calls_in_order() {
+        let mut platform = Platform::us_2018(PlatformConfig::default());
+        let adv = platform.register_advertiser("P");
+        let account = platform.open_account(adv).unwrap();
+        let plan = FaultPlan::new().brownout(1, 2);
+        let mut flaky = FlakyPlatform::new(&mut platform, &plan);
+
+        // Call 0 passes.
+        let c = flaky
+            .create_campaign(account, "c0", Money::dollars(1), None)
+            .unwrap();
+        // Calls 1 and 2 brown out; the campaign store is untouched.
+        for _ in 0..2 {
+            let err = flaky
+                .submit_ad(
+                    c,
+                    AdCreative::text("h", "b"),
+                    TargetingSpec::including(TargetingExpr::Everyone),
+                )
+                .unwrap_err();
+            assert!(err.is_transient());
+        }
+        // Call 3 passes: the retried submission succeeds.
+        let ad = flaky
+            .submit_ad(
+                c,
+                AdCreative::text("h", "b"),
+                TargetingSpec::including(TargetingExpr::Everyone),
+            )
+            .unwrap();
+        assert_eq!(flaky.calls(), 4);
+        assert_eq!(flaky.injected(), 2);
+        assert_eq!(flaky.ad_status(ad).unwrap(), AdStatus::Approved);
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic exponential backoff with seeded jitter.
+//!
+//! Real retry loops sleep wall-clock time; a deterministic simulation
+//! cannot. [`BackoffPolicy::delays`] therefore produces the *simulated*
+//! delay schedule a production client would have used — exponential
+//! growth, capped, with full jitter drawn from a named RNG substream — so
+//! a replay with the same seed and label yields the exact same schedule,
+//! and reports can account for simulated time lost to retries.
+
+use adsim_types::rng::substream;
+use adsim_types::Duration;
+use rand::Rng;
+
+/// An exponential-backoff retry policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay cap for the first retry (before jitter).
+    pub base: Duration,
+    /// Multiplier applied per subsequent retry.
+    pub factor: u32,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+    /// Retry budget: attempts beyond `1 + max_retries` give up.
+    pub max_retries: u32,
+}
+
+impl Default for BackoffPolicy {
+    /// 100 ms base, doubling, capped at 60 s, 4 retries.
+    fn default() -> Self {
+        Self {
+            base: Duration(100),
+            factor: 2,
+            max_delay: Duration(60_000),
+            max_retries: 4,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The jittered delay before retry number `retry` (0-based), drawn
+    /// from `rng`. Full jitter: uniform in `[0, min(base·factor^retry,
+    /// max_delay)]`, the AWS-style scheme that decorrelates clients.
+    pub fn delay<R: Rng>(&self, retry: u32, rng: &mut R) -> Duration {
+        let cap = self
+            .base
+            .0
+            .saturating_mul(u64::from(self.factor).saturating_pow(retry))
+            .min(self.max_delay.0);
+        Duration(rng.gen_range(0..=cap))
+    }
+
+    /// The full delay schedule for one logical operation, derived from
+    /// `(seed, label)`. Identical inputs give identical schedules; distinct
+    /// labels (one per operation) give independent jitter.
+    pub fn delays(&self, seed: u64, label: &str) -> Vec<Duration> {
+        let mut rng = substream(seed, &format!("backoff-{label}"));
+        (0..self.max_retries)
+            .map(|retry| self.delay(retry, &mut rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_label() {
+        let policy = BackoffPolicy::default();
+        assert_eq!(policy.delays(7, "op-1"), policy.delays(7, "op-1"));
+        assert_ne!(policy.delays(7, "op-1"), policy.delays(7, "op-2"));
+        assert_ne!(policy.delays(7, "op-1"), policy.delays(8, "op-1"));
+    }
+
+    #[test]
+    fn delays_respect_exponential_caps() {
+        let policy = BackoffPolicy {
+            base: Duration(100),
+            factor: 2,
+            max_delay: Duration(350),
+            max_retries: 6,
+        };
+        let delays = policy.delays(1, "x");
+        assert_eq!(delays.len(), 6);
+        for (retry, d) in delays.iter().enumerate() {
+            let cap = (100u64 << retry).min(350);
+            assert!(d.0 <= cap, "retry {retry}: {} > cap {cap}", d.0);
+        }
+    }
+
+    #[test]
+    fn huge_retry_counts_saturate_instead_of_overflowing() {
+        let policy = BackoffPolicy {
+            base: Duration(u64::MAX / 2),
+            factor: u32::MAX,
+            max_delay: Duration(1_000),
+            max_retries: 200,
+        };
+        let mut rng = substream(0, "sat");
+        assert!(policy.delay(199, &mut rng).0 <= 1_000);
+    }
+}

@@ -1,0 +1,686 @@
+//! Versioned tick-boundary engine checkpoints.
+//!
+//! A checkpoint captures everything a resumed run needs to continue
+//! *byte-identically*: the engine-mutable platform slice
+//! ([`PlatformState`]), every per-user browsing cursor and RNG state,
+//! per-shard frequency caps and extension logs, the run counters, and
+//! the supervisor's fault accounting. Host configuration (campaigns,
+//! profiles, site registry, fault plan) is *not* captured — the driver
+//! reconstructs it from its own deterministic setup, and the
+//! [`ConfigEcho`] lets resume reject a mismatched host.
+//!
+//! Format: `b"TRCK"` magic, a `u32` version, then the fields in the
+//! fixed order of the `encode` functions below. **Versioning rule:** any
+//! layout change — field added, removed, reordered, or re-typed — bumps
+//! [`CHECKPOINT_VERSION`]; the decoder rejects versions it does not know
+//! rather than guessing (see DESIGN.md "Failure model & recovery").
+
+use adplatform::billing::LedgerState;
+use adplatform::delivery::DeliveryStats;
+use adplatform::pixel::PixelEvent;
+use adplatform::reporting::Impression;
+use adplatform::PlatformState;
+use adsim_types::{AccountId, AdId, AudienceId, CampaignId, Money, PixelId, SimTime, UserId};
+use websim::extension::ObservedAd;
+use websim::ExtensionLog;
+
+use crate::codec::{DecodeError, Reader, Writer};
+use crate::fault::{FaultReport, LostWork};
+
+/// Leading magic bytes of every checkpoint.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"TRCK";
+/// Current checkpoint format version. Bump on any layout change.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The engine configuration a checkpoint was taken under. Resume
+/// validates this against the host's engine to catch driver mismatches
+/// before they corrupt a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfigEcho {
+    /// Shard count.
+    pub shards: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Tick length in simulated ms.
+    pub tick_ms: u64,
+    /// Users simulated.
+    pub users: u64,
+    /// Session horizon in days.
+    pub days: u64,
+    /// `views_per_user_per_day`, as IEEE-754 bits (exact comparison).
+    pub views_bits: u64,
+}
+
+/// Run counters at the checkpoint instant (mirrors the engine's report;
+/// kept as plain numbers so this crate stays below the engine in the
+/// dependency graph).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReportCounters {
+    /// Users simulated.
+    pub users: u64,
+    /// Shards the run used.
+    pub shards: u64,
+    /// Ticks completed.
+    pub ticks: u64,
+    /// Page views processed.
+    pub page_views: u64,
+    /// Pixel fires applied.
+    pub pixel_fires: u64,
+    /// Opportunities auctioned.
+    pub opportunities: u64,
+    /// Impressions delivered.
+    pub impressions: u64,
+}
+
+/// One user's frozen browsing cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserCursor {
+    /// The user.
+    pub user: UserId,
+    /// Their private engine RNG state.
+    pub rng: [u64; 4],
+    /// Next unconsumed browsing-event index.
+    pub cursor: u64,
+    /// Next event sequence number.
+    pub seq: u64,
+    /// Next flight sequence number.
+    pub fseq: u64,
+}
+
+/// One user's extension log at the checkpoint instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtensionSnapshot {
+    /// The extension user.
+    pub user: UserId,
+    /// Captured observations, in capture order.
+    pub observations: Vec<ObservedAd>,
+}
+
+/// One shard's frozen state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardCheckpoint {
+    /// Shard index.
+    pub index: u64,
+    /// Per-user cursors, in shard user order.
+    pub users: Vec<UserCursor>,
+    /// Shard-local frequency-cap counts, sorted by `(ad, user)`.
+    pub freq: Vec<((AdId, UserId), u32)>,
+    /// Extension logs, in shard user order.
+    pub extensions: Vec<ExtensionSnapshot>,
+}
+
+/// A complete tick-boundary checkpoint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineCheckpoint {
+    /// Configuration echo for resume validation.
+    pub config: ConfigEcho,
+    /// The simulated ms the next tick starts at.
+    pub next_tick_start: u64,
+    /// Run counters so far.
+    pub report: ReportCounters,
+    /// Campaigns already journaled as budget-exhausted.
+    pub exhausted: Vec<CampaignId>,
+    /// Supervisor fault accounting so far.
+    pub faults: FaultReport,
+    /// The engine-mutable platform slice.
+    pub platform: PlatformState,
+    /// Per-shard cursors, caps, and extension logs.
+    pub shards: Vec<ShardCheckpoint>,
+}
+
+impl EngineCheckpoint {
+    /// Serializes to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(&CHECKPOINT_MAGIC);
+        w.put_u32(CHECKPOINT_VERSION);
+
+        // Config echo.
+        w.put_u64(self.config.shards);
+        w.put_u64(self.config.seed);
+        w.put_u64(self.config.tick_ms);
+        w.put_u64(self.config.users);
+        w.put_u64(self.config.days);
+        w.put_u64(self.config.views_bits);
+
+        w.put_u64(self.next_tick_start);
+
+        // Report counters.
+        w.put_u64(self.report.users);
+        w.put_u64(self.report.shards);
+        w.put_u64(self.report.ticks);
+        w.put_u64(self.report.page_views);
+        w.put_u64(self.report.pixel_fires);
+        w.put_u64(self.report.opportunities);
+        w.put_u64(self.report.impressions);
+
+        w.put_u32(self.exhausted.len() as u32);
+        for c in &self.exhausted {
+            w.put_u64(c.raw());
+        }
+
+        // Fault accounting.
+        w.put_u64(self.faults.injected);
+        w.put_u64(self.faults.recovered);
+        w.put_u64(self.faults.unrecoverable);
+        w.put_u32(self.faults.lost.len() as u32);
+        for l in &self.faults.lost {
+            w.put_u64(l.tick);
+            w.put_u64(l.shard as u64);
+            w.put_u64(l.page_views);
+            w.put_u64(l.pixel_fires);
+            w.put_u64(l.opportunities);
+        }
+
+        encode_platform(&mut w, &self.platform);
+
+        w.put_u32(self.shards.len() as u32);
+        for shard in &self.shards {
+            encode_shard(&mut w, shard);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a checkpoint, rejecting bad magic, unknown versions,
+    /// truncation, and trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        if r.get_bytes()? != CHECKPOINT_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = r.get_u32()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(DecodeError::UnsupportedVersion(version));
+        }
+
+        let config = ConfigEcho {
+            shards: r.get_u64()?,
+            seed: r.get_u64()?,
+            tick_ms: r.get_u64()?,
+            users: r.get_u64()?,
+            days: r.get_u64()?,
+            views_bits: r.get_u64()?,
+        };
+        let next_tick_start = r.get_u64()?;
+        let report = ReportCounters {
+            users: r.get_u64()?,
+            shards: r.get_u64()?,
+            ticks: r.get_u64()?,
+            page_views: r.get_u64()?,
+            pixel_fires: r.get_u64()?,
+            opportunities: r.get_u64()?,
+            impressions: r.get_u64()?,
+        };
+        let exhausted = {
+            let n = r.get_u32()?;
+            (0..n)
+                .map(|_| Ok(CampaignId(r.get_u64()?)))
+                .collect::<Result<Vec<_>, DecodeError>>()?
+        };
+        let faults = {
+            let injected = r.get_u64()?;
+            let recovered = r.get_u64()?;
+            let unrecoverable = r.get_u64()?;
+            let n = r.get_u32()?;
+            let lost = (0..n)
+                .map(|_| {
+                    Ok(LostWork {
+                        tick: r.get_u64()?,
+                        shard: r.get_u64()? as usize,
+                        page_views: r.get_u64()?,
+                        pixel_fires: r.get_u64()?,
+                        opportunities: r.get_u64()?,
+                    })
+                })
+                .collect::<Result<Vec<_>, DecodeError>>()?;
+            FaultReport {
+                injected,
+                recovered,
+                unrecoverable,
+                lost,
+            }
+        };
+        let platform = decode_platform(&mut r)?;
+        let shards = {
+            let n = r.get_u32()?;
+            (0..n)
+                .map(|_| decode_shard(&mut r))
+                .collect::<Result<Vec<_>, DecodeError>>()?
+        };
+        r.finish()?;
+        Ok(Self {
+            config,
+            next_tick_start,
+            report,
+            exhausted,
+            faults,
+            platform,
+            shards,
+        })
+    }
+
+    /// Rebuilds each shard's [`ExtensionLog`] map entries.
+    pub fn extension_logs(shard: &ShardCheckpoint) -> Vec<(UserId, ExtensionLog)> {
+        shard
+            .extensions
+            .iter()
+            .map(|e| {
+                (
+                    e.user,
+                    ExtensionLog::from_parts(Some(e.user), e.observations.clone()),
+                )
+            })
+            .collect()
+    }
+}
+
+fn encode_platform(w: &mut Writer, p: &PlatformState) {
+    w.put_u64(p.clock_now.0);
+
+    let b = &p.billing;
+    w.put_u32(b.account_spend.len() as u32);
+    for (id, m) in &b.account_spend {
+        w.put_u64(id.raw());
+        w.put_i64(m.as_micros());
+    }
+    w.put_u32(b.campaign_spend.len() as u32);
+    for (id, m) in &b.campaign_spend {
+        w.put_u64(id.raw());
+        w.put_i64(m.as_micros());
+    }
+    w.put_u32(b.ad_spend.len() as u32);
+    for (id, m) in &b.ad_spend {
+        w.put_u64(id.raw());
+        w.put_i64(m.as_micros());
+    }
+    w.put_u32(b.campaign_account.len() as u32);
+    for (c, a) in &b.campaign_account {
+        w.put_u64(c.raw());
+        w.put_u64(a.raw());
+    }
+    w.put_i64(b.small_spend_waiver.as_micros());
+    w.put_u64(b.impressions_charged);
+    w.put_i64(b.charged_micros);
+
+    w.put_u32(p.freq.len() as u32);
+    for ((ad, user), count) in &p.freq {
+        w.put_u64(ad.raw());
+        w.put_u64(user.raw());
+        w.put_u32(*count);
+    }
+
+    w.put_u32(p.impressions.len() as u32);
+    for i in &p.impressions {
+        w.put_u64(i.ad.raw());
+        w.put_u64(i.campaign.raw());
+        w.put_u64(i.account.raw());
+        w.put_u64(i.user.raw());
+        w.put_u64(i.at.0);
+        w.put_i64(i.price.as_micros());
+    }
+
+    w.put_u64(p.stats.opportunities);
+    w.put_u64(p.stats.won);
+    w.put_u64(p.stats.lost_to_background);
+    w.put_u64(p.stats.unfilled);
+
+    w.put_u32(p.pixel_events.len() as u32);
+    for e in &p.pixel_events {
+        w.put_u64(e.pixel.raw());
+        w.put_u64(e.user.raw());
+        w.put_u64(e.at.0);
+    }
+
+    w.put_u32(p.audience_members.len() as u32);
+    for (aud, members) in &p.audience_members {
+        w.put_u64(aud.raw());
+        w.put_u32(members.len() as u32);
+        for m in members {
+            w.put_u64(m.raw());
+        }
+    }
+}
+
+fn decode_platform(r: &mut Reader<'_>) -> Result<PlatformState, DecodeError> {
+    let clock_now = SimTime(r.get_u64()?);
+
+    let n = r.get_u32()?;
+    let account_spend = (0..n)
+        .map(|_| Ok((AccountId(r.get_u64()?), Money::micros(r.get_i64()?))))
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let n = r.get_u32()?;
+    let campaign_spend = (0..n)
+        .map(|_| Ok((CampaignId(r.get_u64()?), Money::micros(r.get_i64()?))))
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let n = r.get_u32()?;
+    let ad_spend = (0..n)
+        .map(|_| Ok((AdId(r.get_u64()?), Money::micros(r.get_i64()?))))
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let n = r.get_u32()?;
+    let campaign_account = (0..n)
+        .map(|_| Ok((CampaignId(r.get_u64()?), AccountId(r.get_u64()?))))
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let billing = LedgerState {
+        account_spend,
+        campaign_spend,
+        ad_spend,
+        campaign_account,
+        small_spend_waiver: Money::micros(r.get_i64()?),
+        impressions_charged: r.get_u64()?,
+        charged_micros: r.get_i64()?,
+    };
+
+    let n = r.get_u32()?;
+    let freq = (0..n)
+        .map(|_| Ok(((AdId(r.get_u64()?), UserId(r.get_u64()?)), r.get_u32()?)))
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+
+    let n = r.get_u32()?;
+    let impressions = (0..n)
+        .map(|_| {
+            Ok(Impression {
+                ad: AdId(r.get_u64()?),
+                campaign: CampaignId(r.get_u64()?),
+                account: AccountId(r.get_u64()?),
+                user: UserId(r.get_u64()?),
+                at: SimTime(r.get_u64()?),
+                price: Money::micros(r.get_i64()?),
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+
+    let stats = DeliveryStats {
+        opportunities: r.get_u64()?,
+        won: r.get_u64()?,
+        lost_to_background: r.get_u64()?,
+        unfilled: r.get_u64()?,
+    };
+
+    let n = r.get_u32()?;
+    let pixel_events = (0..n)
+        .map(|_| {
+            Ok(PixelEvent {
+                pixel: PixelId(r.get_u64()?),
+                user: UserId(r.get_u64()?),
+                at: SimTime(r.get_u64()?),
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+
+    let n = r.get_u32()?;
+    let audience_members = (0..n)
+        .map(|_| {
+            let aud = AudienceId(r.get_u64()?);
+            let m = r.get_u32()?;
+            let members = (0..m)
+                .map(|_| Ok(UserId(r.get_u64()?)))
+                .collect::<Result<Vec<_>, DecodeError>>()?;
+            Ok((aud, members))
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+
+    Ok(PlatformState {
+        clock_now,
+        billing,
+        freq,
+        impressions,
+        stats,
+        pixel_events,
+        audience_members,
+    })
+}
+
+fn encode_shard(w: &mut Writer, shard: &ShardCheckpoint) {
+    w.put_u64(shard.index);
+    w.put_u32(shard.users.len() as u32);
+    for u in &shard.users {
+        w.put_u64(u.user.raw());
+        for word in u.rng {
+            w.put_u64(word);
+        }
+        w.put_u64(u.cursor);
+        w.put_u64(u.seq);
+        w.put_u64(u.fseq);
+    }
+    w.put_u32(shard.freq.len() as u32);
+    for ((ad, user), count) in &shard.freq {
+        w.put_u64(ad.raw());
+        w.put_u64(user.raw());
+        w.put_u32(*count);
+    }
+    w.put_u32(shard.extensions.len() as u32);
+    for e in &shard.extensions {
+        w.put_u64(e.user.raw());
+        w.put_u32(e.observations.len() as u32);
+        for o in &e.observations {
+            w.put_u64(o.ad.raw());
+            w.put_u64(o.at.0);
+            w.put_str(&o.creative.headline);
+            w.put_str(&o.creative.body);
+            w.put_bool(o.creative.image.is_some());
+            if let Some(image) = &o.creative.image {
+                w.put_bytes(image);
+            }
+            w.put_bool(o.creative.landing_url.is_some());
+            if let Some(url) = &o.creative.landing_url {
+                w.put_str(url);
+            }
+        }
+    }
+}
+
+fn decode_shard(r: &mut Reader<'_>) -> Result<ShardCheckpoint, DecodeError> {
+    let index = r.get_u64()?;
+    let n = r.get_u32()?;
+    let users = (0..n)
+        .map(|_| {
+            let user = UserId(r.get_u64()?);
+            let mut rng = [0u64; 4];
+            for word in rng.iter_mut() {
+                *word = r.get_u64()?;
+            }
+            Ok(UserCursor {
+                user,
+                rng,
+                cursor: r.get_u64()?,
+                seq: r.get_u64()?,
+                fseq: r.get_u64()?,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let n = r.get_u32()?;
+    let freq = (0..n)
+        .map(|_| Ok(((AdId(r.get_u64()?), UserId(r.get_u64()?)), r.get_u32()?)))
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let n = r.get_u32()?;
+    let extensions = (0..n)
+        .map(|_| {
+            let user = UserId(r.get_u64()?);
+            let m = r.get_u32()?;
+            let observations = (0..m)
+                .map(|_| {
+                    let ad = AdId(r.get_u64()?);
+                    let at = SimTime(r.get_u64()?);
+                    let headline = r.get_str()?;
+                    let body = r.get_str()?;
+                    let image = if r.get_bool()? {
+                        Some(r.get_bytes()?)
+                    } else {
+                        None
+                    };
+                    let landing_url = if r.get_bool()? {
+                        Some(r.get_str()?)
+                    } else {
+                        None
+                    };
+                    Ok(ObservedAd {
+                        ad,
+                        at,
+                        creative: adplatform::AdCreative {
+                            headline,
+                            body,
+                            image,
+                            landing_url,
+                        },
+                    })
+                })
+                .collect::<Result<Vec<_>, DecodeError>>()?;
+            Ok(ExtensionSnapshot { user, observations })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    Ok(ShardCheckpoint {
+        index,
+        users,
+        freq,
+        extensions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adplatform::AdCreative;
+
+    fn sample() -> EngineCheckpoint {
+        EngineCheckpoint {
+            config: ConfigEcho {
+                shards: 2,
+                seed: 42,
+                tick_ms: 1000,
+                users: 3,
+                days: 5,
+                views_bits: 6.0f64.to_bits(),
+            },
+            next_tick_start: 2000,
+            report: ReportCounters {
+                users: 3,
+                shards: 2,
+                ticks: 2,
+                page_views: 17,
+                pixel_fires: 4,
+                opportunities: 30,
+                impressions: 9,
+            },
+            exhausted: vec![CampaignId(3)],
+            faults: FaultReport {
+                injected: 2,
+                recovered: 1,
+                unrecoverable: 1,
+                lost: vec![LostWork {
+                    tick: 1,
+                    shard: 0,
+                    page_views: 5,
+                    pixel_fires: 1,
+                    opportunities: 10,
+                }],
+            },
+            platform: PlatformState {
+                clock_now: SimTime(2000),
+                billing: LedgerState {
+                    account_spend: vec![(AccountId(1), Money::micros(5_000))],
+                    campaign_spend: vec![(CampaignId(1), Money::micros(5_000))],
+                    ad_spend: vec![(AdId(1), Money::micros(5_000))],
+                    campaign_account: vec![(CampaignId(1), AccountId(1))],
+                    small_spend_waiver: Money::cents(1),
+                    impressions_charged: 9,
+                    charged_micros: 5_000,
+                },
+                freq: vec![((AdId(1), UserId(2)), 3)],
+                impressions: vec![Impression {
+                    ad: AdId(1),
+                    campaign: CampaignId(1),
+                    account: AccountId(1),
+                    user: UserId(2),
+                    at: SimTime(900),
+                    price: Money::micros(2_000),
+                }],
+                stats: DeliveryStats {
+                    opportunities: 30,
+                    won: 9,
+                    lost_to_background: 11,
+                    unfilled: 10,
+                },
+                pixel_events: vec![PixelEvent {
+                    pixel: PixelId(1),
+                    user: UserId(2),
+                    at: SimTime(500),
+                }],
+                audience_members: vec![(AudienceId(1), vec![UserId(2), UserId(3)])],
+            },
+            shards: vec![ShardCheckpoint {
+                index: 0,
+                users: vec![UserCursor {
+                    user: UserId(2),
+                    rng: [1, 2, 3, 4],
+                    cursor: 7,
+                    seq: 12,
+                    fseq: 3,
+                }],
+                freq: vec![((AdId(1), UserId(2)), 3)],
+                extensions: vec![ExtensionSnapshot {
+                    user: UserId(2),
+                    observations: vec![ObservedAd {
+                        ad: AdId(1),
+                        creative: AdCreative {
+                            headline: "h".into(),
+                            body: "b".into(),
+                            image: Some(vec![9, 8]),
+                            landing_url: None,
+                        },
+                        at: SimTime(900),
+                    }],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let cp = sample();
+        let bytes = cp.to_bytes();
+        let decoded = EngineCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, cp);
+        // Canonical: re-encoding the decoded checkpoint is byte-identical.
+        assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        assert_eq!(
+            EngineCheckpoint::from_bytes(&bytes[..10]).unwrap_err(),
+            DecodeError::Truncated
+        );
+        // Corrupt the version field (bytes 8..12 after the 4+4 magic frame).
+        bytes[8] = 0xFF;
+        assert_eq!(
+            EngineCheckpoint::from_bytes(&bytes).unwrap_err(),
+            DecodeError::UnsupportedVersion(u32::from_le_bytes([0xFF, 0, 0, 0]))
+        );
+        let garbage = b"not a checkpoint at all.........";
+        assert!(matches!(
+            EngineCheckpoint::from_bytes(garbage).unwrap_err(),
+            DecodeError::BadMagic | DecodeError::Truncated | DecodeError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            EngineCheckpoint::from_bytes(&bytes).unwrap_err(),
+            DecodeError::Invalid("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn extension_logs_rebuild() {
+        let cp = sample();
+        let logs = EngineCheckpoint::extension_logs(&cp.shards[0]);
+        assert_eq!(logs.len(), 1);
+        assert_eq!(logs[0].0, UserId(2));
+        assert_eq!(logs[0].1.user, Some(UserId(2)));
+        assert_eq!(logs[0].1.observations().len(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Deterministic resilience layer for the Treads simulation.
+//!
+//! The paper's transparency provider runs one campaign per targeting
+//! parameter over multi-day windows against a production ad platform —
+//! an environment of flaky submission APIs, review rejections, and
+//! processes that crash mid-run. This crate gives the reproduction the
+//! same failure surface **without giving up bit-identical determinism**:
+//!
+//! * [`fault`] — the seeded [`fault::FaultPlan`] DSL: shard crashes at
+//!   tick T, duplicated/delayed event batches, and submission-API
+//!   brownouts, every one scheduled (not sampled) so replays are exact.
+//! * [`backoff`] — deterministic exponential backoff with seeded full
+//!   jitter, producing *simulated* delay schedules instead of wall-clock
+//!   sleeps.
+//! * [`api`] — the [`api::SubmissionApi`] trait over the platform's
+//!   fallible campaign-submission calls, and [`api::FlakyPlatform`],
+//!   which injects a plan's brownouts ahead of the real platform.
+//! * [`codec`] — the hand-rolled canonical binary codec (the vendored
+//!   `serde` is a no-op stub, and a one-valid-form encoding is what makes
+//!   "byte-identical checkpoint" meaningful).
+//! * [`checkpoint`] — versioned tick-boundary
+//!   [`checkpoint::EngineCheckpoint`]s: platform state, per-user RNG
+//!   cursors, shard frequency caps, extension logs, and fault accounting,
+//!   round-tripping through [`checkpoint::EngineCheckpoint::to_bytes`] /
+//!   [`checkpoint::EngineCheckpoint::from_bytes`].
+//!
+//! The engine's supervisor (`treads-engine`) consumes the fault plan and
+//! checkpoint types; the provider's retry loop (`treads-core`) consumes
+//! the backoff policy and submission API. This crate sits *below* both in
+//! the dependency graph and knows nothing about either.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod backoff;
+pub mod checkpoint;
+pub mod codec;
+pub mod fault;
+
+pub use api::{FlakyPlatform, SubmissionApi};
+pub use backoff::BackoffPolicy;
+pub use checkpoint::{
+    ConfigEcho, EngineCheckpoint, ReportCounters, ShardCheckpoint, UserCursor, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+};
+pub use codec::DecodeError;
+pub use fault::{ApiFault, EngineFault, FaultPlan, FaultReport, LostWork};

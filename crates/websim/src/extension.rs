@@ -42,6 +42,11 @@ impl ExtensionLog {
         }
     }
 
+    /// Rebuilds a log from checkpointed parts, preserving capture order.
+    pub fn from_parts(user: Option<UserId>, observations: Vec<ObservedAd>) -> Self {
+        Self { user, observations }
+    }
+
     /// Records a rendered ad.
     pub fn observe(&mut self, ad: AdId, creative: AdCreative, at: SimTime) {
         self.observations.push(ObservedAd { ad, creative, at });

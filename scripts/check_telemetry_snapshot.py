@@ -19,6 +19,13 @@ REQUIRED_COUNTERS = [
     "auction.won",
     "eligibility.considered",
     "index.candidates",
+    # Resilience accounting: the supervisor always emits these, zero-valued
+    # on a fault-free run, so their absence means the run bypassed the
+    # supervised path (DESIGN.md "Failure model & recovery").
+    "faults.injected",
+    "faults.recovered",
+    "faults.unrecoverable",
+    "checkpoint.bytes",
 ]
 
 REQUIRED_HISTOGRAMS = [

@@ -11,6 +11,7 @@ pub use treads_baseline as baseline;
 pub use treads_broker as broker;
 pub use treads_core as treads;
 pub use treads_engine as engine;
+pub use treads_resilience as resilience;
 pub use treads_telemetry as telemetry;
 pub use treads_workload as workload;
 pub use websim;

@@ -1,0 +1,143 @@
+//! Integration test: policy rejection and enforcement suspension paths.
+//!
+//! The platform's two rejection channels — per-creative policy review
+//! (`policy.rs`) and per-account enforcement sweeps (`enforcement.rs`) —
+//! must fail *closed*: a rejected ad never serves and never bills, a
+//! suspended account loses its whole advertiser API, and in both cases a
+//! compliant re-submission brings the campaign back through the normal
+//! path with nothing leaked from the rejected attempt.
+
+use treads_repro::adplatform::enforcement::EnforcementConfig;
+use treads_repro::adplatform::{AdStatus, Gender, Platform, PlatformConfig};
+use treads_repro::adsim_types::{AudienceId, Error, Money, UserId};
+use treads_repro::treads::encoding::Encoding;
+use treads_repro::treads::planner::CampaignPlan;
+use treads_repro::treads::provider::TransparencyProvider;
+
+const ATTR: &str = "Net worth: $2M+";
+
+/// A platform, a provider with a page opt-in audience, and one opted-in
+/// user holding the partner attribute every test targets.
+fn staged(seed: u64) -> (Platform, TransparencyProvider, UserId, AudienceId) {
+    let mut platform = Platform::us_2018(PlatformConfig {
+        seed,
+        ..PlatformConfig::default()
+    });
+    platform.config.auction.competitor_rate = 0.0;
+    let provider = TransparencyProvider::register(&mut platform, "KYD", seed, Money::dollars(10))
+        .expect("provider registers");
+    let (page, audience) = provider.setup_page_optin(&mut platform).expect("optin");
+    let user = platform.register_user(44, Gender::Female, "Vermont", "05401");
+    let attr = platform.attributes.id_of(ATTR).expect("catalog attribute");
+    platform
+        .profiles
+        .grant_attribute(user, attr)
+        .expect("grant");
+    platform.user_likes_page(user, page).expect("like");
+    (platform, provider, user, audience)
+}
+
+#[test]
+fn rejected_ad_never_delivers_and_never_bills() {
+    let (mut p, mut prov, user, audience) = staged(11);
+    let plan = CampaignPlan::binary_in_ad("explicit", &[ATTR], Encoding::Explicit);
+    let receipt = prov.run_plan(&mut p, &plan, audience).expect("run");
+    assert_eq!(receipt.rejected_count(), 1);
+    let rejected = &receipt.placed[0];
+    assert!(!rejected.approved);
+    assert!(matches!(
+        p.ad_status(rejected.ad).expect("status"),
+        AdStatus::Rejected { .. }
+    ));
+
+    // Heavy browsing by a perfectly matching user: the rejected ad must
+    // never appear in the impression log.
+    for _ in 0..50 {
+        p.browse(user).expect("browse");
+    }
+    assert!(
+        p.log.all().iter().all(|i| i.ad != rejected.ad),
+        "rejected ad delivered"
+    );
+    // And therefore nothing was charged — per ad, per campaign, and on
+    // the account invoice.
+    assert_eq!(p.billing.ad_spend(rejected.ad), Money::ZERO);
+    assert_eq!(p.billing.campaign_spend(rejected.campaign), Money::ZERO);
+    assert_eq!(p.billing.account_spend(receipt.account), Money::ZERO);
+    assert_eq!(p.invoice(receipt.account).due, Money::ZERO);
+}
+
+#[test]
+fn resubmission_with_compliant_creative_recovers() {
+    let (mut p, mut prov, user, audience) = staged(13);
+
+    // First attempt: explicit wording, rejected.
+    let explicit = CampaignPlan::binary_in_ad("try1", &[ATTR], Encoding::Explicit);
+    let first = prov.run_plan(&mut p, &explicit, audience).expect("run");
+    assert_eq!(first.approved_count(), 0);
+
+    // Re-submission of the same disclosure, re-encoded through the
+    // codebook: approved, delivers, and bills through the normal path.
+    let obfuscated = CampaignPlan::binary_in_ad("try2", &[ATTR], Encoding::CodebookToken);
+    let second = prov.run_plan(&mut p, &obfuscated, audience).expect("rerun");
+    assert_eq!(second.approved_count(), 1);
+    let placed = &second.placed[0];
+    assert_eq!(p.ad_status(placed.ad).expect("status"), &AdStatus::Approved);
+
+    for _ in 0..50 {
+        p.browse(user).expect("browse");
+    }
+    let delivered = p.log.all().iter().filter(|i| i.ad == placed.ad).count();
+    assert!(delivered > 0, "approved re-submission never delivered");
+    assert!(p.billing.ad_spend(placed.ad) > Money::ZERO);
+    // The rejected first attempt stayed dark even while its sibling ran.
+    let rejected_ad = first.placed[0].ad;
+    assert!(p.log.all().iter().all(|i| i.ad != rejected_ad));
+    assert_eq!(p.billing.ad_spend(rejected_ad), Money::ZERO);
+}
+
+#[test]
+fn suspended_account_loses_the_advertiser_api() {
+    // A single account running one campaign per partner attribute trips
+    // the pattern detector (ceil(n/1) >= threshold), and suspension takes
+    // down every advertiser-facing call — including re-submission.
+    let (mut p, mut prov, user, audience) = staged(17);
+    p.config.enforcement = EnforcementConfig {
+        pattern_threshold: 50,
+        review_sample_rate: 0.0,
+    };
+    let names: Vec<String> = p
+        .attributes
+        .partner_attributes()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    assert!(names.len() >= 50, "us_2018 catalog feeds the detector");
+    let plan = CampaignPlan::binary_in_ad("bulk", &names, Encoding::CodebookToken);
+    let receipt = prov.run_plan(&mut p, &plan, audience).expect("run");
+    let spend_before = p.billing.account_spend(receipt.account);
+
+    let reports = p.run_enforcement_sweep();
+    assert!(
+        reports
+            .iter()
+            .any(|r| r.account == receipt.account && r.flagged()),
+        "bulk singleton campaigns should be flagged"
+    );
+    assert!(p.suspended.contains(&receipt.account));
+
+    // Every advertiser-facing operation now fails with AccountSuspended.
+    let retry = CampaignPlan::binary_in_ad("retry", &[ATTR], Encoding::CodebookToken);
+    let err = prov.run_plan(&mut p, &retry, audience).unwrap_err();
+    assert!(matches!(err, Error::AccountSuspended { .. }), "got {err}");
+    let err = p
+        .create_campaign(receipt.account, "direct", Money::dollars(2), None)
+        .unwrap_err();
+    assert!(matches!(err, Error::AccountSuspended { .. }));
+
+    // Suspended ads stop serving, so the ledger freezes where it was.
+    for _ in 0..20 {
+        p.browse(user).expect("browse");
+    }
+    assert_eq!(p.billing.account_spend(receipt.account), spend_before);
+}

@@ -1,0 +1,309 @@
+//! Integration test: fault injection, crash recovery, and
+//! checkpoint/resume leave the simulation byte-identical.
+//!
+//! The resilience contract (DESIGN.md "Failure model & recovery") has
+//! three clauses, each tested here against the fault-free oracle:
+//!
+//! 1. **Recoverable chaos is invisible.** Any seeded [`FaultPlan`] whose
+//!    crashes stay within the supervisor's retry budget — plus any mix of
+//!    duplicated and delayed batches — produces identical invoices, ad
+//!    reports, impression logs, and decoded Tread sets, at 1, 2, and 8
+//!    shards (chaos property test).
+//! 2. **Checkpoint/resume is invisible.** Serializing a tick-boundary
+//!    checkpoint, decoding it, and resuming on a freshly built host
+//!    produces the identical outputs — including the *later* checkpoints,
+//!    byte for byte.
+//! 3. **Unrecoverable faults degrade with exact accounting.** A crash
+//!    beyond the retry budget loses exactly the work the fault report
+//!    itemizes: oracle counts = degraded counts + lost counts.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use treads_repro::adplatform::billing::Invoice;
+use treads_repro::adplatform::reporting::{AdReport, Impression};
+use treads_repro::adsim_types::UserId;
+use treads_repro::engine::{
+    Engine, EngineCheckpoint, EngineConfig, EngineReport, FaultPlan, FaultReport, ResilienceOptions,
+};
+use treads_repro::treads::encoding::Encoding;
+use treads_repro::treads::planner::CampaignPlan;
+use treads_repro::treads::TreadClient;
+use treads_repro::websim::{SessionConfig, SiteRegistry};
+use treads_repro::workload::CohortScenario;
+
+const SEED: u64 = 31;
+const DAYS: u64 = 5;
+
+/// Every output the resilience contract covers.
+#[derive(Debug, PartialEq)]
+struct RunOutput {
+    invoices: Vec<Invoice>,
+    reports: Vec<AdReport>,
+    reveals: BTreeMap<UserId, BTreeSet<String>>,
+    log: Vec<Impression>,
+    report: EngineReport,
+    faults: FaultReport,
+    checkpoint_bytes: Vec<Vec<u8>>,
+}
+
+/// One full supervised engine run, built from scratch (scenario setup is
+/// itself seed-deterministic). With `resume` the engine continues a
+/// checkpointed run on the freshly built host instead of starting cold.
+fn run(shards: usize, options: &ResilienceOptions, resume: Option<&EngineCheckpoint>) -> RunOutput {
+    let mut s = CohortScenario::setup(SEED, 60, 30);
+    let names: Vec<String> = s
+        .platform
+        .attributes
+        .partner_attributes()
+        .iter()
+        .take(12)
+        .map(|d| d.name.clone())
+        .collect();
+    let plan = CampaignPlan::binary_in_ad("chaos", &names, Encoding::CodebookToken);
+    let receipt = s
+        .provider
+        .run_plan(&mut s.platform, &plan, s.optin_audience)
+        .expect("plan runs");
+
+    let mut sites = SiteRegistry::new();
+    sites.create("feed.example", 2);
+    sites.create("news.example", 1);
+
+    let engine = Engine::new(EngineConfig {
+        shards,
+        session: SessionConfig {
+            views_per_user_per_day: 6.0,
+            days: DAYS,
+        },
+        seed: SEED,
+        ..EngineConfig::default()
+    });
+    let extension_users: BTreeSet<UserId> = s.opted_in.iter().copied().collect();
+    let resilient = match resume {
+        None => engine
+            .run_resilient(&mut s.platform, &sites, &s.users, &extension_users, options)
+            .expect("supervised run completes"),
+        Some(cp) => engine
+            .resume_from(
+                &mut s.platform,
+                &sites,
+                &s.users,
+                &extension_users,
+                options,
+                cp,
+            )
+            .expect("resume completes"),
+    };
+
+    let invoices = s
+        .provider
+        .accounts
+        .iter()
+        .map(|&a| s.platform.invoice(a))
+        .collect();
+    let reports = receipt
+        .placed
+        .iter()
+        .filter(|p| p.approved)
+        .map(|p| {
+            s.platform
+                .ad_report(receipt.account, p.ad)
+                .expect("placed ad reports")
+        })
+        .collect();
+    let client = TreadClient::new(s.provider.codebook.clone(), &s.platform.attributes);
+    let reveals = resilient
+        .outcome
+        .extensions
+        .iter()
+        .map(|(&u, log)| (u, client.decode_log(log, |_| None).has))
+        .collect();
+    RunOutput {
+        invoices,
+        reports,
+        reveals,
+        log: s.platform.log.all().to_vec(),
+        report: resilient.outcome.report,
+        faults: resilient.faults,
+        checkpoint_bytes: resilient
+            .checkpoints
+            .iter()
+            .map(EngineCheckpoint::to_bytes)
+            .collect(),
+    }
+}
+
+/// Fault-free oracle at a given shard count.
+fn oracle(shards: usize) -> RunOutput {
+    run(shards, &ResilienceOptions::default(), None)
+}
+
+/// Asserts the simulation-visible outputs of `a` and `b` are identical
+/// (fault accounting aside, which legitimately differs).
+fn assert_same_simulation(a: &RunOutput, b: &RunOutput, context: &str) {
+    assert_eq!(a.invoices, b.invoices, "invoices differ: {context}");
+    assert_eq!(a.reports, b.reports, "ad reports differ: {context}");
+    assert_eq!(a.reveals, b.reveals, "decoded Treads differ: {context}");
+    assert_eq!(a.log, b.log, "impression logs differ: {context}");
+    assert_eq!(a.report, b.report, "engine reports differ: {context}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Clause 1: any recoverable fault plan, at any shard count, is
+    /// byte-identical to fault-free.
+    #[test]
+    fn recoverable_chaos_is_byte_identical(fault_seed in 0u64..1000) {
+        for shards in [1usize, 2, 8] {
+            let clean = oracle(shards);
+            let plan = FaultPlan::random_recoverable(fault_seed, DAYS, shards, 3);
+            let options = ResilienceOptions {
+                faults: plan,
+                max_retries_per_shard_tick: 3,
+                checkpoint_every_ticks: 0,
+            };
+            let chaotic = run(shards, &options, None);
+            prop_assert_eq!(chaotic.faults.unrecoverable, 0);
+            prop_assert!(chaotic.faults.lost.is_empty());
+            assert_same_simulation(
+                &clean,
+                &chaotic,
+                &format!("fault seed {fault_seed}, {shards} shards"),
+            );
+            // The same chaos replays exactly, accounting included.
+            let replay = run(shards, &options, None);
+            prop_assert_eq!(&replay.faults, &chaotic.faults);
+            assert_same_simulation(&chaotic, &replay, "chaos replay");
+        }
+    }
+}
+
+#[test]
+fn targeted_faults_recover_at_every_shard_count() {
+    // A hand-built plan exercising all three engine faults at once, placed
+    // where a 5-tick run is sure to hit them.
+    for shards in [1usize, 2, 8] {
+        let clean = oracle(shards);
+        let plan = FaultPlan::new()
+            .crash_shard(1, 0, 2)
+            .duplicate_batch(2, 0)
+            .delay_batch(3, shards.saturating_sub(1));
+        let options = ResilienceOptions {
+            faults: plan,
+            max_retries_per_shard_tick: 3,
+            checkpoint_every_ticks: 0,
+        };
+        let chaotic = run(shards, &options, None);
+        assert!(chaotic.faults.injected > 0, "faults were actually injected");
+        assert_eq!(chaotic.faults.unrecoverable, 0);
+        assert_same_simulation(
+            &clean,
+            &chaotic,
+            &format!("targeted faults, {shards} shards"),
+        );
+    }
+}
+
+#[test]
+fn checkpoint_resume_round_trip_is_byte_identical() {
+    let options = ResilienceOptions {
+        faults: FaultPlan::new(),
+        max_retries_per_shard_tick: 3,
+        checkpoint_every_ticks: 2,
+    };
+    for shards in [1usize, 2, 8] {
+        let full = run(shards, &options, None);
+        // 5 ticks at a 2-tick cadence: checkpoints after ticks 2 and 4.
+        assert_eq!(full.checkpoint_bytes.len(), 2);
+
+        // Serialize → decode → resume on a freshly built host.
+        let decoded = EngineCheckpoint::from_bytes(&full.checkpoint_bytes[0]).expect("decodes");
+        assert_eq!(
+            decoded.to_bytes(),
+            full.checkpoint_bytes[0],
+            "checkpoint re-encode is canonical"
+        );
+        let resumed = run(shards, &options, Some(&decoded));
+        assert_same_simulation(&full, &resumed, &format!("resume at {shards} shards"));
+        // The resumed run retakes the *later* checkpoint, byte for byte.
+        assert_eq!(
+            resumed.checkpoint_bytes,
+            full.checkpoint_bytes[1..].to_vec()
+        );
+    }
+
+    // A mismatched host is rejected before anything mutates.
+    let decoded = {
+        let full = run(2, &options, None);
+        EngineCheckpoint::from_bytes(&full.checkpoint_bytes[0]).expect("decodes")
+    };
+    let mut s = CohortScenario::setup(SEED, 60, 30);
+    let wrong_engine = Engine::new(EngineConfig {
+        shards: 4, // checkpoint was taken at 2 shards
+        session: SessionConfig {
+            views_per_user_per_day: 6.0,
+            days: DAYS,
+        },
+        seed: SEED,
+        ..EngineConfig::default()
+    });
+    let sites = SiteRegistry::new();
+    let err = wrong_engine
+        .resume_from(
+            &mut s.platform,
+            &sites,
+            &s.users,
+            &BTreeSet::new(),
+            &options,
+            &decoded,
+        )
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("does not match"),
+        "unexpected resume error: {err}"
+    );
+}
+
+#[test]
+fn unrecoverable_crash_degrades_with_exact_accounting() {
+    for shards in [2usize, 8] {
+        let clean = oracle(shards);
+        // Shard 0 crashes on tick 1 more times than the budget allows.
+        let options = ResilienceOptions {
+            faults: FaultPlan::new().crash_shard(1, 0, 10),
+            max_retries_per_shard_tick: 2,
+            checkpoint_every_ticks: 0,
+        };
+        let degraded = run(shards, &options, None);
+        assert_eq!(degraded.faults.unrecoverable, 1);
+        assert_eq!(degraded.faults.lost.len(), 1);
+        let lost = &degraded.faults.lost[0];
+        assert_eq!((lost.tick, lost.shard), (1, 0));
+        assert!(lost.page_views > 0, "the lost tick had real work");
+        // Exact accounting: nothing vanishes untracked.
+        assert_eq!(
+            degraded.report.page_views + lost.page_views,
+            clean.report.page_views,
+            "page views: degraded + lost = oracle ({shards} shards)"
+        );
+        assert_eq!(
+            degraded.report.opportunities + lost.opportunities,
+            clean.report.opportunities,
+            "opportunities: degraded + lost = oracle ({shards} shards)"
+        );
+        assert_eq!(
+            degraded.report.pixel_fires + lost.pixel_fires,
+            clean.report.pixel_fires,
+            "pixel fires: degraded + lost = oracle ({shards} shards)"
+        );
+        // Delivery degraded but never over-billed: fewer impressions, and
+        // the run kept going for the remaining ticks.
+        assert!(degraded.report.impressions <= clean.report.impressions);
+        assert_eq!(degraded.report.ticks, clean.report.ticks);
+        // Degradation replays exactly too.
+        let replay = run(shards, &options, None);
+        assert_same_simulation(&degraded, &replay, "degraded replay");
+        assert_eq!(replay.faults, degraded.faults);
+    }
+}

@@ -242,6 +242,32 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// Exports the raw xoshiro256\*\* state for checkpointing.
+        ///
+        /// A generator restored via [`StdRng::restore`] from this value
+        /// continues the exact output sequence, which is what lets the
+        /// simulation engine freeze and resume RNG cursors bit-identically.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state exported by [`StdRng::state`].
+        ///
+        /// The all-zero state is unreachable from any seeded generator
+        /// (xoshiro preserves non-zeroness); it is remapped through
+        /// splitmix64 the same way `from_seed` handles degenerate seeds so
+        /// a corrupted checkpoint cannot produce a stuck generator.
+        pub fn restore(state: [u64; 4]) -> Self {
+            let mut s = state;
+            if s == [0; 4] {
+                let mut sm = Splitmix64(0x9E37_79B9_7F4A_7C15);
+                for word in s.iter_mut() {
+                    *word = sm.next();
+                }
+            }
+            Self { s }
+        }
+
         fn next(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
