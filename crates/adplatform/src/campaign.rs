@@ -6,9 +6,12 @@
 //! containing 507 ads — one per partner attribute — plus one control ad
 //! targeting the opted-in audience with no further parameters.
 
+use crate::audience::AudienceResolver;
+use crate::compiled::{EvalMode, ProgramArena};
 use crate::index::{SelectionMode, TargetingIndex};
+use crate::profile::UserProfile;
 use crate::targeting::TargetingSpec;
-use adsim_types::{AccountId, AdId, CampaignId, Error, Money, Result};
+use adsim_types::{AccountId, AdId, CampaignId, Error, Money, Result, SymbolTable};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -118,15 +121,31 @@ pub struct Campaign {
 /// [`TargetingIndex`] filing every ad under its anchor signal at
 /// creation; [`crate::delivery::eligible_bids`] consults it (or not,
 /// per [`SelectionMode`]) to avoid scanning the whole inventory per
-/// opportunity.
+/// opportunity. Each ad's targeting spec is also lowered into the
+/// store's [`ProgramArena`] at creation; delivery evaluates the
+/// compiled program (or the tree oracle, per [`EvalMode`]) per
+/// candidate.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignStore {
     campaigns: BTreeMap<CampaignId, Campaign>,
-    ads: BTreeMap<AdId, Ad>,
+    /// Dense ad storage: ad ids count up from 1 and are never reused,
+    /// so `AdId(n)` lives at slot `n - 1`. Lookups on the delivery hot
+    /// path (one per index candidate per opportunity) are an O(1) slot
+    /// load instead of a B-tree descent over the whole inventory.
+    ads: Vec<Ad>,
     next_campaign: u64,
     next_ad: u64,
     index: TargetingIndex,
     selection: SelectionMode,
+    /// Compiled form of each ad's targeting spec, built once at
+    /// `create_ad`. Kept beside `ads` (not inside [`Ad`]) so the ad
+    /// record stays the advertiser-facing submission, serializable
+    /// without the compiled artifact. Ad ids are dense (`next_ad`
+    /// counts up from 1, never reused), so the program of `AdId(n)` is
+    /// arena program `n - 1` — an O(1) span load plus a contiguous op
+    /// slice on the hot path, with no per-ad heap allocation.
+    compiled: ProgramArena,
+    eval: EvalMode,
 }
 
 impl CampaignStore {
@@ -160,11 +179,17 @@ impl CampaignStore {
     }
 
     /// Creates an ad under a campaign, initially pending review.
+    ///
+    /// The targeting spec is lowered into the [`ProgramArena`] here, interning
+    /// its state/ZIP strings into `symbols` — pass the platform's shared
+    /// table (the one its profile store interns through) so compiled geo
+    /// compares line up with profile facets.
     pub fn create_ad(
         &mut self,
         campaign: CampaignId,
         creative: AdCreative,
         targeting: TargetingSpec,
+        symbols: &mut SymbolTable,
     ) -> Result<AdId> {
         let camp = self
             .campaigns
@@ -174,16 +199,16 @@ impl CampaignStore {
         let id = AdId(self.next_ad);
         camp.ads.push(id);
         self.index.insert(id, &targeting);
-        self.ads.insert(
+        debug_assert_eq!(self.compiled.len() as u64 + 1, self.next_ad);
+        debug_assert_eq!(self.ads.len() as u64 + 1, self.next_ad);
+        self.compiled.push(&targeting, symbols);
+        self.ads.push(Ad {
             id,
-            Ad {
-                id,
-                campaign,
-                creative,
-                targeting,
-                status: AdStatus::PendingReview,
-            },
-        );
+            campaign,
+            creative,
+            targeting,
+            status: AdStatus::PendingReview,
+        });
         Ok(id)
     }
 
@@ -203,19 +228,23 @@ impl CampaignStore {
 
     /// Looks up an ad.
     pub fn ad(&self, id: AdId) -> Result<&Ad> {
-        self.ads.get(&id).ok_or_else(|| Error::not_found("ad", id))
+        id.raw()
+            .checked_sub(1)
+            .and_then(|slot| self.ads.get(slot as usize))
+            .ok_or_else(|| Error::not_found("ad", id))
     }
 
     /// Mutable ad lookup.
     pub fn ad_mut(&mut self, id: AdId) -> Result<&mut Ad> {
-        self.ads
-            .get_mut(&id)
+        id.raw()
+            .checked_sub(1)
+            .and_then(|slot| self.ads.get_mut(slot as usize))
             .ok_or_else(|| Error::not_found("ad", id))
     }
 
     /// All ads, in id order.
     pub fn ads(&self) -> impl Iterator<Item = &Ad> {
-        self.ads.values()
+        self.ads.iter()
     }
 
     /// All campaigns, in id order.
@@ -226,7 +255,7 @@ impl CampaignStore {
     /// Ads owned by an account (via their campaigns), in id order.
     pub fn ads_of_account(&self, account: AccountId) -> Vec<&Ad> {
         self.ads
-            .values()
+            .iter()
             .filter(|ad| {
                 self.campaigns
                     .get(&ad.campaign)
@@ -257,6 +286,37 @@ impl CampaignStore {
     pub fn set_selection_mode(&mut self, mode: SelectionMode) {
         self.selection = mode;
     }
+
+    /// The arena holding every ad's compiled targeting program.
+    pub fn programs(&self) -> &ProgramArena {
+        &self.compiled
+    }
+
+    /// Evaluates `ad`'s compiled program against `user`, or `None` for
+    /// an ad this store never created (every ad created through
+    /// [`CampaignStore::create_ad`] has a program).
+    pub fn compiled_matches<A: AudienceResolver>(
+        &self,
+        ad: AdId,
+        user: &UserProfile,
+        audiences: &A,
+    ) -> Option<bool> {
+        self.compiled
+            .matches(ad.raw().checked_sub(1)? as usize, user, audiences)
+    }
+
+    /// How delivery evaluates a candidate ad's targeting spec.
+    pub fn eval_mode(&self) -> EvalMode {
+        self.eval
+    }
+
+    /// Switches targeting evaluation between the compiled programs and
+    /// the tree-walking oracle. Both produce identical outputs; this
+    /// exists for verification and benchmarking, mirroring
+    /// [`CampaignStore::set_selection_mode`].
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        self.eval = mode;
+    }
 }
 
 #[cfg(test)]
@@ -271,13 +331,15 @@ mod tests {
     #[test]
     fn campaign_and_ad_lifecycle() {
         let mut s = CampaignStore::new();
+        let mut syms = SymbolTable::new();
         let camp = s.create_campaign(AccountId(1), "validation", Money::dollars(10), None);
         let ad = s
-            .create_ad(camp, AdCreative::text("h", "b"), spec())
+            .create_ad(camp, AdCreative::text("h", "b"), spec(), &mut syms)
             .expect("ad");
         assert_eq!(s.campaign(camp).expect("camp").ads, vec![ad]);
         assert_eq!(s.ad(ad).expect("ad").status, AdStatus::PendingReview);
         assert!(!s.ad(ad).expect("ad").is_servable());
+        assert_eq!(s.programs().len(), 1);
         s.ad_mut(ad).expect("ad").status = AdStatus::Approved;
         assert!(s.ad(ad).expect("ad").is_servable());
         assert_eq!(s.ad_count(), 1);
@@ -286,8 +348,9 @@ mod tests {
     #[test]
     fn ad_requires_existing_campaign() {
         let mut s = CampaignStore::new();
+        let mut syms = SymbolTable::new();
         let err = s
-            .create_ad(CampaignId(9), AdCreative::text("h", "b"), spec())
+            .create_ad(CampaignId(9), AdCreative::text("h", "b"), spec(), &mut syms)
             .expect_err("no campaign");
         assert_eq!(err, Error::not_found("campaign", CampaignId(9)));
     }
@@ -295,13 +358,14 @@ mod tests {
     #[test]
     fn ads_of_account_filters_by_ownership() {
         let mut s = CampaignStore::new();
+        let mut syms = SymbolTable::new();
         let c1 = s.create_campaign(AccountId(1), "one", Money::dollars(2), None);
         let c2 = s.create_campaign(AccountId(2), "two", Money::dollars(2), None);
         let a1 = s
-            .create_ad(c1, AdCreative::text("1", ""), spec())
+            .create_ad(c1, AdCreative::text("1", ""), spec(), &mut syms)
             .expect("a1");
         let _a2 = s
-            .create_ad(c2, AdCreative::text("2", ""), spec())
+            .create_ad(c2, AdCreative::text("2", ""), spec(), &mut syms)
             .expect("a2");
         let owned = s.ads_of_account(AccountId(1));
         assert_eq!(owned.len(), 1);
@@ -324,9 +388,10 @@ mod tests {
     #[test]
     fn rejected_and_paused_ads_do_not_serve() {
         let mut s = CampaignStore::new();
+        let mut syms = SymbolTable::new();
         let camp = s.create_campaign(AccountId(1), "c", Money::dollars(2), None);
         let ad = s
-            .create_ad(camp, AdCreative::text("h", "b"), spec())
+            .create_ad(camp, AdCreative::text("h", "b"), spec(), &mut syms)
             .expect("ad");
         s.ad_mut(ad).expect("ad").status = AdStatus::Rejected {
             reason: "asserts personal attributes".into(),

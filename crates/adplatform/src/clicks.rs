@@ -118,6 +118,7 @@ mod tests {
 
     fn store_with_ads() -> (CampaignStore, AdId, AdId) {
         let mut store = CampaignStore::new();
+        let mut syms = adsim_types::SymbolTable::new();
         let camp = store.create_campaign(AccountId(1), "c", Money::dollars(2), None);
         let a = store
             .create_ad(
@@ -127,6 +128,7 @@ mod tests {
                     TargetingExpr::Attr(AttributeId(1)),
                     TargetingExpr::Attr(AttributeId(2)),
                 ])),
+                &mut syms,
             )
             .expect("ad a");
         let b = store
@@ -134,6 +136,7 @@ mod tests {
                 camp,
                 AdCreative::text("b", ""),
                 TargetingSpec::including(TargetingExpr::Attr(AttributeId(3))),
+                &mut syms,
             )
             .expect("ad b");
         (store, a, b)

@@ -23,6 +23,7 @@ use crate::auction::{run_auction_traced, AuctionConfig, AuctionOutcome, AuctionT
 use crate::audience::AudienceStore;
 use crate::billing::{BillingLedger, BudgetView};
 use crate::campaign::{Ad, CampaignStore};
+use crate::compiled::EvalMode;
 use crate::index::SelectionMode;
 use crate::profile::UserProfile;
 use crate::reporting::{Impression, ImpressionLog};
@@ -163,6 +164,40 @@ pub struct EligibilityBreakdown {
     /// targeting cannot match this user. Always zero under
     /// [`SelectionMode::LinearScan`].
     pub index_pruned: u32,
+    /// Targeting checks answered by a [`crate::compiled::CompiledSpec`]
+    /// program rather than the expression tree. Not a filter bucket (it
+    /// overlaps `targeting_mismatch`/`eligible`); zero under
+    /// [`EvalMode::Tree`].
+    pub compiled_evals: u32,
+}
+
+/// Reusable per-opportunity working memory for the delivery hot path.
+///
+/// One opportunity needs two growable buffers: the index's candidate
+/// list and the surviving bid list. Allocating them per auction made the
+/// allocator a measurable slice of the auction phase; instead each
+/// engine shard owns one `DeliveryScratch` and threads it through
+/// [`decide_opportunity_traced_with_scratch`], so after the first few
+/// opportunities the buffers reach their high-water capacity and the
+/// steady state allocates nothing. (Compiled targeting evaluation needs
+/// no buffer at all — a [`crate::compiled::CompiledSpec`] runs on a
+/// single boolean accumulator.)
+///
+/// The buffers carry no data between calls — every use clears before
+/// filling — so a fresh scratch always produces identical results.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryScratch {
+    /// Candidate ad ids from the index (or unused under linear scan).
+    candidates: Vec<AdId>,
+    /// Bids that survived the eligibility filter chain.
+    bids: Vec<Bid>,
+}
+
+impl DeliveryScratch {
+    /// Empty scratch; buffers grow to their steady-state size on use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Collects the bids eligible for an opportunity shown to `user`.
@@ -185,6 +220,9 @@ pub fn eligible_bids<B: BudgetView>(
 /// [`eligible_bids`] plus the [`EligibilityBreakdown`] saying where every
 /// non-eligible ad was filtered out. The filter logic is shared — the
 /// traced and untraced forms can never disagree.
+///
+/// Allocates a throwaway [`DeliveryScratch`]; hot callers use
+/// [`eligible_bids_traced_into`] with a reused one instead.
 pub fn eligible_bids_traced<B: BudgetView>(
     user: &UserProfile,
     campaigns: &CampaignStore,
@@ -193,8 +231,36 @@ pub fn eligible_bids_traced<B: BudgetView>(
     billing: &B,
     freq: &FrequencyCaps,
 ) -> (Vec<Bid>, EligibilityBreakdown) {
-    let mut bids = Vec::new();
+    let mut scratch = DeliveryScratch::new();
+    let breakdown = eligible_bids_traced_into(
+        user,
+        campaigns,
+        audiences,
+        suspended,
+        billing,
+        freq,
+        &mut scratch,
+    );
+    (scratch.bids, breakdown)
+}
+
+/// The allocation-free form of [`eligible_bids_traced`]: fills
+/// `scratch.bids` (cleared first) instead of returning a fresh vector
+/// and reuses `scratch.candidates` for the index probe.
+#[allow(clippy::too_many_arguments)]
+pub fn eligible_bids_traced_into<B: BudgetView>(
+    user: &UserProfile,
+    campaigns: &CampaignStore,
+    audiences: &AudienceStore,
+    suspended: &BTreeSet<AccountId>,
+    billing: &B,
+    freq: &FrequencyCaps,
+    scratch: &mut DeliveryScratch,
+) -> EligibilityBreakdown {
+    let DeliveryScratch { candidates, bids } = scratch;
+    bids.clear();
     let mut breakdown = EligibilityBreakdown::default();
+    let eval = campaigns.eval_mode();
     match campaigns.selection_mode() {
         SelectionMode::LinearScan => {
             for ad in campaigns.ads() {
@@ -206,7 +272,8 @@ pub fn eligible_bids_traced<B: BudgetView>(
                     suspended,
                     billing,
                     freq,
-                    &mut bids,
+                    eval,
+                    bids,
                     &mut breakdown,
                 );
             }
@@ -216,10 +283,12 @@ pub fn eligible_bids_traced<B: BudgetView>(
             // order `campaigns.ads()` iterates — and are a superset of
             // the targeting-matching ads, so the surviving bid vector is
             // identical to the linear scan's.
-            let candidates = campaigns.index().candidates(user, audiences);
+            campaigns
+                .index()
+                .candidates_into(user, audiences, candidates);
             breakdown.index_pruned = (campaigns.ad_count() - candidates.len()) as u32;
-            for id in candidates {
-                let ad = campaigns.ad(id).expect("indexed ads exist in the store");
+            for id in candidates.iter() {
+                let ad = campaigns.ad(*id).expect("indexed ads exist in the store");
                 consider_ad(
                     ad,
                     user,
@@ -228,18 +297,21 @@ pub fn eligible_bids_traced<B: BudgetView>(
                     suspended,
                     billing,
                     freq,
-                    &mut bids,
+                    eval,
+                    bids,
                     &mut breakdown,
                 );
             }
         }
     }
-    (bids, breakdown)
+    breakdown
 }
 
 /// Runs one ad through the eligibility filter chain, pushing a bid if it
 /// survives and bucketing it in the breakdown either way. Shared by both
-/// selection modes so they can never disagree on filter semantics.
+/// selection modes so they can never disagree on filter semantics; the
+/// targeting check dispatches on [`EvalMode`] — compiled program or tree
+/// oracle — which agree on every (user, spec) pair by construction.
 #[allow(clippy::too_many_arguments)]
 fn consider_ad<B: BudgetView>(
     ad: &Ad,
@@ -249,12 +321,36 @@ fn consider_ad<B: BudgetView>(
     suspended: &BTreeSet<AccountId>,
     billing: &B,
     freq: &FrequencyCaps,
+    eval: EvalMode,
     bids: &mut Vec<Bid>,
     breakdown: &mut EligibilityBreakdown,
 ) {
     breakdown.considered += 1;
     if !ad.is_servable() {
         breakdown.not_servable += 1;
+        return;
+    }
+    // Targeting runs before the campaign/budget/frequency probes: it
+    // rejects the overwhelming majority of ads, needs nothing but the ad
+    // and the user, and under compiled evaluation costs a handful of
+    // integer compares — so every non-targeted ad skips three map
+    // lookups. The surviving filters are order-independent (the bid set
+    // is those passing all of them), only the breakdown's
+    // first-failing-filter attribution shifts.
+    let targeted = match eval {
+        EvalMode::Tree => ad.targeting.matches(user, audiences),
+        EvalMode::Compiled => match campaigns.compiled_matches(ad.id, user, audiences) {
+            Some(hit) => {
+                breakdown.compiled_evals += 1;
+                hit
+            }
+            // Every ad created through the store has a program; this arm
+            // only covers hand-assembled test stores.
+            None => ad.targeting.matches(user, audiences),
+        },
+    };
+    if !targeted {
+        breakdown.targeting_mismatch += 1;
         return;
     }
     let campaign = match campaigns.campaign(ad.campaign) {
@@ -274,10 +370,6 @@ fn consider_ad<B: BudgetView>(
     }
     if !freq.allows(ad.id, user.id) {
         breakdown.frequency_capped += 1;
-        return;
-    }
-    if !ad.targeting.matches(user, audiences) {
-        breakdown.targeting_mismatch += 1;
         return;
     }
     breakdown.eligible += 1;
@@ -334,7 +426,9 @@ pub fn decide_opportunity<B: BudgetView, R: Rng>(
 
 /// [`decide_opportunity`] with full tracing. Same filters, same auction,
 /// same RNG consumption — the traced form is the implementation and the
-/// untraced form discards the extras.
+/// untraced form discards the extras. Allocates a throwaway
+/// [`DeliveryScratch`]; hot callers use
+/// [`decide_opportunity_traced_with_scratch`] with a reused one.
 #[allow(clippy::too_many_arguments)]
 pub fn decide_opportunity_traced<B: BudgetView, R: Rng>(
     user: &UserProfile,
@@ -347,9 +441,42 @@ pub fn decide_opportunity_traced<B: BudgetView, R: Rng>(
     auction_cfg: &AuctionConfig,
     rng: &mut R,
 ) -> TracedDecision {
-    let (bids, breakdown) =
-        eligible_bids_traced(user, campaigns, audiences, suspended, billing, freq);
-    let (outcome, auction) = run_auction_traced(&bids, auction_cfg, rng);
+    let mut scratch = DeliveryScratch::new();
+    decide_opportunity_traced_with_scratch(
+        user,
+        at,
+        campaigns,
+        audiences,
+        suspended,
+        billing,
+        freq,
+        auction_cfg,
+        rng,
+        &mut scratch,
+    )
+}
+
+/// The allocation-free form of [`decide_opportunity_traced`]: all working
+/// memory comes from `scratch`, which the caller keeps across
+/// opportunities. This is the engine shard's entry point — one scratch
+/// per shard makes the steady-state decide phase allocation-free.
+#[allow(clippy::too_many_arguments)]
+pub fn decide_opportunity_traced_with_scratch<B: BudgetView, R: Rng>(
+    user: &UserProfile,
+    at: SimTime,
+    campaigns: &CampaignStore,
+    audiences: &AudienceStore,
+    suspended: &BTreeSet<AccountId>,
+    billing: &B,
+    freq: &FrequencyCaps,
+    auction_cfg: &AuctionConfig,
+    rng: &mut R,
+    scratch: &mut DeliveryScratch,
+) -> TracedDecision {
+    let breakdown = eligible_bids_traced_into(
+        user, campaigns, audiences, suspended, billing, freq, scratch,
+    );
+    let (outcome, auction) = run_auction_traced(&scratch.bids, auction_cfg, rng);
     let pending = match outcome {
         AuctionOutcome::Won { ad, clearing_cpm } => {
             // The ad and campaign must exist: they produced a bid above.
@@ -490,7 +617,12 @@ mod tests {
             .create_campaign(AccountId(account), "c", bid, None);
         let ad = r
             .campaigns
-            .create_ad(camp, AdCreative::text("h", "b"), targeting)
+            .create_ad(
+                camp,
+                AdCreative::text("h", "b"),
+                targeting,
+                r.profiles.symbols_mut(),
+            )
             .expect("ad");
         r.campaigns.ad_mut(ad).expect("ad").status = AdStatus::Approved;
         ad
@@ -573,6 +705,7 @@ mod tests {
                 camp,
                 AdCreative::text("h", "b"),
                 TargetingSpec::including(TargetingExpr::Everyone),
+                r.profiles.symbols_mut(),
             )
             .expect("ad");
         r.campaigns.ad_mut(ad).expect("ad").status = AdStatus::Approved;
@@ -609,6 +742,7 @@ mod tests {
                 camp,
                 AdCreative::text("h", "b"),
                 TargetingSpec::including(TargetingExpr::Everyone),
+                r.profiles.symbols_mut(),
             )
             .expect("ad");
         // Still PendingReview.
@@ -659,7 +793,12 @@ mod tests {
             .campaigns
             .create_campaign(AccountId(5), "c", Money::dollars(5), None);
         r.campaigns
-            .create_ad(camp, AdCreative::text("h", "b"), everyone)
+            .create_ad(
+                camp,
+                AdCreative::text("h", "b"),
+                everyone,
+                r.profiles.symbols_mut(),
+            )
             .expect("ad"); // stays PendingReview
 
         let profile = r.profiles.get(user).expect("user").clone();
@@ -767,6 +906,124 @@ mod tests {
         assert_eq!(sb.index_pruned, 0);
         assert_eq!(sb.targeting_mismatch, 1);
         assert_eq!(ib.eligible, sb.eligible);
+    }
+
+    #[test]
+    fn eval_modes_agree_on_bids() {
+        let mut r = rig();
+        let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
+        r.profiles
+            .grant_attribute(user, AttributeId(7))
+            .expect("grant");
+        approved_ad(
+            &mut r,
+            1,
+            Money::dollars(10),
+            TargetingSpec::including(TargetingExpr::And(vec![
+                TargetingExpr::Attr(AttributeId(7)),
+                TargetingExpr::InState("Texas".into()),
+            ])),
+        );
+        // Anchored on a ZIP the user has never touched: index-pruned.
+        approved_ad(
+            &mut r,
+            2,
+            Money::dollars(5),
+            TargetingSpec::including(TargetingExpr::InZip("99999".into())),
+        );
+        let profile = r.profiles.get(user).expect("user").clone();
+
+        assert_eq!(r.campaigns.eval_mode(), EvalMode::Compiled);
+        let (compiled_bids, cb) = eligible_bids_traced(
+            &profile,
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+        );
+        assert_eq!(cb.compiled_evals, 1);
+        assert_eq!(cb.eligible, 1);
+
+        r.campaigns.set_eval_mode(EvalMode::Tree);
+        let (tree_bids, tb) = eligible_bids_traced(
+            &profile,
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+        );
+        // The modes agree on every bid and differ only in how the
+        // targeting check was answered.
+        assert_eq!(compiled_bids, tree_bids);
+        assert_eq!(tb.compiled_evals, 0);
+        assert_eq!(tb.eligible, cb.eligible);
+    }
+
+    #[test]
+    fn scratch_reuse_is_observationally_pure() {
+        let mut r = rig();
+        let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
+        approved_ad(
+            &mut r,
+            1,
+            Money::dollars(10),
+            TargetingSpec::including(TargetingExpr::Everyone),
+        );
+        let profile = r.profiles.get(user).expect("user").clone();
+        let mut scratch = DeliveryScratch::new();
+        let mut rng_a = substream(5, "scratch");
+        let mut rng_b = substream(5, "scratch");
+        // Same scratch across calls vs. a fresh one each call.
+        let first = decide_opportunity_traced_with_scratch(
+            &profile,
+            SimTime(0),
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+            &r.cfg,
+            &mut rng_a,
+            &mut scratch,
+        );
+        let second = decide_opportunity_traced_with_scratch(
+            &profile,
+            SimTime(1),
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+            &r.cfg,
+            &mut rng_a,
+            &mut scratch,
+        );
+        let fresh_first = decide_opportunity_traced(
+            &profile,
+            SimTime(0),
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+            &r.cfg,
+            &mut rng_b,
+        );
+        let fresh_second = decide_opportunity_traced(
+            &profile,
+            SimTime(1),
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+            &r.cfg,
+            &mut rng_b,
+        );
+        assert_eq!(first, fresh_first);
+        assert_eq!(second, fresh_second);
     }
 
     #[test]

@@ -536,13 +536,25 @@ mod proptests {
         for i in 0..10 {
             c.register(format!("Attr {i}"), AttributeSource::Platform, None, 0.1);
         }
+        // Names that stress the quoted-payload path: DSL keywords,
+        // grammar punctuation, and digits must all survive inside quotes.
+        for gnarly in [
+            "Interest: musicals (Music)",
+            "NOT AND OR attr: age 1-2",
+            "zip:60601, radius:1,2,3",
+            "trailing space ",
+            " leading/interior & #punct.",
+            "Ünïcode café",
+        ] {
+            c.register(gnarly, AttributeSource::Platform, None, 0.1);
+        }
         c
     }
 
     fn arb_expr() -> impl Strategy<Value = TargetingExpr> {
         let leaf = prop_oneof![
             Just(TargetingExpr::Everyone),
-            (1u64..=10).prop_map(|i| TargetingExpr::Attr(adsim_types::AttributeId(i))),
+            (1u64..=16).prop_map(|i| TargetingExpr::Attr(adsim_types::AttributeId(i))),
             (0u8..100, 0u8..100).prop_map(|(a, b)| TargetingExpr::AgeRange {
                 min: a.min(b),
                 max: a.max(b),
@@ -553,7 +565,9 @@ mod proptests {
                 Just(Gender::Unspecified)
             ]
             .prop_map(TargetingExpr::GenderIs),
-            "[A-Za-z][A-Za-z ]{0,12}[A-Za-z]".prop_map(TargetingExpr::InState),
+            // States render quoted, so interior punctuation (but never
+            // the quote char itself — the grammar has no escape) is fair.
+            "[A-Za-z][A-Za-z0-9 :,.()&/-]{0,12}[A-Za-z]".prop_map(TargetingExpr::InState),
             "[0-9]{5}".prop_map(TargetingExpr::InZip),
             "[0-9]{5}".prop_map(TargetingExpr::VisitedZip),
             // Rust float Display is shortest-round-trip, so rendered
@@ -598,6 +612,42 @@ mod proptests {
             let rendered = render(&expr, &c);
             let reparsed = parse(&rendered, &c).expect("rendered DSL must parse");
             prop_assert_eq!(normalize(&reparsed), normalize(&expr), "src: {}", rendered);
+        }
+
+        /// Arbitrary quoted attr payloads — any characters but the quote
+        /// itself, which the grammar cannot escape — survive a
+        /// render→parse round trip against a catalog that knows them.
+        #[test]
+        fn quoted_payloads_round_trip(name in prop_oneof![
+            "[A-Za-z0-9 :,.()&/#-]{1,24}",
+            "[\\p{L}\\p{N} .-]{1,12}",
+        ]) {
+            let mut c = AttributeCatalog::new();
+            let id = c.register(name, AttributeSource::Platform, None, 0.1);
+            let expr = TargetingExpr::Attr(id);
+            let rendered = render(&expr, &c);
+            let reparsed = parse(&rendered, &c).expect("rendered DSL must parse");
+            prop_assert_eq!(reparsed, expr, "src: {}", rendered);
+        }
+
+        /// Age bounds and radius parameters round-trip at their extremes
+        /// (u8 edges; coordinate extremes and tiny/huge radii).
+        #[test]
+        fn age_and_radius_edges_round_trip(
+            min in prop_oneof![Just(0u8), Just(1), Just(254), Just(255), any::<u8>()],
+            max in prop_oneof![Just(0u8), Just(255), any::<u8>()],
+            lat in prop_oneof![Just(-90.0f64), Just(90.0), Just(0.0), -90.0f64..90.0],
+            lon in prop_oneof![Just(-180.0f64), Just(180.0), -180.0f64..180.0],
+            km in prop_oneof![Just(0.001f64), Just(20_000.0), 0.001f64..20_000.0],
+        ) {
+            let c = catalog();
+            let expr = TargetingExpr::And(vec![
+                TargetingExpr::AgeRange { min: min.min(max), max: min.max(max) },
+                TargetingExpr::WithinRadius { lat, lon, km },
+            ]);
+            let rendered = render(&expr, &c);
+            let reparsed = parse(&rendered, &c).expect("rendered DSL must parse");
+            prop_assert_eq!(reparsed, expr, "src: {}", rendered);
         }
     }
 }

@@ -129,6 +129,7 @@ mod tests {
         let account = AccountId(1);
         let mut store = CampaignStore::new();
         let camp = store.create_campaign(account, "treads", Money::dollars(10), None);
+        let mut syms = adsim_types::SymbolTable::new();
         for i in 0..n_ads {
             store
                 .create_ad(
@@ -138,6 +139,7 @@ mod tests {
                         TargetingExpr::InAudience(AudienceId(1)),
                         TargetingExpr::Attr(AttributeId(i as u64 + 1)),
                     ])),
+                    &mut syms,
                 )
                 .expect("ad");
         }
@@ -179,6 +181,7 @@ mod tests {
         let account = AccountId(1);
         let mut store = CampaignStore::new();
         let camp = store.create_campaign(account, "treads", Money::dollars(10), None);
+        let mut syms = adsim_types::SymbolTable::new();
         for i in 0..200usize {
             store
                 .create_ad(
@@ -186,6 +189,7 @@ mod tests {
                     // Distinct headline per ad.
                     AdCreative::text(format!("Message {i}"), "Ref"),
                     TargetingSpec::including(TargetingExpr::Attr(AttributeId(i as u64 + 1))),
+                    &mut syms,
                 )
                 .expect("ad");
         }
@@ -202,6 +206,7 @@ mod tests {
         let account = AccountId(1);
         let mut store = CampaignStore::new();
         let camp = store.create_campaign(account, "explicit", Money::dollars(10), None);
+        let mut syms = adsim_types::SymbolTable::new();
         for i in 0..10usize {
             store
                 .create_ad(
@@ -209,6 +214,7 @@ mod tests {
                     // Explicit assertion phrase — violates policy.
                     AdCreative::text("About you", "data collected about you is shown here"),
                     TargetingSpec::including(TargetingExpr::Attr(AttributeId(i as u64 + 1))),
+                    &mut syms,
                 )
                 .expect("ad");
         }

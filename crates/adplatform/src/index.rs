@@ -59,6 +59,7 @@
 //! use adsim_types::{AccountId, AttributeId, Money};
 //!
 //! let mut campaigns = CampaignStore::new();
+//! let mut profiles = ProfileStore::new();
 //! let camp = campaigns.create_campaign(AccountId(1), "c", Money::dollars(2), None);
 //! // Anchored on Attr(7): only users holding attribute 7 can match.
 //! let jazz = campaigns
@@ -69,6 +70,7 @@
 //!             TargetingExpr::Attr(AttributeId(7)),
 //!             TargetingExpr::AgeRange { min: 21, max: 99 },
 //!         ])),
+//!         profiles.symbols_mut(),
 //!     )
 //!     .unwrap();
 //! // Unanchored: admits every user, so it is a candidate for everyone.
@@ -77,10 +79,10 @@
 //!         camp,
 //!         AdCreative::text("broad", "ad"),
 //!         TargetingSpec::including(TargetingExpr::Everyone),
+//!         profiles.symbols_mut(),
 //!     )
 //!     .unwrap();
 //!
-//! let mut profiles = ProfileStore::new();
 //! let audiences = AudienceStore::new(20, 1000, 100);
 //! let fan = profiles.register(30, Gender::Female, "Ohio", "43004");
 //! profiles.grant_attribute(fan, AttributeId(7)).unwrap();
@@ -195,7 +197,23 @@ impl TargetingIndex {
     /// targeting matches `user` (see the module docs), and each ad
     /// appears exactly once — an ad has exactly one anchor.
     pub fn candidates<A: AudienceResolver>(&self, user: &UserProfile, audiences: &A) -> Vec<AdId> {
-        let mut out = self.unanchored.clone();
+        let mut out = Vec::new();
+        self.candidates_into(user, audiences, &mut out);
+        out
+    }
+
+    /// The allocation-free form of [`TargetingIndex::candidates`]: fills
+    /// `out` (cleared first) instead of returning a fresh vector, so a
+    /// caller that keeps `out` across opportunities allocates nothing
+    /// once it reaches its high-water capacity.
+    pub fn candidates_into<A: AudienceResolver>(
+        &self,
+        user: &UserProfile,
+        audiences: &A,
+        out: &mut Vec<AdId>,
+    ) {
+        out.clear();
+        out.extend_from_slice(&self.unanchored);
         for attr in &user.attributes {
             if let Some(list) = self.by_attr.get(attr) {
                 out.extend_from_slice(list);
@@ -220,7 +238,6 @@ impl TargetingIndex {
             out.extend_from_slice(list);
         }
         out.sort_unstable();
-        out
     }
 
     /// The anchor `ad` was filed under (`Some(None)` = filed as

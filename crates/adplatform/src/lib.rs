@@ -19,6 +19,11 @@
 //!   with provenance, page likes.
 //! * [`targeting`] — boolean include/exclude targeting expressions and
 //!   their evaluator.
+//! * [`compiled`] — targeting specs lowered to flat short-circuit
+//!   programs (bitmap probes and interned-symbol compares over a single
+//!   boolean accumulator; no recursion, no strings) so the delivery hot
+//!   path evaluates with zero allocation; the tree evaluator is
+//!   retained as the `EvalMode::Tree` oracle.
 //! * [`audience`] — saved audiences: PII-based custom audiences (with the
 //!   platform's minimum-size rule), tracking-pixel visitor audiences, and
 //!   page-engagement audiences; rounded reach estimation.
@@ -111,6 +116,7 @@ pub mod audience;
 pub mod billing;
 pub mod campaign;
 pub mod clicks;
+pub mod compiled;
 pub mod delivery;
 pub mod dsl;
 pub mod enforcement;
@@ -129,9 +135,10 @@ pub mod transparency;
 pub use attributes::{AttributeCatalog, AttributeDef, AttributeSource};
 pub use audience::{Audience, AudienceKind};
 pub use campaign::{Ad, AdCreative, AdStatus, Campaign};
+pub use compiled::{CompiledSpec, EvalMode, ProgramArena};
 pub use error::PlatformError;
 pub use index::{AnchorKey, SelectionMode, TargetingIndex};
 pub use platform::{Platform, PlatformConfig};
-pub use profile::{Gender, PiiProvenance, UserProfile};
+pub use profile::{Gender, PiiProvenance, ProfileFacets, UserProfile};
 pub use state::PlatformState;
 pub use targeting::{TargetingExpr, TargetingSpec};

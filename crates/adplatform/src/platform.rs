@@ -18,8 +18,10 @@ use crate::auction::AuctionConfig;
 use crate::audience::{AudienceStore, ReachEstimate};
 use crate::billing::{BillingLedger, BudgetView, Invoice};
 use crate::campaign::{AdCreative, AdStatus, CampaignStore};
+use crate::compiled::EvalMode;
 use crate::delivery::{
-    apply_impression, decide_opportunity, decide_opportunity_traced, Decision, DeliveryStats,
+    apply_impression, decide_opportunity, decide_opportunity_traced,
+    decide_opportunity_traced_with_scratch, Decision, DeliveryScratch, DeliveryStats,
     FrequencyCaps, PendingImpression, TracedDecision,
 };
 use crate::enforcement::{scan_account, EnforcementConfig, SuspicionReport};
@@ -64,6 +66,9 @@ pub struct PlatformConfig {
     /// How delivery gathers candidate ads (indexed by default; the
     /// linear scan is the verification oracle).
     pub candidate_selection: SelectionMode,
+    /// How delivery evaluates a candidate's targeting spec (compiled
+    /// programs by default; the tree walk is the verification oracle).
+    pub targeting_eval: EvalMode,
 }
 
 impl Default for PlatformConfig {
@@ -87,6 +92,7 @@ impl PlatformConfig {
             strictness: Strictness::Standard,
             enforcement: EnforcementConfig::default(),
             candidate_selection: SelectionMode::default(),
+            targeting_eval: EvalMode::default(),
         }
     }
 
@@ -168,8 +174,15 @@ impl Platform {
         let policy = PolicyEngine::new(config.strictness, &attributes);
         Self {
             clock: SimClock::new(),
+            profiles: {
+                let mut p = ProfileStore::new();
+                // Catalog ids are dense (1..=len), so sizing the facet
+                // bitsets to the catalog means profile registration never
+                // regrows them for in-catalog attributes.
+                p.size_attribute_bitsets(attributes.len() as u64);
+                p
+            },
             attributes,
-            profiles: ProfileStore::new(),
             audiences: AudienceStore::new(
                 config.min_custom_audience_size,
                 config.reach_floor,
@@ -180,6 +193,7 @@ impl Platform {
             campaigns: {
                 let mut c = CampaignStore::new();
                 c.set_selection_mode(config.candidate_selection);
+                c.set_eval_mode(config.targeting_eval);
                 c
             },
             billing: BillingLedger::new(config.small_spend_waiver),
@@ -346,7 +360,11 @@ impl Platform {
             }
         }
         let review = self.policy.review(&creative);
-        let ad = self.campaigns.create_ad(campaign, creative, targeting)?;
+        // Compiling against the profile store's table is what keeps spec
+        // symbols and profile-facet symbols comparable.
+        let ad =
+            self.campaigns
+                .create_ad(campaign, creative, targeting, self.profiles.symbols_mut())?;
         self.campaigns.ad_mut(ad)?.status = match review {
             Ok(()) => AdStatus::Approved,
             Err(Error::PolicyViolation { reason }) => AdStatus::Rejected { reason },
@@ -527,6 +545,35 @@ impl Platform {
             freq,
             &self.config.auction,
             rng,
+        ))
+    }
+
+    /// [`Platform::decide_browse_traced`] with caller-owned
+    /// [`DeliveryScratch`]: identical results, but all per-opportunity
+    /// working memory comes from `scratch`, so a caller that keeps one
+    /// scratch per thread (as the engine's shards do) decides
+    /// opportunities without allocating.
+    pub fn decide_browse_traced_with_scratch<B: BudgetView, R: rand::Rng>(
+        &self,
+        user: UserId,
+        at: SimTime,
+        budget: &B,
+        freq: &FrequencyCaps,
+        rng: &mut R,
+        scratch: &mut DeliveryScratch,
+    ) -> Result<TracedDecision> {
+        let profile = self.profiles.get(user)?;
+        Ok(decide_opportunity_traced_with_scratch(
+            profile,
+            at,
+            &self.campaigns,
+            &self.audiences,
+            &self.suspended,
+            budget,
+            freq,
+            &self.config.auction,
+            rng,
+            scratch,
         ))
     }
 

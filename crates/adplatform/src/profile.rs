@@ -9,7 +9,7 @@
 //! targeting; experiment E7 surfaces exactly that.
 
 use adsim_types::hash::{hash_pii, Digest};
-use adsim_types::{AttributeId, Error, Result, UserId};
+use adsim_types::{AttributeId, Error, Result, Symbol, SymbolTable, UserId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -55,6 +55,118 @@ pub struct PiiRecord {
     pub provenance: PiiProvenance,
 }
 
+/// The fixed-width evaluation sidecar of one user profile: what the
+/// compiled targeting evaluator ([`crate::compiled::CompiledSpec`]) probes
+/// instead of the string/`BTreeSet` fields it mirrors.
+///
+/// * attributes → a bitset indexed by raw [`AttributeId`] (one bit per
+///   catalog slot, pre-sized to the catalog and grown on demand for
+///   out-of-catalog ids), so an attribute test is one word load + mask;
+/// * home state and ZIP → [`Symbol`]s from the store's [`SymbolTable`],
+///   so a geo test is one `u32` compare;
+/// * recently-visited ZIPs → a sorted symbol list, so a visited-ZIP test
+///   is a binary search over `u32`s.
+///
+/// Maintained **incrementally** by [`ProfileStore`] on every mutation
+/// ([`ProfileStore::register`], [`ProfileStore::grant_attribute`],
+/// [`ProfileStore::record_zip_visit`]) — never rebuilt at decide time —
+/// so delivery evaluates with zero allocation. The mirrored tree fields
+/// stay authoritative for the `EvalMode::Tree` oracle; the equivalence
+/// proptests hold the two views identical.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileFacets {
+    /// Attribute bitset: bit `id.raw()` of word `id.raw() / 64`.
+    attr_words: Vec<u64>,
+    /// Interned home state.
+    state_sym: Symbol,
+    /// Interned home ZIP.
+    zip_sym: Symbol,
+    /// Interned recently-visited ZIPs, sorted by symbol.
+    visited_zips: Vec<Symbol>,
+}
+
+impl ProfileFacets {
+    /// True if the attribute bit is set — the compiled counterpart of
+    /// [`UserProfile::has_attribute`].
+    #[inline]
+    pub fn has_attribute(&self, attr: AttributeId) -> bool {
+        let raw = attr.raw();
+        match self.attr_words.get((raw / 64) as usize) {
+            Some(word) => word & (1u64 << (raw % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// The interned home state.
+    #[inline]
+    pub fn state(&self) -> Symbol {
+        self.state_sym
+    }
+
+    /// The interned home ZIP.
+    #[inline]
+    pub fn zip(&self) -> Symbol {
+        self.zip_sym
+    }
+
+    /// True if the user was recently located in the ZIP behind `zip`.
+    #[inline]
+    pub fn visited(&self, zip: Symbol) -> bool {
+        self.visited_zips.binary_search(&zip).is_ok()
+    }
+
+    /// The raw bitset words (checkpoint serialization).
+    pub fn attr_words(&self) -> &[u64] {
+        &self.attr_words
+    }
+
+    /// The sorted visited-ZIP symbols (checkpoint serialization).
+    pub fn visited_zip_symbols(&self) -> &[Symbol] {
+        &self.visited_zips
+    }
+
+    /// Rebuilds facets from their checkpoint-serialized parts.
+    pub fn from_parts(
+        attr_words: Vec<u64>,
+        state_sym: Symbol,
+        zip_sym: Symbol,
+        visited_zips: Vec<Symbol>,
+    ) -> Self {
+        Self {
+            attr_words,
+            state_sym,
+            zip_sym,
+            visited_zips,
+        }
+    }
+
+    /// Sets the attribute bit, growing the bitset for out-of-catalog
+    /// ids. Returns true if the bit was newly set.
+    fn grant(&mut self, attr: AttributeId) -> bool {
+        let raw = attr.raw();
+        let word = (raw / 64) as usize;
+        if word >= self.attr_words.len() {
+            self.attr_words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (raw % 64);
+        let newly = self.attr_words[word] & mask == 0;
+        self.attr_words[word] |= mask;
+        newly
+    }
+
+    /// Inserts a visited-ZIP symbol, keeping the list sorted. Returns
+    /// true if the symbol was new.
+    fn record_visit(&mut self, zip: Symbol) -> bool {
+        match self.visited_zips.binary_search(&zip) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.visited_zips.insert(pos, zip);
+                true
+            }
+        }
+    }
+}
+
 /// One platform user.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UserProfile {
@@ -84,6 +196,11 @@ pub struct UserProfile {
     /// (degrees). Enables the paper's "within a radius around any latitude
     /// and longitude" targeting.
     pub coordinates: Option<(f64, f64)>,
+    /// The fixed-width evaluation sidecar mirroring `attributes`,
+    /// `state`, `zip`, and `recent_zips`. Maintained by [`ProfileStore`];
+    /// mutate those fields only through the store's methods, or the
+    /// compiled evaluator will diverge from the tree oracle.
+    pub facets: ProfileFacets,
 }
 
 impl UserProfile {
@@ -123,6 +240,15 @@ pub struct ProfileStore {
     users: BTreeMap<UserId, UserProfile>,
     next_id: u64,
     by_pii: HashMap<Digest, Vec<UserId>>,
+    /// The platform-wide interner shared by profile facets and compiled
+    /// targeting specs: both sides intern through this one table, so
+    /// symbol equality means string equality between them.
+    symbols: SymbolTable,
+    /// Bitset words new profiles pre-allocate (set from the attribute
+    /// catalog size, so catalog attributes never trigger a grow).
+    attr_words_capacity: usize,
+    /// Monotone count of incremental facet maintenance writes.
+    facet_updates: u64,
 }
 
 impl ProfileStore {
@@ -131,10 +257,24 @@ impl ProfileStore {
         Self::default()
     }
 
+    /// Pre-sizes new profiles' attribute bitsets for a catalog holding
+    /// ids up to `max_attribute_id` (ids beyond it still work — the
+    /// bitset grows on demand — they just pay one reallocation).
+    pub fn size_attribute_bitsets(&mut self, max_attribute_id: u64) {
+        self.attr_words_capacity = (max_attribute_id / 64 + 1) as usize;
+    }
+
     /// Registers a new user and returns their id.
     pub fn register(&mut self, age: u8, gender: Gender, state: &str, zip: &str) -> UserId {
         self.next_id += 1;
         let id = UserId(self.next_id);
+        let facets = ProfileFacets {
+            attr_words: vec![0; self.attr_words_capacity],
+            state_sym: self.symbols.intern(state),
+            zip_sym: self.symbols.intern(zip),
+            visited_zips: Vec::new(),
+        };
+        self.facet_updates += 1;
         self.users.insert(
             id,
             UserProfile {
@@ -148,6 +288,7 @@ impl ProfileStore {
                 liked_pages: BTreeSet::new(),
                 recent_zips: BTreeSet::new(),
                 coordinates: None,
+                facets,
             },
         );
         id
@@ -170,7 +311,9 @@ impl ProfileStore {
             .ok_or_else(|| Error::not_found("user", id))
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. An escape hatch: mutating `attributes`, `state`,
+    /// `zip`, or `recent_zips` through it bypasses the facet sidecar —
+    /// use the store's mutation methods for those.
     pub fn get_mut(&mut self, id: UserId) -> Result<&mut UserProfile> {
         self.users
             .get_mut(&id)
@@ -189,7 +332,11 @@ impl ProfileStore {
 
     /// Grants a targeting attribute to a user.
     pub fn grant_attribute(&mut self, user: UserId, attr: AttributeId) -> Result<()> {
-        self.get_mut(user)?.attributes.insert(attr);
+        let profile = self.get_mut(user)?;
+        profile.attributes.insert(attr);
+        if profile.facets.grant(attr) {
+            self.facet_updates += 1;
+        }
         Ok(())
     }
 
@@ -231,7 +378,15 @@ impl ProfileStore {
     /// Records a recent location observation: the platform located `user`
     /// in `zip`.
     pub fn record_zip_visit(&mut self, user: UserId, zip: &str) -> Result<()> {
-        self.get_mut(user)?.recent_zips.insert(zip.to_string());
+        let sym = self.symbols.intern(zip);
+        let profile = self
+            .users
+            .get_mut(&user)
+            .ok_or_else(|| Error::not_found("user", user))?;
+        profile.recent_zips.insert(zip.to_string());
+        if profile.facets.record_visit(sym) {
+            self.facet_updates += 1;
+        }
         Ok(())
     }
 
@@ -240,6 +395,69 @@ impl ProfileStore {
         self.get_mut(user)?.coordinates = Some((lat, lon));
         Ok(())
     }
+
+    /// The platform-wide symbol table (facets and compiled specs share it).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable access to the symbol table, for interning the strings of a
+    /// targeting spec at compile time ([`crate::campaign::CampaignStore::create_ad`]).
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// Monotone count of incremental facet maintenance writes (the
+    /// `targeting.facet_updates` telemetry counter).
+    pub fn facet_updates(&self) -> u64 {
+        self.facet_updates
+    }
+
+    /// Freezes the interner and every user's facets into a [`FacetsState`]
+    /// for the checkpoint codec.
+    pub fn export_facets(&self) -> FacetsState {
+        FacetsState {
+            symbols: self.symbols.names().to_vec(),
+            facet_updates: self.facet_updates,
+            users: self
+                .users
+                .iter()
+                .map(|(&id, u)| (id, u.facets.clone()))
+                .collect(),
+        }
+    }
+
+    /// Restores the state frozen by [`Self::export_facets`] onto an
+    /// identically-configured store. Users absent from this store are
+    /// skipped (a host mismatch the checkpoint's config echo already
+    /// guards); a malformed symbol list (duplicates — rejected by the
+    /// strict checkpoint decoder before this is reachable from bytes)
+    /// leaves the interner untouched.
+    pub fn restore_facets(&mut self, state: &FacetsState) {
+        if let Ok(table) = SymbolTable::from_names(state.symbols.clone()) {
+            self.symbols = table;
+        }
+        self.facet_updates = state.facet_updates;
+        for (id, facets) in &state.users {
+            if let Some(u) = self.users.get_mut(id) {
+                u.facets = facets.clone();
+            }
+        }
+    }
+}
+
+/// The checkpointable slice of the profile store's evaluation state: the
+/// interner (in symbol order) plus every user's facet sidecar. Captured
+/// into `crate::state::PlatformState` so a resumed run evaluates compiled
+/// targeting against byte-identical symbols.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FacetsState {
+    /// Interned strings in symbol order (`index == symbol`).
+    pub symbols: Vec<String>,
+    /// Monotone facet-write counter at capture time.
+    pub facet_updates: u64,
+    /// Each user's facets, in user-id order.
+    pub users: Vec<(UserId, ProfileFacets)>,
 }
 
 #[cfg(test)]
@@ -390,6 +608,68 @@ mod tests {
         let u = store.get(id).expect("exists");
         assert_eq!(u.recent_zips.len(), 2);
         assert!(u.recent_zips.contains("94103"));
+    }
+
+    #[test]
+    fn facets_mirror_profile_mutations() {
+        let mut store = ProfileStore::new();
+        store.size_attribute_bitsets(128);
+        let a = store.register(30, Gender::Female, "Ohio", "43004");
+        let b = store.register(31, Gender::Male, "Texas", "43004");
+        // Shared strings share symbols; distinct strings never do.
+        let fa = &store.get(a).expect("a").facets;
+        let fb = &store.get(b).expect("b").facets;
+        assert_eq!(fa.zip(), fb.zip());
+        assert_ne!(fa.state(), fb.state());
+        assert_eq!(store.symbols().resolve(fa.state()), Some("Ohio"));
+
+        // Attribute grants set exactly the granted bit; out-of-catalog
+        // ids grow the bitset instead of being dropped.
+        store.grant_attribute(a, AttributeId(5)).expect("grant");
+        store.grant_attribute(a, AttributeId(999)).expect("grant");
+        let fa = &store.get(a).expect("a").facets;
+        assert!(fa.has_attribute(AttributeId(5)));
+        assert!(fa.has_attribute(AttributeId(999)));
+        assert!(!fa.has_attribute(AttributeId(6)));
+        assert!(!store
+            .get(b)
+            .expect("b")
+            .facets
+            .has_attribute(AttributeId(5)));
+
+        // Visited ZIPs land as sorted symbols; idempotent re-visits and
+        // re-grants don't bump the update counter.
+        let before = store.facet_updates();
+        store.record_zip_visit(a, "10001").expect("visit");
+        store.record_zip_visit(a, "10001").expect("idempotent");
+        store
+            .grant_attribute(a, AttributeId(5))
+            .expect("idempotent");
+        assert_eq!(store.facet_updates(), before + 1);
+        let sym = store.symbols().lookup("10001").expect("interned");
+        let fa = &store.get(a).expect("a").facets;
+        assert!(fa.visited(sym));
+        assert!(!fa.visited(fa.zip()), "home zip is not a recent visit");
+    }
+
+    #[test]
+    fn facets_export_restore_round_trips() {
+        let mut store = ProfileStore::new();
+        let a = store.register(30, Gender::Female, "Ohio", "43004");
+        store.grant_attribute(a, AttributeId(7)).expect("grant");
+        store.record_zip_visit(a, "10001").expect("visit");
+        let frozen = store.export_facets();
+
+        // A freshly rebuilt identical host restores to the same state.
+        let mut fresh = ProfileStore::new();
+        fresh.register(30, Gender::Female, "Ohio", "43004");
+        fresh.restore_facets(&frozen);
+        assert_eq!(fresh.export_facets(), frozen);
+        assert!(fresh
+            .get(a)
+            .expect("a")
+            .facets
+            .has_attribute(AttributeId(7)));
     }
 
     #[test]

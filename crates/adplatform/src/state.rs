@@ -19,6 +19,7 @@
 use crate::delivery::DeliveryStats;
 use crate::pixel::PixelEvent;
 use crate::platform::Platform;
+use crate::profile::FacetsState;
 use crate::reporting::Impression;
 use adsim_types::{AdId, AudienceId, SimTime, UserId};
 
@@ -41,6 +42,14 @@ pub struct PlatformState {
     pub pixel_events: Vec<PixelEvent>,
     /// Audience memberships, sorted by audience id.
     pub audience_members: Vec<(AudienceId, Vec<UserId>)>,
+    /// The profile store's symbol table and per-user facet sidecars.
+    ///
+    /// Profiles themselves are host configuration, but the interner and
+    /// facets are *run-dependent*: mid-run location visits intern new
+    /// ZIPs, and symbol assignment is first-intern order — so a resumed
+    /// run must pick the table up exactly where the checkpoint left it
+    /// to keep assigning identical symbols.
+    pub facets: FacetsState,
 }
 
 impl Platform {
@@ -54,6 +63,7 @@ impl Platform {
             stats: self.stats,
             pixel_events: self.pixels.events().to_vec(),
             audience_members: self.audiences.memberships(),
+            facets: self.profiles.export_facets(),
         }
     }
 
@@ -73,6 +83,7 @@ impl Platform {
         self.stats = state.stats;
         self.pixels.restore_events(state.pixel_events.clone());
         self.audiences.restore_memberships(&state.audience_members);
+        self.profiles.restore_facets(&state.facets);
     }
 }
 

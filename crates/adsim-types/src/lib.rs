@@ -18,6 +18,8 @@
 //! * [`stats`] — the small statistics toolbox (binomial tails, chi-square,
 //!   descriptive stats) used by the platform's noisy reach estimates and by
 //!   the correlation-inference baseline.
+//! * [`symbols`] — the deterministic string interner backing the compiled
+//!   targeting evaluator (states and ZIPs become dense `u32` symbols).
 //! * [`error`] — the common error type.
 //!
 //! Design notes: following the style of event-driven network stacks such as
@@ -34,6 +36,7 @@ pub mod ids;
 pub mod money;
 pub mod rng;
 pub mod stats;
+pub mod symbols;
 pub mod time;
 
 pub use error::{Error, Result};
@@ -41,4 +44,5 @@ pub use ids::{
     AccountId, AdId, AdvertiserId, AttributeId, AudienceId, CampaignId, PixelId, SiteId, UserId,
 };
 pub use money::Money;
+pub use symbols::{Symbol, SymbolTable};
 pub use time::{Duration, SimClock, SimTime};

@@ -1,0 +1,143 @@
+//! Deterministic string interning for the targeting compiler.
+//!
+//! Targeting evaluation compares *identities* — "is the user's home state
+//! this state?" — never string contents, so the platform interns every
+//! state and ZIP it sees into a dense `u32` [`Symbol`] and compares those
+//! instead. One shared [`SymbolTable`] per platform guarantees the
+//! fundamental property the compiled evaluator rests on:
+//!
+//! > two strings interned in the same table receive equal symbols **iff**
+//! > the strings are equal.
+//!
+//! # Determinism rules
+//!
+//! Symbol assignment is **first-intern order**: the first distinct string
+//! interned gets symbol `0`, the next distinct string `1`, and so on.
+//! Interning happens only on deterministic platform API calls (profile
+//! registration and mutation, ad submission), which the simulation drives
+//! in a fixed order from its seed — so two runs of the same scenario
+//! assign identical symbols, and a checkpoint can capture the table as a
+//! plain `Vec<String>` indexed by symbol. Nothing about a symbol's
+//! *value* is meaningful beyond identity; in particular symbols are not
+//! ordered like their strings.
+
+use crate::error::{Error, Result};
+use std::collections::BTreeMap;
+
+/// A dense interned-string handle. Equal symbols ⇔ equal strings, within
+/// the [`SymbolTable`] that issued them.
+pub type Symbol = u32;
+
+/// A deterministic string interner: first-intern order assigns dense
+/// `u32` symbols (see the [module docs](self) for the determinism rules).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    /// Symbol → string; index *is* the symbol.
+    names: Vec<String>,
+    /// String → symbol.
+    by_name: BTreeMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol — the existing one if `name`
+    /// was seen before, otherwise the next dense symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = self.names.len() as Symbol;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), sym);
+        sym
+    }
+
+    /// The symbol of `name`, if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string behind `sym`, if `sym` was issued by this table.
+    pub fn resolve(&self, sym: Symbol) -> Option<&str> {
+        self.names.get(sym as usize).map(String::as_str)
+    }
+
+    /// Number of interned strings (also the next symbol to be issued).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The interned strings in symbol order — the canonical serialized
+    /// form (index = symbol).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Rebuilds a table from its canonical serialized form. Rejects
+    /// duplicate entries: a valid table maps each string to exactly one
+    /// symbol, so a duplicate means the input was not produced by
+    /// [`SymbolTable::names`].
+    pub fn from_names(names: Vec<String>) -> Result<Self> {
+        let mut by_name = BTreeMap::new();
+        for (i, name) in names.iter().enumerate() {
+            if by_name.insert(name.clone(), i as Symbol).is_some() {
+                return Err(Error::invalid(format!(
+                    "duplicate string {name:?} in symbol table"
+                )));
+            }
+        }
+        Ok(Self { names, by_name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_first_come_dense_and_stable() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        let ohio = t.intern("Ohio");
+        let texas = t.intern("Texas");
+        assert_eq!((ohio, texas), (0, 1));
+        // Re-interning never reassigns.
+        assert_eq!(t.intern("Ohio"), ohio);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup("Texas"), Some(texas));
+        assert_eq!(t.lookup("Utah"), None);
+        assert_eq!(t.resolve(ohio), Some("Ohio"));
+        assert_eq!(t.resolve(99), None);
+    }
+
+    #[test]
+    fn equal_symbols_iff_equal_strings() {
+        let mut t = SymbolTable::new();
+        let syms: Vec<Symbol> = ["a", "b", "a", "c", "b"]
+            .iter()
+            .map(|s| t.intern(s))
+            .collect();
+        assert_eq!(syms, vec![0, 1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn canonical_form_round_trips() {
+        let mut t = SymbolTable::new();
+        for s in ["43004", "Ohio", "10001"] {
+            t.intern(s);
+        }
+        let rebuilt = SymbolTable::from_names(t.names().to_vec()).expect("valid form");
+        assert_eq!(rebuilt, t);
+        // A duplicate cannot have come from `names()`.
+        assert!(SymbolTable::from_names(vec!["x".into(), "x".into()]).is_err());
+    }
+}

@@ -4,6 +4,7 @@
 
 use adplatform::attributes::AttributeCatalog;
 use adplatform::audience::AudienceStore;
+use adplatform::compiled::CompiledSpec;
 use adplatform::dsl;
 use adplatform::profile::{Gender, ProfileStore};
 use adplatform::targeting::{TargetingExpr, TargetingSpec};
@@ -65,6 +66,81 @@ fn bench_expression_shapes(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tree walker vs compiled program on the same (spec, profile) pairs,
+/// crossed over expression depth and profile size. The compiled numbers
+/// are what the delivery hot path pays per (ad × opportunity); the tree
+/// numbers are the oracle it replaced.
+fn bench_eval_modes(c: &mut Criterion) {
+    let mut profiles = ProfileStore::new();
+    let slim = profiles.register(29, Gender::Female, "Ohio", "43004");
+    profiles
+        .grant_attribute(slim, AttributeId(7))
+        .expect("slim");
+    profiles.record_zip_visit(slim, "60601").expect("slim");
+    let fat = profiles.register(41, Gender::Male, "Ohio", "43004");
+    for i in 0..120u64 {
+        profiles.grant_attribute(fat, AttributeId(i)).expect("fat");
+    }
+    for i in 0..40u64 {
+        profiles
+            .record_zip_visit(fat, &format!("{:05}", 20_000 + i))
+            .expect("fat");
+    }
+    let audiences = AudienceStore::new(20, 1000, 100);
+
+    // Shallow: the paper's conjunction shape (one level of And).
+    let shallow = TargetingSpec::including(TargetingExpr::And(vec![
+        TargetingExpr::AgeRange { min: 24, max: 45 },
+        TargetingExpr::InZip("43004".into()),
+        TargetingExpr::Attr(AttributeId(10)),
+        TargetingExpr::Not(Box::new(TargetingExpr::Attr(AttributeId(999)))),
+    ]));
+    // Deep: the E17 sweep shape — nested connectives over string-keyed
+    // leaves (state names, visited ZIPs), the tree walker's worst case.
+    let deep = TargetingSpec::including_excluding(
+        TargetingExpr::And(vec![
+            TargetingExpr::Or(vec![
+                TargetingExpr::InState("Ohio".into()),
+                TargetingExpr::InState("Texas".into()),
+                TargetingExpr::InZip("43004".into()),
+            ]),
+            TargetingExpr::Or(
+                (0..6)
+                    .map(|k| TargetingExpr::VisitedZip(format!("{:05}", 20_000 + k * 5)))
+                    .collect(),
+            ),
+            TargetingExpr::AgeRange { min: 18, max: 64 },
+            TargetingExpr::Attr(AttributeId(10)),
+        ]),
+        TargetingExpr::VisitedZip("99999".into()),
+    );
+    // Wide: a 254-arm Or that misses every arm (full scan, no early out).
+    let wide = TargetingSpec::including(TargetingExpr::Or(
+        (0..254u64)
+            .map(|i| TargetingExpr::Attr(AttributeId(1000 + i)))
+            .collect(),
+    ));
+
+    let mut group = c.benchmark_group("targeting/eval_mode");
+    for (shape, spec) in [("shallow", &shallow), ("deep", &deep), ("wide_or", &wide)] {
+        let program = CompiledSpec::compile(spec, profiles.symbols_mut());
+        for (size, user) in [("slim", slim), ("fat", fat)] {
+            let profile = profiles.get(user).expect("user").clone();
+            group.bench_with_input(
+                BenchmarkId::new(format!("tree/{shape}"), size),
+                &profile,
+                |b, profile| b.iter(|| black_box(spec).matches(black_box(profile), &audiences)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("compiled/{shape}"), size),
+                &profile,
+                |b, profile| b.iter(|| black_box(&program).matches(black_box(profile), &audiences)),
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_dsl(c: &mut Criterion) {
     let partner = treads_broker::PartnerCatalog::us();
     let catalog = AttributeCatalog::us_2018(&partner);
@@ -82,5 +158,10 @@ fn bench_dsl(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_expression_shapes, bench_dsl);
+criterion_group!(
+    benches,
+    bench_expression_shapes,
+    bench_eval_modes,
+    bench_dsl
+);
 criterion_main!(benches);

@@ -26,6 +26,13 @@
 //! linear-scan oracle, verifying both modes produce identical outputs
 //! and recording the indexed-vs-scan speedup (`ad_sweep` in the JSON).
 //!
+//! It also sweeps **targeting evaluation** (E17): the same inventory
+//! sizes with candidate selection pinned to the linear scan (so every
+//! opportunity evaluates every ad) and deep, string-heavy targeting
+//! expressions over fat profiles, toggled between the compiled program
+//! evaluator and the tree-walking oracle — verifying identical outputs
+//! and recording the compiled-vs-tree speedup (`eval_sweep` in the JSON).
+//!
 //! It also measures **checkpoint/restore overhead**: the supervised run
 //! with tick-boundary checkpointing off vs every tick, the snapshot's
 //! encoded size, and a resume-from-snapshot that must reproduce the
@@ -33,12 +40,14 @@
 //!
 //! Knobs: `TREADS_SEED` (seed), `TREADS_ENGINE_SWEEP_USERS` (sweep
 //! population, default 20 000), `TREADS_ENGINE_AD_SWEEP_USERS`
-//! (ad-sweep population, default 1 000), `TREADS_ENGINE_CHECKPOINT_USERS`
+//! (ad-sweep population, default 1 000), `TREADS_ENGINE_EVAL_SWEEP_USERS`
+//! (eval-sweep population, default 400), `TREADS_ENGINE_CHECKPOINT_USERS`
 //! (checkpoint run population, default = sweep population),
 //! `TREADS_ENGINE_BIG_USERS` (big run population, default 1 000 000;
 //! `0` skips it).
 
 use adplatform::campaign::AdCreative;
+use adplatform::compiled::EvalMode;
 use adplatform::index::SelectionMode;
 use adplatform::profile::Gender;
 use adplatform::targeting::{TargetingExpr, TargetingSpec};
@@ -155,6 +164,100 @@ fn build_inventory(n_users: u64, n_ads: u64, seed: u64) -> (Platform, SiteRegist
     (p, sites, users)
 }
 
+/// ZIP pool size for the eval sweep at a given catalog size. The pool
+/// scales with the catalog so each ad's visited-ZIP arms stay niche at
+/// every ad count: with a fixed pool the eligible set per opportunity —
+/// and with it the auction-sort cost both evaluators pay identically —
+/// grows with the catalog and drowns the evaluation cost the sweep is
+/// meant to isolate.
+fn eval_zip_pool(n_ads: u64) -> u64 {
+    (n_ads / 2).max(50)
+}
+
+fn eval_zip(n: u64, pool: u64) -> String {
+    format!("{:05}", 20_000 + n % pool)
+}
+
+/// An evaluation-heavy platform for the E17 eval-mode sweep: `n_ads` ads
+/// with deep, string-heavy targeting (state names, ZIP equality, and
+/// visited-ZIP membership under nested connectives — the tree walker's
+/// worst case, all string compares and linear scans), over fat profiles
+/// (a dozen attributes, two dozen visited ZIPs each). Candidate selection
+/// is pinned to the linear scan by the caller so every opportunity pays
+/// full evaluation cost for every ad.
+fn build_eval_inventory(
+    n_users: u64,
+    n_ads: u64,
+    seed: u64,
+) -> (Platform, SiteRegistry, Vec<UserId>) {
+    const STATES: [&str; 4] = ["Ohio", "Texas", "California", "Pennsylvania"];
+    let pool = eval_zip_pool(n_ads);
+    let mut p = Platform::us_2018(PlatformConfig::facebook_like(seed));
+    let adv = p.register_advertiser("eval-advertiser");
+    let acct = p.open_account(adv).expect("account");
+    let camp = p
+        .create_campaign(acct, "eval", Money::dollars(3), None)
+        .expect("campaign");
+    for j in 0..n_ads {
+        let visited_or = TargetingExpr::Or(
+            (0..6)
+                .map(|k| TargetingExpr::VisitedZip(eval_zip(j * 5 + k, pool)))
+                .collect(),
+        );
+        let geo_or = TargetingExpr::Or(vec![
+            TargetingExpr::InState(STATES[(j % 4) as usize].into()),
+            TargetingExpr::InState(STATES[((j + 1) % 4) as usize].into()),
+            TargetingExpr::InZip(eval_zip(j * 3, pool)),
+        ]);
+        let spec = TargetingSpec::including_excluding(
+            TargetingExpr::And(vec![
+                geo_or,
+                visited_or,
+                TargetingExpr::AgeRange {
+                    min: 18,
+                    max: 18 + (j % 55 + 5) as u8,
+                },
+                TargetingExpr::Attr(AttributeId(j % SWEEP_ATTRS + 1)),
+            ]),
+            TargetingExpr::VisitedZip(eval_zip(j * 11 + 7, pool)),
+        );
+        p.submit_ad(
+            camp,
+            AdCreative::text(format!("eval ad {j}"), "eval-sweep workload"),
+            spec,
+        )
+        .expect("ad");
+    }
+    let users: Vec<UserId> = (0..n_users)
+        .map(|i| {
+            let id = p.register_user(
+                18 + (i % 60) as u8,
+                if i % 2 == 0 {
+                    Gender::Female
+                } else {
+                    Gender::Male
+                },
+                STATES[(i % 4) as usize],
+                &eval_zip(i, pool),
+            );
+            for k in 0..12 {
+                p.profiles
+                    .grant_attribute(id, AttributeId((i * 7 + k * 5 + 3) % SWEEP_ATTRS + 1))
+                    .expect("grant");
+            }
+            for k in 0..24 {
+                p.profiles
+                    .record_zip_visit(id, &eval_zip(i * 13 + k * 3, pool))
+                    .expect("visit");
+            }
+            id
+        })
+        .collect();
+    let mut sites = SiteRegistry::new();
+    sites.create("feed.example", 2);
+    (p, sites, users)
+}
+
 /// One mode's run at one ad-count point.
 struct ModeRun {
     elapsed_s: f64,
@@ -173,6 +276,43 @@ fn measure_inventory(
 ) -> ModeRun {
     let (mut p, sites, users) = build_inventory(n_users, n_ads, seed);
     p.campaigns.set_selection_mode(mode);
+    let engine = Engine::new(EngineConfig {
+        shards,
+        session,
+        seed,
+        ..EngineConfig::default()
+    });
+    let start = Instant::now();
+    let outcome = engine.run(&mut p, &sites, &users, &BTreeSet::new());
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let account = p
+        .campaigns
+        .campaigns()
+        .next()
+        .expect("campaigns exist")
+        .account;
+    ModeRun {
+        elapsed_s,
+        report: outcome.report,
+        invoiced: p.billing.invoice(account).gross,
+        log_len: p.log.all().len(),
+    }
+}
+
+fn measure_eval(
+    n_users: u64,
+    n_ads: u64,
+    seed: u64,
+    shards: usize,
+    session: SessionConfig,
+    eval: EvalMode,
+) -> ModeRun {
+    let (mut p, sites, users) = build_eval_inventory(n_users, n_ads, seed);
+    // Pin selection to the linear scan so both evaluators face the whole
+    // inventory on every opportunity: the sweep isolates evaluation cost,
+    // not candidate pruning (which the ad sweep above already measures).
+    p.campaigns.set_selection_mode(SelectionMode::LinearScan);
+    p.campaigns.set_eval_mode(eval);
     let engine = Engine::new(EngineConfig {
         shards,
         session,
@@ -439,6 +579,78 @@ fn main() {
         last_point.ads, speedup_10k
     );
 
+    section("Eval-mode sweep (compiled programs vs tree oracle, linear scan)");
+    let eval_sweep_users = env_u64("TREADS_ENGINE_EVAL_SWEEP_USERS", 400);
+    let eval_session = SessionConfig {
+        views_per_user_per_day: 2.0,
+        days: 1,
+    };
+    let eval_shards = threads.clamp(1, 4);
+    struct EvalPoint {
+        ads: u64,
+        compiled: ModeRun,
+        tree: ModeRun,
+        identical: bool,
+    }
+    let mut eval_points: Vec<EvalPoint> = Vec::new();
+    let mut et = Table::new([
+        "ads",
+        "compiled s",
+        "tree s",
+        "compiled auctions/s",
+        "tree auctions/s",
+        "speedup",
+    ]);
+    for ads in [100u64, 1_000, 10_000] {
+        let compiled = measure_eval(
+            eval_sweep_users,
+            ads,
+            seed,
+            eval_shards,
+            eval_session,
+            EvalMode::Compiled,
+        );
+        let tree = measure_eval(
+            eval_sweep_users,
+            ads,
+            seed,
+            eval_shards,
+            eval_session,
+            EvalMode::Tree,
+        );
+        let identical = compiled.invoiced == tree.invoiced
+            && compiled.log_len == tree.log_len
+            && compiled.report.impressions == tree.report.impressions
+            && compiled.report.opportunities == tree.report.opportunities;
+        et.row([
+            ads.to_string(),
+            format!("{:.3}", compiled.elapsed_s),
+            format!("{:.3}", tree.elapsed_s),
+            format!(
+                "{:.0}",
+                compiled.report.opportunities as f64 / compiled.elapsed_s
+            ),
+            format!("{:.0}", tree.report.opportunities as f64 / tree.elapsed_s),
+            format!("{:.2}x", tree.elapsed_s / compiled.elapsed_s),
+        ]);
+        eval_points.push(EvalPoint {
+            ads,
+            compiled,
+            tree,
+            identical,
+        });
+    }
+    et.print();
+    let eval_outputs_identical = eval_points.iter().all(|p| p.identical);
+    let eval_last = eval_points.last().expect("eval sweep ran");
+    let eval_speedup_10k = (eval_last.compiled.report.opportunities as f64
+        / eval_last.compiled.elapsed_s)
+        / (eval_last.tree.report.opportunities as f64 / eval_last.tree.elapsed_s);
+    println!(
+        "  at {} ads: compiled evaluation sustains {:.2}x the tree walker's auctions/sec",
+        eval_last.ads, eval_speedup_10k
+    );
+
     section("Per-phase breakdown (8-shard sweep run)");
     let mut pt = Table::new(["phase", "observations", "p50 ms", "p95 ms", "p99 ms"]);
     let mut phases_recorded = true;
@@ -687,6 +899,32 @@ fn main() {
     json.push_str(&format!(
         "  \"ad_sweep_speedup_at_10k\": {speedup_10k:.3},\n"
     ));
+    json.push_str(&format!(
+        "  \"eval_sweep_users\": {eval_sweep_users},\n  \"eval_sweep\": [\n"
+    ));
+    for (i, pt) in eval_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"ads\": {}, \"compiled_elapsed_s\": {:.4}, \"tree_elapsed_s\": {:.4}, \
+             \"compiled_auctions_per_sec\": {:.1}, \"tree_auctions_per_sec\": {:.1}, \
+             \"speedup\": {:.3}, \"outputs_identical\": {}}}{}\n",
+            pt.ads,
+            pt.compiled.elapsed_s,
+            pt.tree.elapsed_s,
+            pt.compiled.report.opportunities as f64 / pt.compiled.elapsed_s,
+            pt.tree.report.opportunities as f64 / pt.tree.elapsed_s,
+            (pt.compiled.report.opportunities as f64 / pt.compiled.elapsed_s)
+                / (pt.tree.report.opportunities as f64 / pt.tree.elapsed_s),
+            pt.identical,
+            if i + 1 < eval_points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"eval_sweep_outputs_identical\": {eval_outputs_identical},\n"
+    ));
+    json.push_str(&format!(
+        "  \"eval_sweep_speedup_at_10k\": {eval_speedup_10k:.3},\n"
+    ));
     json.push_str("  \"telemetry\": {\n");
     json.push_str(&format!(
         "    \"overhead_pct\": {overhead_pct:.3},\n    \"overhead_shards\": {overhead_shards},\n    \
@@ -747,6 +985,14 @@ fn main() {
     verdict(
         "indexed selection sustains >=3x the scan's auctions/sec at 10k ads",
         speedup_10k >= 3.0,
+    );
+    verdict(
+        "compiled and tree evaluation produce identical outputs at every ad count",
+        eval_outputs_identical,
+    );
+    verdict(
+        "compiled evaluation sustains >=2x the tree walker's auctions/sec at 10k ads",
+        eval_speedup_10k >= 2.0,
     );
     verdict(
         "every engine phase recorded wall time (session-gen/auction/delivery/merge/apply)",

@@ -399,6 +399,11 @@ impl Engine {
         telemetry.count("faults.recovered", 0);
         telemetry.count("faults.unrecoverable", 0);
         telemetry.count("checkpoint.bytes", 0);
+        // Targeting counters likewise exist at zero in every snapshot:
+        // `compiled_evals` stays zero under `EvalMode::Tree`, and
+        // `facet_updates` settles to its true value at run end.
+        telemetry.count("targeting.compiled_evals", 0);
+        telemetry.count("targeting.facet_updates", 0);
 
         let mut tick_start = 0u64;
         if let Some(cp) = resume {
@@ -717,6 +722,11 @@ impl Engine {
             tick_start = tick_end;
             telemetry.end_span("engine.tick_ns", tick_timer);
         }
+
+        // The facet-update counter lives on the profile store (facets are
+        // maintained inline by platform mutators, not by shard ticks), so
+        // it is read once when the run settles.
+        telemetry.count("targeting.facet_updates", platform.profiles.facet_updates());
 
         let mut extensions = BTreeMap::new();
         for shard in shards {

@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use adplatform::billing::BudgetView;
-use adplatform::delivery::{DeliveryStats, FrequencyCaps};
+use adplatform::delivery::{DeliveryScratch, DeliveryStats, FrequencyCaps};
 use adplatform::Platform;
 use adsim_types::rng::substream;
 use adsim_types::{SimTime, SiteId, UserId};
@@ -97,6 +97,7 @@ struct TickTally {
     treads_observed: u64,
     index_candidates: u64,
     index_pruned: u64,
+    compiled_evals: u64,
 }
 
 /// Everything a shard hands back after one tick.
@@ -145,6 +146,11 @@ pub struct ShardState {
     users: Vec<UserRuntime>,
     freq: FrequencyCaps,
     extensions: BTreeMap<UserId, ExtensionLog>,
+    /// Reusable per-decide buffers (candidate list, bid list), warm
+    /// across every opportunity this shard ever runs.
+    /// Pure scratch: cleared before use, so it carries no state between
+    /// opportunities and is deliberately absent from checkpoints.
+    scratch: DeliveryScratch,
 }
 
 impl ShardState {
@@ -183,6 +189,7 @@ impl ShardState {
             users: runtimes,
             freq: FrequencyCaps::new(frequency_cap),
             extensions,
+            scratch: DeliveryScratch::new(),
         }
     }
 
@@ -288,7 +295,14 @@ impl ShardState {
                 for _ in 0..site.ad_slots_per_view {
                     batch.stats.opportunities += 1;
                     let traced = platform
-                        .decide_browse_traced(uid, at, budget, &self.freq, &mut user.rng)
+                        .decide_browse_traced_with_scratch(
+                            uid,
+                            at,
+                            budget,
+                            &self.freq,
+                            &mut user.rng,
+                            &mut self.scratch,
+                        )
                         .expect("engine users are registered on the platform");
                     if record {
                         let b = traced.breakdown;
@@ -305,6 +319,7 @@ impl ShardState {
                         tally.over_budget += u64::from(b.over_budget);
                         tally.frequency_capped += u64::from(b.frequency_capped);
                         tally.targeting_mismatch += u64::from(b.targeting_mismatch);
+                        tally.compiled_evals += u64::from(b.compiled_evals);
                         let outcome_tag = match traced.decision.outcome {
                             adplatform::auction::AuctionOutcome::Won { .. } => "won",
                             adplatform::auction::AuctionOutcome::LostToBackground => {
@@ -420,6 +435,7 @@ impl ShardState {
             reg.add("treads.observed", tally.treads_observed);
             reg.add("index.candidates", tally.index_candidates);
             reg.add("index.pruned", tally.index_pruned);
+            reg.add("targeting.compiled_evals", tally.compiled_evals);
             reg.merge_histogram("auction.eligible_bids", &eligible_hist);
             reg.merge_histogram("index.candidate_set_size", &candidate_hist);
             reg.observe_ns("phase.auction_ns", auction_ns);

@@ -18,6 +18,7 @@
 use adplatform::billing::LedgerState;
 use adplatform::delivery::DeliveryStats;
 use adplatform::pixel::PixelEvent;
+use adplatform::profile::{FacetsState, ProfileFacets};
 use adplatform::reporting::Impression;
 use adplatform::PlatformState;
 use adsim_types::{AccountId, AdId, AudienceId, CampaignId, Money, PixelId, SimTime, UserId};
@@ -30,7 +31,13 @@ use crate::fault::{FaultReport, LostWork};
 /// Leading magic bytes of every checkpoint.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"TRCK";
 /// Current checkpoint format version. Bump on any layout change.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// * v1 — initial format.
+/// * v2 — appends the profile store's facet sidecar (symbol table,
+///   facet-update counter, per-user facets) to the platform section, so
+///   a resumed run keeps assigning interner symbols in the same
+///   first-intern order the original run would have.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// The engine configuration a checkpoint was taken under. Resume
 /// validates this against the host's engine to catch driver mismatches
@@ -339,6 +346,90 @@ fn encode_platform(w: &mut Writer, p: &PlatformState) {
             w.put_u64(m.raw());
         }
     }
+
+    encode_facets(w, &p.facets);
+}
+
+/// Encodes the facet sidecar (new in checkpoint v2): the symbol table in
+/// symbol order, the facet-update counter, then each user's bitset words,
+/// geo symbols, and sorted visited-ZIP symbols.
+fn encode_facets(w: &mut Writer, f: &FacetsState) {
+    w.put_u32(f.symbols.len() as u32);
+    for s in &f.symbols {
+        w.put_str(s);
+    }
+    w.put_u64(f.facet_updates);
+    w.put_u32(f.users.len() as u32);
+    for (user, facets) in &f.users {
+        w.put_u64(user.raw());
+        let words = facets.attr_words();
+        w.put_u32(words.len() as u32);
+        for word in words {
+            w.put_u64(*word);
+        }
+        w.put_u32(facets.state());
+        w.put_u32(facets.zip());
+        let visited = facets.visited_zip_symbols();
+        w.put_u32(visited.len() as u32);
+        for z in visited {
+            w.put_u32(*z);
+        }
+    }
+}
+
+/// Strict decoder counterpart of [`encode_facets`]: rejects duplicate
+/// symbol-table entries, symbol references past the table, and unsorted
+/// visited-ZIP lists — a well-formed encoder can produce none of them.
+fn decode_facets(r: &mut Reader<'_>) -> Result<FacetsState, DecodeError> {
+    let n = r.get_u32()?;
+    let symbols = (0..n)
+        .map(|_| r.get_str())
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &symbols {
+            if !seen.insert(s.as_str()) {
+                return Err(DecodeError::Invalid("duplicate symbol-table entry"));
+            }
+        }
+    }
+    let symbol_count = symbols.len() as u32;
+    let check_symbol = |sym: u32| {
+        if sym >= symbol_count {
+            Err(DecodeError::Invalid("facet symbol out of range"))
+        } else {
+            Ok(sym)
+        }
+    };
+    let facet_updates = r.get_u64()?;
+    let n = r.get_u32()?;
+    let users = (0..n)
+        .map(|_| {
+            let user = UserId(r.get_u64()?);
+            let w = r.get_u32()?;
+            let attr_words = (0..w)
+                .map(|_| r.get_u64())
+                .collect::<Result<Vec<_>, DecodeError>>()?;
+            let state_sym = check_symbol(r.get_u32()?)?;
+            let zip_sym = check_symbol(r.get_u32()?)?;
+            let v = r.get_u32()?;
+            let visited = (0..v)
+                .map(|_| check_symbol(r.get_u32()?))
+                .collect::<Result<Vec<_>, DecodeError>>()?;
+            if !visited.windows(2).all(|pair| pair[0] < pair[1]) {
+                return Err(DecodeError::Invalid("visited-ZIP symbols not sorted"));
+            }
+            Ok((
+                user,
+                ProfileFacets::from_parts(attr_words, state_sym, zip_sym, visited),
+            ))
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    Ok(FacetsState {
+        symbols,
+        facet_updates,
+        users,
+    })
 }
 
 fn decode_platform(r: &mut Reader<'_>) -> Result<PlatformState, DecodeError> {
@@ -419,6 +510,8 @@ fn decode_platform(r: &mut Reader<'_>) -> Result<PlatformState, DecodeError> {
         })
         .collect::<Result<Vec<_>, DecodeError>>()?;
 
+    let facets = decode_facets(r)?;
+
     Ok(PlatformState {
         clock_now,
         billing,
@@ -427,6 +520,7 @@ fn decode_platform(r: &mut Reader<'_>) -> Result<PlatformState, DecodeError> {
         stats,
         pixel_events,
         audience_members,
+        facets,
     })
 }
 
@@ -606,6 +700,14 @@ mod tests {
                     at: SimTime(500),
                 }],
                 audience_members: vec![(AudienceId(1), vec![UserId(2), UserId(3)])],
+                facets: FacetsState {
+                    symbols: vec!["Ohio".into(), "43004".into(), "10001".into()],
+                    facet_updates: 6,
+                    users: vec![(
+                        UserId(2),
+                        ProfileFacets::from_parts(vec![0b1010, 0], 0, 1, vec![2]),
+                    )],
+                },
             },
             shards: vec![ShardCheckpoint {
                 index: 0,
@@ -671,6 +773,40 @@ mod tests {
         assert_eq!(
             EngineCheckpoint::from_bytes(&bytes).unwrap_err(),
             DecodeError::Invalid("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn malformed_facet_sections_are_rejected() {
+        // A duplicate symbol-table entry cannot come from a well-formed
+        // interner; the strict decoder refuses rather than building a
+        // table whose equality invariant is broken.
+        let mut cp = sample();
+        cp.platform.facets.symbols = vec!["Ohio".into(), "Ohio".into(), "x".into()];
+        assert_eq!(
+            EngineCheckpoint::from_bytes(&cp.to_bytes()).unwrap_err(),
+            DecodeError::Invalid("duplicate symbol-table entry")
+        );
+
+        // A facet referencing a symbol past the table is equally invalid.
+        let mut cp = sample();
+        cp.platform.facets.users =
+            vec![(UserId(2), ProfileFacets::from_parts(vec![], 99, 0, vec![]))];
+        assert_eq!(
+            EngineCheckpoint::from_bytes(&cp.to_bytes()).unwrap_err(),
+            DecodeError::Invalid("facet symbol out of range")
+        );
+
+        // Visited-ZIP symbols are maintained sorted; an unsorted list
+        // would silently break the evaluator's binary search.
+        let mut cp = sample();
+        cp.platform.facets.users = vec![(
+            UserId(2),
+            ProfileFacets::from_parts(vec![], 0, 1, vec![2, 1]),
+        )];
+        assert_eq!(
+            EngineCheckpoint::from_bytes(&cp.to_bytes()).unwrap_err(),
+            DecodeError::Invalid("visited-ZIP symbols not sorted")
         );
     }
 

@@ -19,6 +19,12 @@ REQUIRED_COUNTERS = [
     "auction.won",
     "eligibility.considered",
     "index.candidates",
+    # Compiled targeting: program evaluations in the delivery hot path and
+    # incremental facet-sidecar maintenance in the profile store. Both are
+    # always emitted (zero-valued under EvalMode::Tree / a facet-free run),
+    # so their absence means the engine predates the compiled evaluator.
+    "targeting.compiled_evals",
+    "targeting.facet_updates",
     # Resilience accounting: the supervisor always emits these, zero-valued
     # on a fault-free run, so their absence means the run bypassed the
     # supervised path (DESIGN.md "Failure model & recovery").

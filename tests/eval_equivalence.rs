@@ -1,0 +1,220 @@
+//! Integration test: compiled targeting evaluation is **output-equivalent**
+//! to the tree-walking interpreter, at every shard count.
+//!
+//! The compiled program store (`adplatform::compiled`) must be a pure
+//! optimization: switching `EvalMode` can never change a platform output,
+//! because a compiled program evaluates the exact same predicate as
+//! `TargetingSpec::matches` (full evaluation, identical float paths,
+//! symbol equality standing in for string equality through the shared
+//! interner) and auction RNG draws do not depend on how eligibility was
+//! computed. This test drives whole engine runs — random extra campaigns
+//! layered over a Tread campaign plan, random profile mutations including
+//! coordinates for radius predicates — under every (shards ∈ {1, 2, 8}) ×
+//! (mode ∈ {Compiled, Tree}) combination and requires byte-identical
+//! invoices, ad reports, and decoded Tread sets.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use treads_repro::adplatform::billing::Invoice;
+use treads_repro::adplatform::campaign::AdCreative;
+use treads_repro::adplatform::compiled::EvalMode;
+use treads_repro::adplatform::reporting::AdReport;
+use treads_repro::adplatform::targeting::{TargetingExpr, TargetingSpec};
+use treads_repro::adsim_types::{AttributeId, Money, UserId};
+use treads_repro::engine::{Engine, EngineConfig};
+use treads_repro::treads::encoding::Encoding;
+use treads_repro::treads::planner::CampaignPlan;
+use treads_repro::treads::TreadClient;
+use treads_repro::websim::{SessionConfig, SiteRegistry};
+use treads_repro::workload::CohortScenario;
+
+const SEED: u64 = 53;
+const POPULATION: usize = 48;
+const OPTIN: usize = 16;
+
+/// A proptest-generated extra ad: `(shape, a, b)` where `shape` selects
+/// the targeting structure and `a`/`b` fill in its parameters. Shapes
+/// cover every compiled opcode: attribute probes, demographic tests,
+/// geo symbol equality, visited-ZIP search, radius haversine, audience
+/// membership, and all the connectives (including exclusion).
+type ExtraAd = (u8, u64, u64);
+
+/// A proptest-generated profile mutation: `(user index, attribute, zip)`
+/// — the user gains an attribute, a recent-location observation, and
+/// (for even attribute draws) coordinates, before the run starts.
+type Mutation = (usize, u64, u64);
+
+fn attr(n: u64) -> TargetingExpr {
+    TargetingExpr::Attr(AttributeId(n % 40 + 1))
+}
+
+fn zip(n: u64) -> String {
+    format!("{:05}", 10_000 + n % 20)
+}
+
+fn targeting_of(&(shape, a, b): &ExtraAd) -> TargetingSpec {
+    match shape % 11 {
+        0 => TargetingSpec::including(TargetingExpr::Everyone),
+        1 => TargetingSpec::including(attr(a)),
+        2 => TargetingSpec::including(TargetingExpr::And(vec![
+            attr(a),
+            TargetingExpr::AgeRange {
+                min: 18 + (b % 30) as u8,
+                max: 80,
+            },
+        ])),
+        3 => TargetingSpec::including(TargetingExpr::InState(
+            ["Ohio", "Texas", "California"][(a % 3) as usize].into(),
+        )),
+        4 => TargetingSpec::including(TargetingExpr::VisitedZip(zip(a))),
+        5 => TargetingSpec::including(TargetingExpr::InZip(zip(a))),
+        6 => TargetingSpec::including(TargetingExpr::Or(vec![attr(a), attr(b)])),
+        7 => TargetingSpec::including(TargetingExpr::Not(Box::new(attr(a)))),
+        8 => TargetingSpec::including_excluding(attr(a), attr(b)),
+        9 => TargetingSpec::including(TargetingExpr::WithinRadius {
+            lat: 40.0 + (a % 4) as f64,
+            lon: -74.0 - (b % 4) as f64,
+            km: 50.0 + (a % 300) as f64,
+        }),
+        _ => TargetingSpec::including(TargetingExpr::And(vec![
+            TargetingExpr::Or(vec![attr(a), TargetingExpr::Not(Box::new(attr(b)))]),
+            TargetingExpr::AgeRange { min: 18, max: 65 },
+        ])),
+    }
+}
+
+/// One full engine run built from scratch (scenario setup is itself
+/// seed-deterministic), with the given extra campaigns and profile
+/// mutations layered on, executed at `shards` under `mode`.
+fn run(
+    shards: usize,
+    mode: EvalMode,
+    extra: &[ExtraAd],
+    mutations: &[Mutation],
+) -> (
+    Vec<Invoice>,
+    Vec<AdReport>,
+    BTreeMap<UserId, BTreeSet<String>>,
+    u64,
+) {
+    let mut s = CohortScenario::setup(SEED, POPULATION, OPTIN);
+    let names: Vec<String> = s
+        .platform
+        .attributes
+        .partner_attributes()
+        .iter()
+        .take(8)
+        .map(|d| d.name.clone())
+        .collect();
+    let plan = CampaignPlan::binary_in_ad("eval", &names, Encoding::CodebookToken);
+    let receipt = s
+        .provider
+        .run_plan(&mut s.platform, &plan, s.optin_audience)
+        .expect("plan runs");
+
+    let adv = s.platform.register_advertiser("equivalence-adv");
+    let acct = s.platform.open_account(adv).expect("account");
+    let camp = s
+        .platform
+        .create_campaign(acct, "extra", Money::dollars(3), None)
+        .expect("campaign");
+    for (j, e) in extra.iter().enumerate() {
+        s.platform
+            .submit_ad(
+                camp,
+                AdCreative::text(format!("extra {j}"), "equivalence workload"),
+                targeting_of(e),
+            )
+            .expect("extra ad");
+    }
+    for &(ix, a, z) in mutations {
+        let user = s.users[ix % s.users.len()];
+        s.platform
+            .profiles
+            .grant_attribute(user, AttributeId(a % 40 + 1))
+            .expect("grant");
+        s.platform
+            .profiles
+            .record_zip_visit(user, &zip(z))
+            .expect("visit");
+        if a % 2 == 0 {
+            s.platform
+                .profiles
+                .set_coordinates(user, 40.0 + (z % 5) as f64, -75.0 + (a % 5) as f64)
+                .expect("coords");
+        }
+    }
+    s.platform.campaigns.set_eval_mode(mode);
+
+    let mut sites = SiteRegistry::new();
+    sites.create("feed.example", 2);
+    let engine = Engine::new(EngineConfig {
+        shards,
+        session: SessionConfig {
+            views_per_user_per_day: 4.0,
+            days: 3,
+        },
+        seed: SEED,
+        ..EngineConfig::default()
+    });
+    let extension_users: BTreeSet<UserId> = s.opted_in.iter().copied().collect();
+    let outcome = engine.run(&mut s.platform, &sites, &s.users, &extension_users);
+
+    let mut accounts = s.provider.accounts.clone();
+    accounts.push(acct);
+    let invoices = accounts.iter().map(|&a| s.platform.invoice(a)).collect();
+    let reports = receipt
+        .placed
+        .iter()
+        .filter(|p| p.approved)
+        .map(|p| {
+            s.platform
+                .ad_report(receipt.account, p.ad)
+                .expect("placed ad reports")
+        })
+        .collect();
+    let client = TreadClient::new(s.provider.codebook.clone(), &s.platform.attributes);
+    let reveals = outcome
+        .extensions
+        .iter()
+        .map(|(&u, log)| (u, client.decode_log(log, |_| None).has))
+        .collect();
+    (invoices, reports, reveals, outcome.report.impressions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Random campaign sets + profile mutations yield byte-identical
+    /// invoices, reports, and decoded Tread sets with compiled programs
+    /// vs the tree oracle, across 1/2/8 shards.
+    #[test]
+    fn compiled_and_tree_agree_across_shard_counts(
+        extra in prop::collection::vec((0u8..11, 0u64..1000, 0u64..1000), 0..12),
+        mutations in prop::collection::vec((0usize..POPULATION, 0u64..1000, 0u64..1000), 0..24),
+    ) {
+        let baseline = run(1, EvalMode::Compiled, &extra, &mutations);
+        prop_assert!(baseline.3 > 0, "the run must actually deliver ads");
+        for shards in [1usize, 2, 8] {
+            for mode in [EvalMode::Compiled, EvalMode::Tree] {
+                if shards == 1 && mode == EvalMode::Compiled {
+                    continue;
+                }
+                let other = run(shards, mode, &extra, &mutations);
+                prop_assert_eq!(
+                    &baseline.0, &other.0,
+                    "invoices differ at {} shards / {:?}", shards, mode
+                );
+                prop_assert_eq!(
+                    &baseline.1, &other.1,
+                    "ad reports differ at {} shards / {:?}", shards, mode
+                );
+                prop_assert_eq!(
+                    &baseline.2, &other.2,
+                    "reveals differ at {} shards / {:?}", shards, mode
+                );
+                prop_assert_eq!(baseline.3, other.3);
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use treads_repro::adplatform::billing::Invoice;
+use treads_repro::adplatform::compiled::EvalMode;
 use treads_repro::adplatform::reporting::{AdReport, Impression};
 use treads_repro::adsim_types::UserId;
 use treads_repro::engine::{
@@ -50,6 +51,18 @@ struct RunOutput {
 /// itself seed-deterministic). With `resume` the engine continues a
 /// checkpointed run on the freshly built host instead of starting cold.
 fn run(shards: usize, options: &ResilienceOptions, resume: Option<&EngineCheckpoint>) -> RunOutput {
+    run_with_eval(shards, EvalMode::Compiled, options, resume)
+}
+
+/// [`run`], with the targeting evaluation mode set explicitly — the
+/// checkpoint codec carries the symbol table and facet sidecars, so a
+/// resumed run must behave identically whichever evaluator is active.
+fn run_with_eval(
+    shards: usize,
+    eval: EvalMode,
+    options: &ResilienceOptions,
+    resume: Option<&EngineCheckpoint>,
+) -> RunOutput {
     let mut s = CohortScenario::setup(SEED, 60, 30);
     let names: Vec<String> = s
         .platform
@@ -64,6 +77,8 @@ fn run(shards: usize, options: &ResilienceOptions, resume: Option<&EngineCheckpo
         .provider
         .run_plan(&mut s.platform, &plan, s.optin_audience)
         .expect("plan runs");
+
+    s.platform.campaigns.set_eval_mode(eval);
 
     let mut sites = SiteRegistry::new();
     sites.create("feed.example", 2);
@@ -263,6 +278,46 @@ fn checkpoint_resume_round_trip_is_byte_identical() {
         err.to_string().contains("does not match"),
         "unexpected resume error: {err}"
     );
+}
+
+#[test]
+fn compiled_resume_matches_tree_and_compiled_full_runs() {
+    // The v2 checkpoint sections (symbol table, facet sidecars) must hand a
+    // resumed host everything compiled evaluation depends on: a run that
+    // checkpoints mid-flight with compiled targeting explicitly enabled and
+    // resumes on a fresh host is byte-identical to the uninterrupted run —
+    // and to the tree-oracle run, closing the loop across both axes.
+    let options = ResilienceOptions {
+        faults: FaultPlan::new(),
+        max_retries_per_shard_tick: 3,
+        checkpoint_every_ticks: 2,
+    };
+    for shards in [1usize, 2] {
+        let tree = run_with_eval(shards, EvalMode::Tree, &options, None);
+        let compiled = run_with_eval(shards, EvalMode::Compiled, &options, None);
+        assert_same_simulation(
+            &tree,
+            &compiled,
+            &format!("tree vs compiled full runs, {shards} shards"),
+        );
+        assert_eq!(
+            tree.checkpoint_bytes, compiled.checkpoint_bytes,
+            "checkpoints must not encode the evaluation mode ({shards} shards)"
+        );
+
+        let decoded = EngineCheckpoint::from_bytes(&compiled.checkpoint_bytes[0]).expect("decodes");
+        let resumed = run_with_eval(shards, EvalMode::Compiled, &options, Some(&decoded));
+        assert_same_simulation(
+            &compiled,
+            &resumed,
+            &format!("compiled resume, {shards} shards"),
+        );
+        assert_eq!(
+            resumed.checkpoint_bytes,
+            compiled.checkpoint_bytes[1..].to_vec(),
+            "resumed run retakes later checkpoints byte-for-byte ({shards} shards)"
+        );
+    }
 }
 
 #[test]
