@@ -1,0 +1,125 @@
+//! Serving-path benches: the request-driven front end's hot pieces
+//! (admission decision, micro-batch close-out) and the end-to-end
+//! request path at micro-batch sizes 1 / 32 / 256.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+use treads_serving::{
+    AdmissionController, MicroBatcher, OpportunityRequest, ServingConfig, ServingEngine,
+};
+use websim::{ArrivalSchedule, LoadProfile, SiteRegistry};
+
+use adplatform::campaign::AdCreative;
+use adplatform::profile::Gender;
+use adplatform::targeting::{TargetingExpr, TargetingSpec};
+use adplatform::{Platform, PlatformConfig};
+use adsim_types::{Money, UserId};
+
+fn bench_admission(c: &mut Criterion) {
+    let admission = AdmissionController::new(1_024, 10);
+    let mut group = c.benchmark_group("serving/admission");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("decide_admit", |b| {
+        b.iter(|| black_box(admission.decide(black_box(512))))
+    });
+    group.bench_function("decide_shed", |b| {
+        b.iter(|| black_box(admission.decide(black_box(4_096))))
+    });
+    group.finish();
+}
+
+fn bench_batcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving/batcher");
+    for size in [32usize, 256] {
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_function(format!("fill_and_close_{size}"), |b| {
+            let mut batcher = MicroBatcher::new(size, Duration::from_millis(1));
+            let now = Instant::now();
+            b.iter(|| {
+                for i in 0..size {
+                    if let Some(batch) = batcher.push(i, now) {
+                        black_box(batch);
+                    }
+                }
+                black_box(batcher.close())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A small always-delivering platform plus one simulated day of arrivals.
+fn serving_fixture() -> (Platform, SiteRegistry, ArrivalSchedule) {
+    const DAY_MS: u64 = 86_400_000;
+    let seed = 42;
+    let mut p = Platform::us_2018(PlatformConfig::facebook_like(seed));
+    let adv = p.register_advertiser("bench-advertiser");
+    let acct = p.open_account(adv).expect("account");
+    let camp = p
+        .create_campaign(acct, "bench", Money::dollars(5), None)
+        .expect("campaign");
+    p.submit_ad(
+        camp,
+        AdCreative::text("Hello", "serving bench"),
+        TargetingSpec::including(TargetingExpr::Everyone),
+    )
+    .expect("ad");
+    let users: Vec<UserId> = (0..64)
+        .map(|i| p.register_user(20 + (i % 50) as u8, Gender::Female, "Ohio", "43004"))
+        .collect();
+    let mut sites = SiteRegistry::new();
+    sites.create("feed.example", 1);
+    let profile = LoadProfile::flat(0.05, DAY_MS);
+    let arrivals = ArrivalSchedule::open_loop(&users, &sites.ids(), &profile, seed);
+    assert!(!arrivals.is_empty());
+    (p, sites, arrivals)
+}
+
+/// End-to-end: spawn the serving stack, stream one day of requests
+/// through it, tear it down — at micro-batch sizes 1 / 32 / 256.
+fn bench_end_to_end(c: &mut Criterion) {
+    const DAY_MS: u64 = 86_400_000;
+    let mut group = c.benchmark_group("serving/end_to_end");
+    group.sample_size(10);
+    for max_batch in [1usize, 32, 256] {
+        let (_, _, arrivals) = serving_fixture();
+        group.throughput(Throughput::Elements(arrivals.len() as u64));
+        group.bench_function(format!("day_batch_{max_batch}"), |b| {
+            b.iter(|| {
+                let (mut p, sites, arrivals) = serving_fixture();
+                let engine = ServingEngine::new(ServingConfig {
+                    shards: 2,
+                    tick_ms: DAY_MS,
+                    horizon_ms: DAY_MS,
+                    seed: 42,
+                    max_batch,
+                    max_delay: Duration::from_micros(200),
+                    queue_watermark: u64::MAX,
+                    ..ServingConfig::default()
+                });
+                let (outcome, _) = engine.serve(&mut p, &sites, &BTreeSet::new(), |frontend| {
+                    let tickets: Vec<_> = arrivals
+                        .arrivals()
+                        .iter()
+                        .map(|a| {
+                            frontend.submit(OpportunityRequest {
+                                user: a.user,
+                                site: a.site,
+                                at: a.at,
+                            })
+                        })
+                        .collect();
+                    tickets.into_iter().for_each(|t| {
+                        black_box(t.wait());
+                    })
+                });
+                black_box(outcome)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission, bench_batcher, bench_end_to_end);
+criterion_main!(benches);

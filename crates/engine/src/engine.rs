@@ -108,6 +108,106 @@ pub struct ResilientOutcome {
     pub checkpoints: Vec<EngineCheckpoint>,
 }
 
+/// Tally from folding one tick's merged events into the platform.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickFold {
+    /// Pixel fires successfully applied.
+    pub pixel_fires: u64,
+    /// Impressions billed and logged.
+    pub impressions: u64,
+}
+
+/// Folds one tick's canonically-merged events into the platform: the
+/// single writer step of the bulk-synchronous tick.
+///
+/// Applies every event in order (pixel fires register audience membership,
+/// impressions charge billing / bump global frequency counters / append to
+/// the impression log), journals `ImpressionBilled` flight events and
+/// first-crossing `BudgetExhausted` transitions into `telemetry`
+/// (`exhausted` carries the already-journaled campaign set across ticks),
+/// advances the platform clock to `tick_end`, and counts
+/// `engine.pixel_fires` / `engine.impressions` / `engine.ticks`.
+///
+/// This is the **only** code path that mutates shared platform state at a
+/// tick boundary; the batch engine's supervisor and `treads-serving`'s
+/// applier both fold through it, which is what makes a serving run with a
+/// fixed arrival schedule byte-identical to the batch engine fed the same
+/// opportunity stream.
+pub fn fold_tick_events(
+    platform: &mut Platform,
+    merged: Vec<ShardEvent>,
+    tick_end: SimTime,
+    telemetry: &mut Telemetry,
+    exhausted: &mut BTreeSet<CampaignId>,
+) -> TickFold {
+    let recording = telemetry.is_enabled();
+    let mut charged_campaigns: BTreeSet<CampaignId> = BTreeSet::new();
+    let mut fold = TickFold::default();
+    for event in merged {
+        match event {
+            ShardEvent::PixelFire {
+                at, user, pixel, ..
+            } => {
+                if platform.apply_pixel_fire(user, pixel, at).is_ok() {
+                    fold.pixel_fires += 1;
+                }
+            }
+            ShardEvent::Impression {
+                user_seq, pending, ..
+            } => {
+                let price = platform.apply_impression(&pending);
+                fold.impressions += 1;
+                if recording {
+                    charged_campaigns.insert(pending.campaign);
+                    telemetry.record_event(FlightEvent {
+                        at: pending.at,
+                        user: pending.user,
+                        seq: user_seq,
+                        kind: FlightKind::ImpressionBilled {
+                            ad: pending.ad.raw(),
+                            campaign: pending.campaign.raw(),
+                            account: pending.account.raw(),
+                            price_micros: price.as_micros(),
+                        },
+                    });
+                }
+            }
+        }
+    }
+    telemetry.count("engine.pixel_fires", fold.pixel_fires);
+    telemetry.count("engine.impressions", fold.impressions);
+
+    // A campaign can only cross its budget in a tick that charged it, so
+    // checking the charged set covers every transition.
+    if recording {
+        for campaign in charged_campaigns {
+            if exhausted.contains(&campaign) {
+                continue;
+            }
+            let budget_limit = match platform.campaigns.campaign(campaign) {
+                Ok(c) => c.budget,
+                Err(_) => continue,
+            };
+            if !platform.billing.within_budget(campaign, budget_limit) {
+                exhausted.insert(campaign);
+                telemetry.count("delivery.budget_exhaustions", 1);
+                telemetry.record_event(FlightEvent {
+                    at: tick_end,
+                    user: UserId(0),
+                    seq: campaign.raw(),
+                    kind: FlightKind::BudgetExhausted {
+                        campaign: campaign.raw(),
+                    },
+                });
+            }
+        }
+    }
+
+    platform.clock.advance_to(tick_end);
+    telemetry.count("engine.ticks", 1);
+    fold
+}
+
 /// The sharded, deterministic parallel simulation engine.
 ///
 /// Execution is bulk-synchronous: each tick freezes a
@@ -622,76 +722,17 @@ impl Engine {
                 what: format!("tick {tick_index}: {e}"),
             })?;
             let apply_timer = telemetry.span();
-            let recording = telemetry.is_enabled();
-            let mut charged_campaigns: BTreeSet<CampaignId> = BTreeSet::new();
-            let mut pixel_fires = 0u64;
-            let mut impressions = 0u64;
-            for event in merged {
-                match event {
-                    ShardEvent::PixelFire {
-                        at, user, pixel, ..
-                    } => {
-                        if platform.apply_pixel_fire(user, pixel, at).is_ok() {
-                            report.pixel_fires += 1;
-                            pixel_fires += 1;
-                        }
-                    }
-                    ShardEvent::Impression {
-                        user_seq, pending, ..
-                    } => {
-                        let price = platform.apply_impression(&pending);
-                        report.impressions += 1;
-                        impressions += 1;
-                        if recording {
-                            charged_campaigns.insert(pending.campaign);
-                            telemetry.record_event(FlightEvent {
-                                at: pending.at,
-                                user: pending.user,
-                                seq: user_seq,
-                                kind: FlightKind::ImpressionBilled {
-                                    ad: pending.ad.raw(),
-                                    campaign: pending.campaign.raw(),
-                                    account: pending.account.raw(),
-                                    price_micros: price.as_micros(),
-                                },
-                            });
-                        }
-                    }
-                }
-            }
-            telemetry.count("engine.pixel_fires", pixel_fires);
-            telemetry.count("engine.impressions", impressions);
+            let fold = fold_tick_events(
+                platform,
+                merged,
+                SimTime(tick_end),
+                telemetry,
+                &mut exhausted,
+            );
+            report.pixel_fires += fold.pixel_fires;
+            report.impressions += fold.impressions;
             telemetry.end_span("phase.apply_ns", apply_timer);
-
-            // A campaign can only cross its budget in a tick that charged
-            // it, so checking the charged set covers every transition.
-            if telemetry.is_enabled() {
-                for campaign in charged_campaigns {
-                    if exhausted.contains(&campaign) {
-                        continue;
-                    }
-                    let budget_limit = match platform.campaigns.campaign(campaign) {
-                        Ok(c) => c.budget,
-                        Err(_) => continue,
-                    };
-                    if !platform.billing.within_budget(campaign, budget_limit) {
-                        exhausted.insert(campaign);
-                        telemetry.count("delivery.budget_exhaustions", 1);
-                        telemetry.record_event(FlightEvent {
-                            at: SimTime(tick_end),
-                            user: UserId(0),
-                            seq: campaign.raw(),
-                            kind: FlightKind::BudgetExhausted {
-                                campaign: campaign.raw(),
-                            },
-                        });
-                    }
-                }
-            }
-
-            platform.clock.advance_to(SimTime(tick_end));
             report.ticks += 1;
-            telemetry.count("engine.ticks", 1);
 
             // Tick-boundary checkpoint: everything below is now folded and
             // frozen, so the capture is a consistent cut of the run.

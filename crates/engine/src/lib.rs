@@ -42,7 +42,8 @@ pub mod merge;
 pub mod shard;
 
 pub use engine::{
-    Engine, EngineConfig, EngineOutcome, EngineReport, ResilienceOptions, ResilientOutcome, DAY_MS,
+    fold_tick_events, Engine, EngineConfig, EngineOutcome, EngineReport, ResilienceOptions,
+    ResilientOutcome, TickFold, DAY_MS,
 };
 pub use event::ShardEvent;
 pub use merge::{merge_batches, MergeError};

@@ -1,0 +1,95 @@
+//! Watermark-based admission control.
+
+/// The admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueue the request on its shard.
+    Admit,
+    /// Shed the request with this retry-after hint (milliseconds).
+    Shed {
+        /// Suggested client back-off before retrying.
+        retry_after_ms: u64,
+    },
+}
+
+/// Sheds requests once a shard's in-flight queue crosses a watermark.
+///
+/// The retry-after hint scales with overload severity: at the watermark
+/// the hint is the configured base; at twice the watermark it doubles, and
+/// so on — a deeper queue tells clients to back off longer, which is what
+/// lets an open-loop load storm drain instead of collapsing the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionController {
+    watermark: u64,
+    retry_after_ms: u64,
+}
+
+impl AdmissionController {
+    /// A controller shedding above `watermark` queued requests, hinting a
+    /// base back-off of `retry_after_ms`.
+    ///
+    /// # Panics
+    /// Panics if `watermark` is zero (that would shed everything).
+    pub fn new(watermark: u64, retry_after_ms: u64) -> Self {
+        assert!(watermark > 0, "admission watermark must be positive");
+        Self {
+            watermark,
+            retry_after_ms,
+        }
+    }
+
+    /// The shedding watermark.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Decides admission for a request arriving when its shard already has
+    /// `queue_depth` requests in flight.
+    pub fn decide(&self, queue_depth: u64) -> Admission {
+        if queue_depth < self.watermark {
+            Admission::Admit
+        } else {
+            // Severity multiplier: 1× at the watermark, 2× at twice it, …
+            let severity = (queue_depth / self.watermark).max(1);
+            Admission::Shed {
+                retry_after_ms: self.retry_after_ms.saturating_mul(severity),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_below_and_sheds_at_the_watermark() {
+        let a = AdmissionController::new(4, 10);
+        assert_eq!(a.watermark(), 4);
+        for depth in 0..4 {
+            assert_eq!(a.decide(depth), Admission::Admit);
+        }
+        assert_eq!(a.decide(4), Admission::Shed { retry_after_ms: 10 });
+    }
+
+    #[test]
+    fn retry_after_scales_with_overload_severity() {
+        let a = AdmissionController::new(4, 10);
+        assert_eq!(a.decide(5), Admission::Shed { retry_after_ms: 10 });
+        assert_eq!(a.decide(8), Admission::Shed { retry_after_ms: 20 });
+        assert_eq!(
+            a.decide(40),
+            Admission::Shed {
+                retry_after_ms: 100
+            }
+        );
+        // Saturates instead of overflowing under absurd depths.
+        assert!(matches!(a.decide(u64::MAX), Admission::Shed { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark must be positive")]
+    fn zero_watermark_is_rejected() {
+        AdmissionController::new(0, 10);
+    }
+}

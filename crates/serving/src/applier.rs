@@ -1,0 +1,157 @@
+//! The tick-close applier: the serving run's single writer.
+//!
+//! At every tick boundary the applier collects one [`TickBatch`] per
+//! shard, merges their events in the canonical `(at, user, user_seq)`
+//! order, and folds them into the platform through
+//! [`treads_engine::fold_tick_events`] — the same single-writer step the
+//! batch supervisor uses. It then refreezes the budget snapshot, hands it
+//! to every blocked worker, judges the tick's latency window against the
+//! SLO, and acks the front end so the simulated clock may advance.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use adplatform::billing::BudgetSnapshot;
+use adplatform::Platform;
+use adsim_types::{CampaignId, SimTime};
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::RwLock;
+use treads_engine::{fold_tick_events, merge_batches};
+use treads_resilience::FaultReport;
+use treads_telemetry::{Histogram, Registry, SloTracker, Telemetry};
+
+use crate::worker::TickBatch;
+
+/// Run totals the applier accumulates across ticks.
+pub(crate) struct ApplierResult {
+    pub ticks: u64,
+    /// Requests the workers answered (served + worker-shed); front-end
+    /// rejections never reach a worker and are counted separately.
+    pub requests: u64,
+    pub shed: u64,
+    pub shed_failure: u64,
+    pub shed_unknown_user: u64,
+    pub page_views: u64,
+    pub opportunities: u64,
+    pub impressions: u64,
+    pub pixel_fires: u64,
+    /// End-to-end latency over every answered request.
+    pub latency: Histogram,
+    pub faults: FaultReport,
+}
+
+impl ApplierResult {
+    fn new() -> Self {
+        Self {
+            ticks: 0,
+            requests: 0,
+            shed: 0,
+            shed_failure: 0,
+            shed_unknown_user: 0,
+            page_views: 0,
+            opportunities: 0,
+            impressions: 0,
+            pixel_fires: 0,
+            latency: Histogram::latency_ns(),
+            faults: FaultReport::default(),
+        }
+    }
+}
+
+/// Runs the applier loop until the workers disconnect the batch channel.
+pub(crate) fn run_applier(
+    platform: &RwLock<&mut Platform>,
+    shards: usize,
+    batch_rx: Receiver<TickBatch>,
+    resume_txs: &[Sender<Arc<BudgetSnapshot>>],
+    ack_tx: Sender<()>,
+    slo: &mut SloTracker,
+    telemetry: &mut Telemetry,
+) -> ApplierResult {
+    let mut out = ApplierResult::new();
+    // Campaigns already journaled crossing their budget (for the
+    // once-per-campaign `BudgetExhausted` flight event).
+    let mut exhausted: BTreeSet<CampaignId> = BTreeSet::new();
+    'ticks: loop {
+        // Barrier collect: exactly one batch per shard per tick. The
+        // channel disconnecting (all workers exited) ends the run.
+        let mut batches: Vec<TickBatch> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            match batch_rx.recv() {
+                Ok(batch) => batches.push(batch),
+                Err(_) => break 'ticks,
+            }
+        }
+        // Shard-index order is the canonical per-tick fold order, exactly
+        // as in the batch supervisor.
+        batches.sort_by_key(|b| b.shard);
+        let tick_end = batches.first().map_or(0, |b| b.tick_end);
+        debug_assert!(
+            batches.iter().all(|b| b.tick_end == tick_end),
+            "tick-close barrier collected batches from different ticks"
+        );
+
+        let mut tick_latency = Histogram::latency_ns();
+        let mut reg = Registry::new();
+        for batch in &batches {
+            out.requests += batch.requests;
+            out.shed += batch.shed;
+            out.shed_failure += batch.shed_failure;
+            out.shed_unknown_user += batch.shed_unknown_user;
+            out.page_views += batch.page_views;
+            out.opportunities += batch.stats.opportunities;
+            out.faults.injected += batch.injected;
+            out.faults.recovered += batch.recovered;
+            out.faults.unrecoverable += batch.unrecoverable;
+            out.faults.lost.extend(batch.lost.iter().cloned());
+            tick_latency.merge(&batch.latency);
+            telemetry.count("engine.page_views", batch.page_views);
+            telemetry.count("serving.requests", batch.requests);
+            telemetry.count("serving.shed", batch.shed);
+            telemetry.count("auction.won", batch.stats.won);
+            telemetry.count("auction.lost_to_background", batch.stats.lost_to_background);
+            telemetry.count("auction.unfilled", batch.stats.unfilled);
+            telemetry.count("faults.injected", batch.injected);
+            telemetry.count("faults.recovered", batch.recovered);
+            telemetry.count("faults.unrecoverable", batch.unrecoverable);
+            if batch.batch_sizes.count() > 0 {
+                reg.merge_histogram("serving.batch_size", &batch.batch_sizes);
+            }
+        }
+        if tick_latency.count() > 0 {
+            reg.merge_histogram("serving.request_latency_ns", &tick_latency);
+        }
+        telemetry.merge_registry(&reg);
+        out.latency.merge(&tick_latency);
+        if slo.observe_window(&tick_latency) {
+            telemetry.count("serving.slo_breach", 1);
+        }
+
+        // The single-writer step: merge canonically, fold, refreeze.
+        let snapshot = {
+            let mut guard = platform.write();
+            let p: &mut Platform = &mut guard;
+            for batch in &batches {
+                p.stats.opportunities += batch.stats.opportunities;
+                p.stats.won += batch.stats.won;
+                p.stats.lost_to_background += batch.stats.lost_to_background;
+                p.stats.unfilled += batch.stats.unfilled;
+            }
+            let merged = merge_batches(batches.into_iter().map(|b| b.events).collect())
+                .expect("serving event keys are unique per (at, user, user_seq)");
+            let fold = fold_tick_events(p, merged, SimTime(tick_end), telemetry, &mut exhausted);
+            out.impressions += fold.impressions;
+            out.pixel_fires += fold.pixel_fires;
+            Arc::new(p.billing.budget_snapshot())
+        };
+        out.ticks += 1;
+
+        // Release the barrier: workers first (they block on the new
+        // snapshot), then the front end's clock.
+        for tx in resume_txs {
+            let _ = tx.send(snapshot.clone());
+        }
+        let _ = ack_tx.send(());
+    }
+    out
+}

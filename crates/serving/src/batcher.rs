@@ -1,0 +1,135 @@
+//! Micro-batching: amortize per-tick lock traffic without unbounded wait.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates items into a batch that closes on whichever fires first:
+/// the batch reaching `max_batch` items, or the *oldest* item having
+/// waited `max_delay` (wall clock).
+///
+/// The batcher itself holds no thread or timer; the owning worker drives
+/// it by passing `now` into [`MicroBatcher::push`] and by using
+/// [`MicroBatcher::deadline`] as its channel-receive timeout. Closing a
+/// batch only affects *when* requests execute, never their outcome — see
+/// the determinism notes in the crate docs.
+#[derive(Debug)]
+pub struct MicroBatcher<T> {
+    max_batch: usize,
+    max_delay: Duration,
+    items: Vec<T>,
+    /// Wall-clock instant the pending batch must close by; set when the
+    /// first item lands, cleared when the batch closes.
+    deadline: Option<Instant>,
+}
+
+impl<T> MicroBatcher<T> {
+    /// A batcher closing at `max_batch` items or `max_delay` of age.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    pub fn new(max_batch: usize, max_delay: Duration) -> Self {
+        assert!(max_batch > 0, "micro-batches must hold at least one item");
+        // `max_batch` may be huge (e.g. `usize::MAX` to park a whole tick
+        // in the batcher) — cap the eager allocation and let the Vec grow.
+        Self {
+            max_batch,
+            max_delay,
+            items: Vec::with_capacity(max_batch.min(1_024)),
+            deadline: None,
+        }
+    }
+
+    /// Adds an item at wall-clock `now`. Returns the closed batch if this
+    /// item filled it to `max_batch`.
+    pub fn push(&mut self, item: T, now: Instant) -> Option<Vec<T>> {
+        if self.items.is_empty() {
+            self.deadline = Some(now + self.max_delay);
+        }
+        self.items.push(item);
+        if self.items.len() >= self.max_batch {
+            Some(self.close())
+        } else {
+            None
+        }
+    }
+
+    /// The pending batch's close-by deadline (`None` when empty).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True if `now` has reached the pending batch's deadline.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Items currently pending.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Closes and returns the pending batch (possibly empty), resetting
+    /// the deadline.
+    pub fn close(&mut self) -> Vec<T> {
+        self.deadline = None;
+        std::mem::take(&mut self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closes_on_max_batch() {
+        let mut b = MicroBatcher::new(3, Duration::from_millis(5));
+        let now = Instant::now();
+        assert!(b.push(1, now).is_none());
+        assert!(b.push(2, now).is_none());
+        let batch = b.push(3, now).expect("third item fills the batch");
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert!(b.is_empty());
+        assert!(b.deadline().is_none());
+    }
+
+    #[test]
+    fn deadline_is_pinned_to_the_oldest_item() {
+        let mut b = MicroBatcher::new(10, Duration::from_millis(5));
+        let t0 = Instant::now();
+        b.push(1, t0);
+        let deadline = b.deadline().expect("set by first push");
+        assert_eq!(deadline, t0 + Duration::from_millis(5));
+        // Later pushes do NOT extend the deadline: the batch's age is the
+        // oldest item's age, or a trickle of requests would wait forever.
+        b.push(2, t0 + Duration::from_millis(3));
+        assert_eq!(b.deadline(), Some(deadline));
+        assert!(!b.expired(t0 + Duration::from_millis(4)));
+        assert!(b.expired(t0 + Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn close_drains_and_resets() {
+        let mut b = MicroBatcher::new(10, Duration::from_millis(5));
+        assert!(b.close().is_empty());
+        b.push('a', Instant::now());
+        b.push('b', Instant::now());
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.close(), vec!['a', 'b']);
+        assert!(b.is_empty());
+        assert!(b.deadline().is_none());
+        // Reusable after close.
+        b.push('c', Instant::now());
+        assert_eq!(b.len(), 1);
+        assert!(b.deadline().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_max_batch_is_rejected() {
+        MicroBatcher::<u8>::new(0, Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,133 @@
+//! What a serving run reports back.
+
+use std::collections::BTreeMap;
+
+use adsim_types::UserId;
+use treads_resilience::FaultReport;
+use treads_telemetry::Histogram;
+use websim::ExtensionLog;
+
+/// Counters from one serving run.
+///
+/// The simulation-side counters (`page_views`, `opportunities`,
+/// `impressions`, `pixel_fires`, `ticks`) mean exactly what they mean in
+/// [`treads_engine::EngineReport`] — under an equivalent opportunity
+/// stream with no shedding, they match it field for field. The
+/// serving-side counters partition every submitted request into served or
+/// shed (`requests == served + shed`), with the shed side further broken
+/// down by reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Shard workers the run used.
+    pub shards: u64,
+    /// Ticks closed (`ceil(horizon_ms / tick_ms)`, matching the engine).
+    pub ticks: u64,
+    /// Requests submitted (served + shed).
+    pub requests: u64,
+    /// Requests answered with a [`crate::ServedPage`].
+    pub served: u64,
+    /// Requests shed, all reasons combined.
+    pub shed: u64,
+    /// …shed by admission control (queue over the watermark).
+    pub shed_overload: u64,
+    /// …shed by a scheduled API brownout.
+    pub shed_brownout: u64,
+    /// …shed because the owning shard's tick degraded after an
+    /// unrecoverable crash.
+    pub shed_failure: u64,
+    /// …shed because the user is not registered on the platform.
+    pub shed_unknown_user: u64,
+    /// …shed because the request's timestamp is past the horizon.
+    pub shed_after_horizon: u64,
+    /// Page views auctioned (one per served request on a known site).
+    pub page_views: u64,
+    /// Impression opportunities auctioned (page views × slots).
+    pub opportunities: u64,
+    /// Impressions delivered and billed.
+    pub impressions: u64,
+    /// Pixel fires folded into the platform.
+    pub pixel_fires: u64,
+    /// Non-empty tick windows judged against the latency SLO.
+    pub slo_windows: u64,
+    /// Tick windows that breached it.
+    pub slo_breaches: u64,
+    /// End-to-end request latency (enqueue → decide → respond), over every
+    /// answered request.
+    pub latency: Histogram,
+}
+
+impl Default for ServingReport {
+    fn default() -> Self {
+        Self {
+            shards: 0,
+            ticks: 0,
+            requests: 0,
+            served: 0,
+            shed: 0,
+            shed_overload: 0,
+            shed_brownout: 0,
+            shed_failure: 0,
+            shed_unknown_user: 0,
+            shed_after_horizon: 0,
+            page_views: 0,
+            opportunities: 0,
+            impressions: 0,
+            pixel_fires: 0,
+            slo_windows: 0,
+            slo_breaches: 0,
+            latency: Histogram::latency_ns(),
+        }
+    }
+}
+
+impl ServingReport {
+    /// Fraction of submitted requests that were shed (0.0 when idle).
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.requests as f64
+        }
+    }
+
+    /// `[p50, p95, p99]` request latency, in nanoseconds.
+    pub fn latency_percentiles_ns(&self) -> [u64; 3] {
+        self.latency.percentiles()
+    }
+}
+
+/// Everything a serving run produces beyond the platform mutations.
+#[derive(Debug)]
+pub struct ServingOutcome {
+    /// Run counters.
+    pub report: ServingReport,
+    /// Extension logs of the users running the Treads extension.
+    pub extensions: BTreeMap<UserId, ExtensionLog>,
+    /// What was injected, recovered, and lost — the serving twin of the
+    /// batch supervisor's fault accounting.
+    pub faults: FaultReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_rate_handles_idle_and_busy() {
+        let mut r = ServingReport::default();
+        assert_eq!(r.shed_rate(), 0.0);
+        r.requests = 10;
+        r.shed = 4;
+        assert!((r.shed_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_defaults_to_the_latency_preset() {
+        let r = ServingReport::default();
+        assert_eq!(
+            r.latency.bounds(),
+            treads_telemetry::metrics::latency_bounds_ns().as_slice()
+        );
+        assert_eq!(r.latency_percentiles_ns(), [0, 0, 0]);
+    }
+}

@@ -1,0 +1,561 @@
+//! Shard workers: per-request decide against frozen tick state.
+//!
+//! A worker owns exactly the state its batch-engine twin
+//! ([`treads_engine::ShardState`]) owns — its users' auction RNGs and
+//! sequence counters, its frequency-cap counters, its extension logs — and
+//! replicates the per-page-view logic of `ShardState::run_tick` one
+//! request at a time: pixels first (each advancing the user's `seq`), then
+//! one decide per ad slot against the tick's frozen budget snapshot, with
+//! wins bumping the local frequency cap immediately and queueing an
+//! `Impression` event for the tick-close fold. Because the replicated
+//! logic and the owned state are identical, a serving tick's event batch
+//! is byte-identical to the batch engine's for the same opportunities.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adplatform::auction::AuctionOutcome;
+use adplatform::billing::BudgetSnapshot;
+use adplatform::delivery::{DeliveryScratch, DeliveryStats, FrequencyCaps};
+use adplatform::Platform;
+use adsim_types::rng::substream;
+use adsim_types::UserId;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use treads_engine::ShardEvent;
+use treads_resilience::{FaultPlan, LostWork};
+use treads_telemetry::Histogram;
+use treads_workload::ShardPlan;
+use websim::{ExtensionLog, SiteRegistry};
+
+use crate::batcher::MicroBatcher;
+use crate::request::{OpportunityRequest, RejectReason, Response, ServedPage};
+
+/// What the front end sends a shard worker.
+pub(crate) enum WorkerMsg {
+    /// Serve this request (enqueue into the micro-batcher).
+    Request(Envelope),
+    /// The simulated clock crossed a tick boundary: flush everything,
+    /// hand the tick's effects to the applier, and block until it resumes
+    /// the worker with the next tick's budget snapshot.
+    CloseTick {
+        /// End of the closing tick, in simulated milliseconds.
+        tick_end: u64,
+    },
+    /// The run is over; exit after the current state.
+    Shutdown,
+}
+
+/// A request in flight to its shard worker.
+pub(crate) struct Envelope {
+    /// The opportunity to serve.
+    pub req: OpportunityRequest,
+    /// Wall-clock instant the front end accepted the request; latency is
+    /// measured from here to the reply.
+    pub accepted: Instant,
+    /// Where the response goes (capacity-1 channel; never blocks).
+    pub reply: Sender<Response>,
+}
+
+/// Everything one shard accumulated over one tick, handed to the applier
+/// at the tick-close barrier. The serving twin of
+/// [`treads_engine::ShardBatch`].
+pub(crate) struct TickBatch {
+    pub shard: usize,
+    pub tick_end: u64,
+    /// Globally-visible effects, in shard-local production order.
+    pub events: Vec<ShardEvent>,
+    pub stats: DeliveryStats,
+    pub page_views: u64,
+    /// Requests this worker answered this tick (served + shed).
+    pub requests: u64,
+    pub shed: u64,
+    pub shed_failure: u64,
+    pub shed_unknown_user: u64,
+    /// Request latencies observed at reply time.
+    pub latency: Histogram,
+    /// Micro-batch close-out sizes.
+    pub batch_sizes: Histogram,
+    pub injected: u64,
+    pub recovered: u64,
+    pub unrecoverable: u64,
+    pub lost: Vec<LostWork>,
+}
+
+/// Tick-local accumulator, reset at every tick-close flush.
+struct TickAcc {
+    events: Vec<ShardEvent>,
+    stats: DeliveryStats,
+    page_views: u64,
+    requests: u64,
+    shed: u64,
+    shed_failure: u64,
+    shed_unknown_user: u64,
+    latency: Histogram,
+    batch_sizes: Histogram,
+    injected: u64,
+    recovered: u64,
+    unrecoverable: u64,
+    lost: Option<LostWork>,
+}
+
+impl TickAcc {
+    fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            stats: DeliveryStats::default(),
+            page_views: 0,
+            requests: 0,
+            shed: 0,
+            shed_failure: 0,
+            shed_unknown_user: 0,
+            latency: Histogram::latency_ns(),
+            batch_sizes: Histogram::small_values(),
+            injected: 0,
+            recovered: 0,
+            unrecoverable: 0,
+            lost: None,
+        }
+    }
+}
+
+/// One user's serving state: the same `(rng, seq)` pair its batch-engine
+/// runtime owns, created lazily on the user's first request.
+#[derive(Clone)]
+struct UserServe {
+    /// Auction randomness: substream `engine-user-{id}` of the master
+    /// seed — the identical stream the batch engine draws from.
+    rng: StdRng,
+    /// Per-user event counter; becomes the `user_seq` merge-key component.
+    seq: u64,
+}
+
+/// The user-owned state a crash attempt may half-mutate, frozen at
+/// micro-batch start so failing attempts can be rolled back byte-exactly.
+struct BatchSnapshot {
+    users: BTreeMap<UserId, UserServe>,
+    freq: FrequencyCaps,
+    extensions: BTreeMap<UserId, ExtensionLog>,
+    events_len: usize,
+    stats: DeliveryStats,
+    page_views: u64,
+}
+
+/// Everything a worker thread needs, bundled for the spawn call.
+///
+/// `'a` is the scope's borrow of the run-local lock and registries; `'p`
+/// is the platform borrow the lock protects. Keeping them separate lets
+/// the orchestrator reclaim the `&mut Platform` (via `into_inner`) once
+/// the scope's `'a` borrows end.
+pub(crate) struct WorkerContext<'a, 'p> {
+    pub shard: usize,
+    pub shards: usize,
+    pub seed: u64,
+    pub retry_after_ms: u64,
+    pub max_retries: u32,
+    pub faults: FaultPlan,
+    pub platform: &'a RwLock<&'p mut Platform>,
+    pub sites: &'a SiteRegistry,
+    pub extension_users: &'a BTreeSet<UserId>,
+    pub rx: Receiver<WorkerMsg>,
+    pub batch_tx: Sender<TickBatch>,
+    pub resume_rx: Receiver<Arc<BudgetSnapshot>>,
+    pub depth: Arc<AtomicU64>,
+    pub budget: Arc<BudgetSnapshot>,
+    pub max_batch: usize,
+    pub max_delay: Duration,
+}
+
+/// What a worker thread hands back when it exits.
+pub(crate) struct WorkerResult {
+    pub extensions: BTreeMap<UserId, ExtensionLog>,
+}
+
+/// Runs one shard worker to completion (entry point for the spawn).
+pub(crate) fn run_worker(ctx: WorkerContext<'_, '_>) -> WorkerResult {
+    Worker::new(ctx).run()
+}
+
+struct Worker<'a, 'p> {
+    shard: usize,
+    seed: u64,
+    retry_after_ms: u64,
+    max_retries: u32,
+    faults: FaultPlan,
+    platform: &'a RwLock<&'p mut Platform>,
+    sites: &'a SiteRegistry,
+    rx: Receiver<WorkerMsg>,
+    batch_tx: Sender<TickBatch>,
+    resume_rx: Receiver<Arc<BudgetSnapshot>>,
+    depth: Arc<AtomicU64>,
+    budget: Arc<BudgetSnapshot>,
+    batcher: MicroBatcher<Envelope>,
+    users: BTreeMap<UserId, UserServe>,
+    freq: FrequencyCaps,
+    extensions: BTreeMap<UserId, ExtensionLog>,
+    scratch: DeliveryScratch,
+    tick_index: u64,
+    /// Set when this tick's crash exhausted the retry budget: every
+    /// remaining request this tick sheds with `ShardFailure`.
+    tick_degraded: bool,
+    /// Failing attempts the fault plan schedules for this tick, consumed
+    /// by the first micro-batch that executes.
+    crash_pending: Option<u32>,
+    acc: TickAcc,
+}
+
+impl<'a, 'p> Worker<'a, 'p> {
+    fn new(ctx: WorkerContext<'a, 'p>) -> Self {
+        // Every extension user this shard owns gets a log up front — even
+        // one who never browses — mirroring `ShardState::new`, so outcome
+        // extension maps compare equal against the batch engine's.
+        let extensions = ctx
+            .extension_users
+            .iter()
+            .filter(|u| ShardPlan::shard_index(**u, ctx.shards) == ctx.shard)
+            .map(|&u| (u, ExtensionLog::for_user(u)))
+            .collect();
+        let frequency_cap = {
+            let guard = ctx.platform.read();
+            guard.config.frequency_cap
+        };
+        let mut worker = Self {
+            shard: ctx.shard,
+            seed: ctx.seed,
+            retry_after_ms: ctx.retry_after_ms,
+            max_retries: ctx.max_retries,
+            faults: ctx.faults,
+            platform: ctx.platform,
+            sites: ctx.sites,
+            rx: ctx.rx,
+            batch_tx: ctx.batch_tx,
+            resume_rx: ctx.resume_rx,
+            depth: ctx.depth,
+            budget: ctx.budget,
+            batcher: MicroBatcher::new(ctx.max_batch, ctx.max_delay),
+            users: BTreeMap::new(),
+            freq: FrequencyCaps::new(frequency_cap),
+            extensions,
+            scratch: DeliveryScratch::new(),
+            tick_index: 0,
+            tick_degraded: false,
+            crash_pending: None,
+            acc: TickAcc::new(),
+        };
+        worker.crash_pending = worker.scheduled_crash();
+        worker
+    }
+
+    /// The failing-attempt count the fault plan schedules for this shard
+    /// on the current tick, if any.
+    fn scheduled_crash(&self) -> Option<u32> {
+        self.faults
+            .crashes_at(self.tick_index)
+            .into_iter()
+            .find(|(shard, _)| *shard == self.shard)
+            .map(|(_, attempts)| attempts)
+    }
+
+    fn run(mut self) -> WorkerResult {
+        loop {
+            let msg = if self.batcher.is_empty() {
+                match self.rx.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                }
+            } else {
+                // A batch is pending: wait at most until its deadline,
+                // then close it on age.
+                let deadline = self
+                    .batcher
+                    .deadline()
+                    .expect("a non-empty batch has a deadline");
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                match self.rx.recv_timeout(timeout) {
+                    Ok(msg) => msg,
+                    Err(RecvTimeoutError::Timeout) => {
+                        let batch = self.batcher.close();
+                        self.process_batch(&batch);
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            };
+            match msg {
+                WorkerMsg::Request(env) => {
+                    if let Some(batch) = self.batcher.push(env, Instant::now()) {
+                        self.process_batch(&batch);
+                    }
+                }
+                WorkerMsg::CloseTick { tick_end } => {
+                    let rest = self.batcher.close();
+                    self.process_batch(&rest);
+                    let tick = self.flush_tick(tick_end);
+                    if self.batch_tx.send(tick).is_err() {
+                        break;
+                    }
+                    // Barrier: block until the applier has folded every
+                    // shard's batch and refrozen the budget.
+                    match self.resume_rx.recv() {
+                        Ok(snapshot) => {
+                            self.budget = snapshot;
+                            self.tick_index += 1;
+                            self.tick_degraded = false;
+                            self.crash_pending = self.scheduled_crash();
+                        }
+                        Err(_) => break,
+                    }
+                }
+                WorkerMsg::Shutdown => break,
+            }
+        }
+        WorkerResult {
+            extensions: self.extensions,
+        }
+    }
+
+    /// Executes one closed micro-batch, injecting any crash the fault plan
+    /// scheduled for this tick (crashes strike the tick's first batch).
+    fn process_batch(&mut self, batch: &[Envelope]) {
+        if batch.is_empty() {
+            return;
+        }
+        // Count requests before any crash handling: a restored snapshot
+        // must not forget that these requests arrived.
+        self.acc.requests += batch.len() as u64;
+        self.acc.batch_sizes.observe(batch.len() as u64);
+        if self.tick_degraded {
+            self.shed_batch(batch);
+            return;
+        }
+        if let Some(attempts) = self.crash_pending.take() {
+            if attempts > self.max_retries {
+                // Attempt 0 and every granted retry die: degrade the rest
+                // of the tick to load shedding instead of panicking.
+                self.acc.injected += u64::from(self.max_retries) + 1;
+                self.acc.unrecoverable += 1;
+                self.tick_degraded = true;
+                self.shed_batch(batch);
+                return;
+            }
+            // Recoverable: each failing attempt executes a prefix of the
+            // batch against real state — dying one request deeper each
+            // time, the most hostile partial mutation — and is rolled
+            // back to the batch-start snapshot before the next try.
+            let snapshot = self.snapshot();
+            {
+                let guard = self.platform.read();
+                let platform: &Platform = &guard;
+                for attempt in 0..attempts {
+                    let prefix = (attempt as usize + 1).min(batch.len());
+                    for env in &batch[..prefix] {
+                        self.serve_one(platform, env, false);
+                    }
+                    self.restore(&snapshot);
+                    self.acc.injected += 1;
+                }
+            }
+            self.acc.recovered += 1;
+        }
+        let guard = self.platform.read();
+        let platform: &Platform = &guard;
+        for env in batch {
+            self.serve_one(platform, env, true);
+        }
+    }
+
+    /// Serves one request. With `deliver` false (crash-replay attempts)
+    /// the simulation state mutates identically but no response is sent,
+    /// no latency is observed, and the queue depth is untouched — the
+    /// attempt will be rolled back wholesale.
+    fn serve_one(&mut self, platform: &Platform, env: &Envelope, deliver: bool) {
+        let req = env.req;
+        // Unknown users are rejected before any state moves (the batch
+        // engine never generates them; a serving client can).
+        if platform.profiles.get(req.user).is_err() {
+            if deliver {
+                self.acc.shed += 1;
+                self.acc.shed_unknown_user += 1;
+                self.reply(
+                    env,
+                    Response::Rejected {
+                        reason: RejectReason::UnknownUser,
+                        retry_after_ms: 0,
+                    },
+                );
+            }
+            return;
+        }
+        // Unknown sites are served an empty page without simulating —
+        // `ShardState::run_tick` skips them without counting, and the
+        // event batches must agree.
+        let site = match self.sites.get(req.site) {
+            Some(site) => site,
+            None => {
+                if deliver {
+                    self.reply(
+                        env,
+                        Response::Served(ServedPage {
+                            at: req.at,
+                            ads: Vec::new(),
+                            slots: 0,
+                        }),
+                    );
+                }
+                return;
+            }
+        };
+        self.acc.page_views += 1;
+        let seed = self.seed;
+        let user = self.users.entry(req.user).or_insert_with(|| UserServe {
+            rng: substream(seed, &format!("engine-user-{}", req.user.raw())),
+            seq: 0,
+        });
+        for &pixel in &site.pixels {
+            self.acc.events.push(ShardEvent::PixelFire {
+                at: req.at,
+                user: req.user,
+                user_seq: user.seq,
+                pixel,
+            });
+            user.seq += 1;
+        }
+        let mut ads = Vec::with_capacity(usize::from(site.ad_slots_per_view));
+        for _ in 0..site.ad_slots_per_view {
+            self.acc.stats.opportunities += 1;
+            let traced = platform
+                .decide_browse_traced_with_scratch(
+                    req.user,
+                    req.at,
+                    self.budget.as_ref(),
+                    &self.freq,
+                    &mut user.rng,
+                    &mut self.scratch,
+                )
+                .expect("user profile was checked above");
+            match traced.decision.outcome {
+                AuctionOutcome::Won { .. } => {
+                    self.acc.stats.won += 1;
+                    let pending = traced
+                        .decision
+                        .pending
+                        .expect("a win carries an impression");
+                    // The local cap counter advances immediately so later
+                    // requests this tick see it; the platform's global
+                    // counter catches up at the tick-close fold.
+                    self.freq.bump(pending.ad, req.user);
+                    if let Some(log) = self.extensions.get_mut(&req.user) {
+                        let creative = platform
+                            .campaigns
+                            .ad(pending.ad)
+                            .expect("won ad exists")
+                            .creative
+                            .clone();
+                        log.observe(pending.ad, creative, req.at);
+                    }
+                    self.acc.events.push(ShardEvent::Impression {
+                        at: req.at,
+                        user: req.user,
+                        user_seq: user.seq,
+                        pending,
+                    });
+                    user.seq += 1;
+                    ads.push(pending.ad);
+                }
+                AuctionOutcome::LostToBackground => self.acc.stats.lost_to_background += 1,
+                AuctionOutcome::Unfilled => self.acc.stats.unfilled += 1,
+            }
+        }
+        if deliver {
+            self.reply(
+                env,
+                Response::Served(ServedPage {
+                    at: req.at,
+                    ads,
+                    slots: u32::from(site.ad_slots_per_view),
+                }),
+            );
+        }
+    }
+
+    /// Sheds a whole batch with `ShardFailure`, itemizing the abandoned
+    /// work exactly as the batch supervisor's `skip_tick` does.
+    fn shed_batch(&mut self, batch: &[Envelope]) {
+        for env in batch {
+            self.acc.shed += 1;
+            self.acc.shed_failure += 1;
+            if let Some(site) = self.sites.get(env.req.site) {
+                let lost = self.acc.lost.get_or_insert_with(|| LostWork {
+                    tick: self.tick_index,
+                    shard: self.shard,
+                    ..LostWork::default()
+                });
+                lost.page_views += 1;
+                lost.pixel_fires += site.pixels.len() as u64;
+                lost.opportunities += u64::from(site.ad_slots_per_view);
+            }
+            self.reply(
+                env,
+                Response::Rejected {
+                    reason: RejectReason::ShardFailure,
+                    retry_after_ms: self.retry_after_ms,
+                },
+            );
+        }
+    }
+
+    /// Sends the response, observing end-to-end latency and releasing the
+    /// request's admission-queue slot. Exactly once per envelope.
+    fn reply(&mut self, env: &Envelope, response: Response) {
+        self.acc
+            .latency
+            .observe(env.accepted.elapsed().as_nanos() as u64);
+        // A dropped ticket (client gave up) is not an error.
+        let _ = env.reply.send(response);
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn snapshot(&self) -> BatchSnapshot {
+        BatchSnapshot {
+            users: self.users.clone(),
+            freq: self.freq.clone(),
+            extensions: self.extensions.clone(),
+            events_len: self.acc.events.len(),
+            stats: self.acc.stats,
+            page_views: self.acc.page_views,
+        }
+    }
+
+    fn restore(&mut self, snapshot: &BatchSnapshot) {
+        self.users = snapshot.users.clone();
+        self.freq = snapshot.freq.clone();
+        self.extensions = snapshot.extensions.clone();
+        self.acc.events.truncate(snapshot.events_len);
+        self.acc.stats = snapshot.stats;
+        self.acc.page_views = snapshot.page_views;
+    }
+
+    fn flush_tick(&mut self, tick_end: u64) -> TickBatch {
+        let acc = std::mem::replace(&mut self.acc, TickAcc::new());
+        TickBatch {
+            shard: self.shard,
+            tick_end,
+            events: acc.events,
+            stats: acc.stats,
+            page_views: acc.page_views,
+            requests: acc.requests,
+            shed: acc.shed,
+            shed_failure: acc.shed_failure,
+            shed_unknown_user: acc.shed_unknown_user,
+            latency: acc.latency,
+            batch_sizes: acc.batch_sizes,
+            injected: acc.injected,
+            recovered: acc.recovered,
+            unrecoverable: acc.unrecoverable,
+            lost: acc.lost.into_iter().collect(),
+        }
+    }
+}

@@ -32,11 +32,13 @@
 
 pub mod flight;
 pub mod metrics;
+pub mod slo;
 pub mod snapshot;
 pub mod span;
 
 pub use flight::{FlightEvent, FlightKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use metrics::{Histogram, Registry};
+pub use slo::{SloTarget, SloTracker};
 pub use span::SpanTimer;
 
 /// The bundled telemetry handle: a metrics [`Registry`], a

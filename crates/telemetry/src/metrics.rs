@@ -24,6 +24,30 @@ pub fn small_value_bounds() -> Vec<u64> {
     b
 }
 
+/// Bucket bounds for request-scale latencies, in nanoseconds: a 1–2–5
+/// decade ladder from 250 ns to 5 s (23 bounds + overflow).
+///
+/// [`time_bounds_ns`] starts at 1 µs with power-of-two steps — the right
+/// shape for tick-scale (ms–100s of ms) phase timings, but sub-millisecond
+/// serving requests would pile into its bottom buckets with ~2× resolution
+/// at best. This ladder resolves the sub-millisecond range in 1–2–5 steps
+/// while still reaching seconds for queueing pathologies.
+pub fn latency_bounds_ns() -> Vec<u64> {
+    let mut b = vec![250, 500];
+    for decade in [
+        1_000u64,      // 1 µs
+        10_000,        // 10 µs
+        100_000,       // 100 µs
+        1_000_000,     // 1 ms
+        10_000_000,    // 10 ms
+        100_000_000,   // 100 ms
+        1_000_000_000, // 1 s
+    ] {
+        b.extend([decade, decade * 2, decade * 5]);
+    }
+    b
+}
+
 /// A fixed-bucket histogram over `u64` observations.
 ///
 /// Buckets are defined by strictly increasing upper bounds (inclusive,
@@ -69,6 +93,12 @@ impl Histogram {
     /// A histogram shaped for small counts (see [`small_value_bounds`]).
     pub fn small_values() -> Self {
         Self::with_bounds(small_value_bounds())
+    }
+
+    /// A histogram shaped for per-request latencies
+    /// (see [`latency_bounds_ns`]).
+    pub fn latency_ns() -> Self {
+        Self::with_bounds(latency_bounds_ns())
     }
 
     /// Records one observation.
@@ -216,6 +246,15 @@ impl Registry {
             .observe(value);
     }
 
+    /// Records a per-request latency observation in nanoseconds
+    /// (auto-registering a [`Histogram::latency_ns`]-shaped histogram).
+    pub fn observe_latency_ns(&mut self, name: &'static str, ns: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(Histogram::latency_ns)
+            .observe(ns);
+    }
+
     /// Folds a locally-accumulated histogram into the named one (created
     /// empty with `h`'s bounds if absent). Hot loops observe into a local
     /// [`Histogram`] and flush once, instead of paying a name lookup per
@@ -303,6 +342,62 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn latency_bounds_are_pinned() {
+        // The serving SLO math and every dashboard bucket label depend on
+        // these exact boundaries — pin them.
+        assert_eq!(
+            latency_bounds_ns(),
+            vec![
+                250,
+                500,
+                1_000,
+                2_000,
+                5_000,
+                10_000,
+                20_000,
+                50_000,
+                100_000,
+                200_000,
+                500_000,
+                1_000_000,
+                2_000_000,
+                5_000_000,
+                10_000_000,
+                20_000_000,
+                50_000_000,
+                100_000_000,
+                200_000_000,
+                500_000_000,
+                1_000_000_000,
+                2_000_000_000,
+                5_000_000_000,
+            ]
+        );
+        let h = Histogram::latency_ns();
+        assert_eq!(h.bounds(), latency_bounds_ns().as_slice());
+        // Strictly increasing (the Histogram constructor asserts this too,
+        // but the preset should never get near that assert).
+        assert!(latency_bounds_ns().windows(2).all(|w| w[0] < w[1]));
+        // Sub-millisecond observations resolve into distinct buckets
+        // instead of collapsing into the bottom of the tick-scale preset.
+        let mut h = Histogram::latency_ns();
+        for v in [300u64, 700, 3_000, 30_000, 300_000] {
+            h.observe(v);
+        }
+        let occupied = h.bucket_counts().iter().filter(|&&c| c > 0).count();
+        assert_eq!(occupied, 5);
+    }
+
+    #[test]
+    fn registry_observe_latency_uses_latency_shape() {
+        let mut r = Registry::new();
+        r.observe_latency_ns("serving.request_latency_ns", 750);
+        let h = r.histogram("serving.request_latency_ns").expect("recorded");
+        assert_eq!(h.bounds(), latency_bounds_ns().as_slice());
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

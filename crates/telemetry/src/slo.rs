@@ -1,0 +1,167 @@
+//! Latency SLO tracking.
+//!
+//! An [`SloTracker`] holds one quantile objective — e.g. *p99 < 20 ms* —
+//! and judges successive observation windows against it. The serving front
+//! end feeds it one window per tick (the tick's merged request-latency
+//! [`Histogram`]); each window either meets the objective or counts as a
+//! breach, and the tracker keeps exact breach/window tallies plus the
+//! worst quantile estimate seen. Like everything in this crate it is a
+//! plain owned value: no clocks, no globals, no feedback into simulation
+//! state.
+
+use crate::metrics::Histogram;
+
+/// A quantile latency objective: "the `quantile` of request latency stays
+/// at or under `target_ns`".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTarget {
+    /// The judged quantile, in (0, 1] — e.g. `0.99`.
+    pub quantile: f64,
+    /// The latency budget for that quantile, in nanoseconds.
+    pub target_ns: u64,
+}
+
+impl SloTarget {
+    /// A p99 objective of `ms` milliseconds.
+    pub fn p99_ms(ms: u64) -> Self {
+        Self {
+            quantile: 0.99,
+            target_ns: ms * 1_000_000,
+        }
+    }
+}
+
+/// Judges observation windows against an [`SloTarget`], tallying breaches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTracker {
+    target: SloTarget,
+    windows: u64,
+    breaches: u64,
+    worst_ns: u64,
+}
+
+impl SloTracker {
+    /// A tracker for `target` with zeroed tallies.
+    pub fn new(target: SloTarget) -> Self {
+        assert!(
+            target.quantile > 0.0 && target.quantile <= 1.0,
+            "SLO quantile must be in (0, 1]"
+        );
+        Self {
+            target,
+            windows: 0,
+            breaches: 0,
+            worst_ns: 0,
+        }
+    }
+
+    /// The objective being tracked.
+    pub fn target(&self) -> SloTarget {
+        self.target
+    }
+
+    /// Judges one window of latencies; returns `true` if the window
+    /// breached the objective. Empty windows (no requests) are skipped
+    /// entirely — they neither meet nor breach.
+    pub fn observe_window(&mut self, latency: &Histogram) -> bool {
+        if latency.count() == 0 {
+            return false;
+        }
+        self.windows += 1;
+        let estimate = latency.quantile(self.target.quantile);
+        self.worst_ns = self.worst_ns.max(estimate);
+        if estimate > self.target.target_ns {
+            self.breaches += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Non-empty windows judged so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Windows that breached the objective.
+    pub fn breaches(&self) -> u64 {
+        self.breaches
+    }
+
+    /// The worst per-window quantile estimate seen, in nanoseconds.
+    pub fn worst_ns(&self) -> u64 {
+        self.worst_ns
+    }
+
+    /// Fraction of judged windows that met the objective (1.0 with no
+    /// windows: an idle service has not failed its SLO).
+    pub fn compliance(&self) -> f64 {
+        if self.windows == 0 {
+            1.0
+        } else {
+            (self.windows - self.breaches) as f64 / self.windows as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_of(ns: &[u64]) -> Histogram {
+        let mut h = Histogram::latency_ns();
+        for &v in ns {
+            h.observe(v);
+        }
+        h
+    }
+
+    #[test]
+    fn meets_and_breaches_are_tallied() {
+        let mut slo = SloTracker::new(SloTarget::p99_ms(20));
+        assert_eq!(slo.target().target_ns, 20_000_000);
+        // Well under budget.
+        assert!(!slo.observe_window(&window_of(&[100_000, 200_000, 500_000])));
+        // Far over budget: every request took 100 ms.
+        assert!(slo.observe_window(&window_of(&[100_000_000; 10])));
+        assert_eq!(slo.windows(), 2);
+        assert_eq!(slo.breaches(), 1);
+        assert_eq!(slo.compliance(), 0.5);
+        assert!(slo.worst_ns() >= 100_000_000);
+    }
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        let mut slo = SloTracker::new(SloTarget::p99_ms(1));
+        assert!(!slo.observe_window(&Histogram::latency_ns()));
+        assert_eq!(slo.windows(), 0);
+        assert_eq!(slo.breaches(), 0);
+        assert_eq!(slo.compliance(), 1.0);
+    }
+
+    #[test]
+    fn tail_outlier_breaches_p99_but_not_p50() {
+        // 98 fast requests and two 1 s stragglers: the p99 estimate lands
+        // in the stragglers' bucket, so a p99 objective breaches while a
+        // p50 objective of the same budget does not.
+        let mut window = window_of(&[50_000; 98]);
+        window.observe(1_000_000_000);
+        window.observe(1_000_000_000);
+        let mut p99 = SloTracker::new(SloTarget::p99_ms(20));
+        assert!(p99.observe_window(&window));
+        let mut p50 = SloTracker::new(SloTarget {
+            quantile: 0.50,
+            target_ns: 20_000_000,
+        });
+        assert!(!p50.observe_window(&window));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn zero_quantile_is_rejected() {
+        SloTracker::new(SloTarget {
+            quantile: 0.0,
+            target_ns: 1,
+        });
+    }
+}

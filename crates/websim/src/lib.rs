@@ -23,11 +23,13 @@
 pub mod cookies;
 pub mod extension;
 pub mod landing;
+pub mod loadgen;
 pub mod session;
 pub mod site;
 
 pub use cookies::{CookieJar, CookiePolicy};
 pub use extension::{ExtensionLog, ObservedAd};
 pub use landing::{LandingPage, LandingServer, VisitRecord};
+pub use loadgen::{Arrival, ArrivalSchedule, Burst, LoadProfile};
 pub use session::{BrowsingEvent, SessionConfig, SessionSchedule};
 pub use site::{Site, SiteRegistry};

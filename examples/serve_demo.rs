@@ -1,0 +1,142 @@
+//! Online serving in miniature: one simulated day of ad requests through
+//! the request-driven front end.
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+//!
+//! The batch engine answers "what happened over the horizon?"; the
+//! serving stack answers each impression opportunity *as it arrives* —
+//! micro-batched onto the same decide/apply machinery, with admission
+//! control and per-request latency tracking. This demo boots a small
+//! platform, offers it an open-loop Poisson day of traffic, prints the
+//! latency/SLO summary, and writes the full telemetry snapshot to
+//! `experiments-out/telemetry_serving.json` (the CI serving-smoke step
+//! validates that file with `scripts/check_telemetry_snapshot.py
+//! --serving`).
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use treads_repro::adplatform::campaign::AdCreative;
+use treads_repro::adplatform::profile::Gender;
+use treads_repro::adplatform::targeting::{TargetingExpr, TargetingSpec};
+use treads_repro::adplatform::{Platform, PlatformConfig};
+use treads_repro::adsim_types::{Money, UserId};
+use treads_repro::engine::{ResilienceOptions, DAY_MS};
+use treads_repro::serving::{OpportunityRequest, ServingConfig, ServingEngine};
+use treads_repro::telemetry::Telemetry;
+use treads_repro::websim::{ArrivalSchedule, LoadProfile, SiteRegistry};
+
+fn main() {
+    let seed = 42;
+
+    // 1. A small platform: one advertiser, one everyone-targeted campaign.
+    let mut platform = Platform::us_2018(PlatformConfig::facebook_like(seed));
+    let advertiser = platform.register_advertiser("Demo Shoes Inc.");
+    let account = platform.open_account(advertiser).expect("account");
+    let campaign = platform
+        .create_campaign(account, "spring sale", Money::dollars(8), None)
+        .expect("campaign");
+    platform
+        .submit_ad(
+            campaign,
+            AdCreative::text("Spring sale", "30% off everything"),
+            TargetingSpec::including(TargetingExpr::Everyone),
+        )
+        .expect("ad");
+    let users: Vec<UserId> = (0..200)
+        .map(|i| platform.register_user(20 + (i % 50) as u8, Gender::Female, "Ohio", "43004"))
+        .collect();
+    let mut sites = SiteRegistry::new();
+    sites.create("news.example", 2);
+    sites.create("blog.example", 1);
+
+    // 2. One simulated day of open-loop traffic: Poisson arrivals with a
+    //    diurnal curve, generated up front so the demo is reproducible.
+    let profile = LoadProfile {
+        base_rps: 0.25,
+        diurnal_amplitude: 0.5,
+        bursts: vec![],
+        horizon_ms: DAY_MS,
+    };
+    let arrivals = ArrivalSchedule::open_loop(&users, &sites.ids(), &profile, seed);
+    println!(
+        "offering {} requests over one simulated day",
+        arrivals.len()
+    );
+
+    // 3. Serve them: 2 shard workers, hourly ticks, 32-request
+    //    micro-batches that close after at most 200 µs of waiting.
+    let engine = ServingEngine::new(ServingConfig {
+        shards: 2,
+        tick_ms: DAY_MS / 24,
+        horizon_ms: DAY_MS,
+        seed,
+        max_batch: 32,
+        max_delay: Duration::from_micros(200),
+        ..ServingConfig::default()
+    });
+    let mut telemetry = Telemetry::new();
+    let (outcome, served) = engine.serve_with_telemetry(
+        &mut platform,
+        &sites,
+        &BTreeSet::new(),
+        &ResilienceOptions::default(),
+        &mut telemetry,
+        |frontend| {
+            let tickets: Vec<_> = arrivals
+                .arrivals()
+                .iter()
+                .map(|a| {
+                    frontend.submit(OpportunityRequest {
+                        user: a.user,
+                        site: a.site,
+                        at: a.at,
+                    })
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait())
+                .filter(|r| r.is_served())
+                .count()
+        },
+    );
+
+    // 4. What happened?
+    let r = &outcome.report;
+    println!(
+        "served {served}/{} requests across {} ticks: {} impressions, {} shed",
+        r.requests, r.ticks, r.impressions, r.shed
+    );
+    let lat = &r.latency;
+    println!(
+        "latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms over {} requests",
+        lat.quantile(0.50) as f64 / 1e6,
+        lat.quantile(0.95) as f64 / 1e6,
+        lat.quantile(0.99) as f64 / 1e6,
+        lat.count(),
+    );
+    println!(
+        "SLO p99 < {} ms: {} breach(es) in {} tick windows",
+        ServingConfig::default().slo.target_ns / 1_000_000,
+        r.slo_breaches,
+        r.slo_windows,
+    );
+
+    // 5. Persist the telemetry snapshot for the CI smoke check.
+    std::fs::create_dir_all("experiments-out").expect("create experiments-out/");
+    std::fs::write(
+        "experiments-out/telemetry_serving.json",
+        telemetry.snapshot_json(),
+    )
+    .expect("write telemetry snapshot");
+    println!("wrote experiments-out/telemetry_serving.json");
+
+    assert_eq!(
+        served as u64 + r.shed,
+        r.requests,
+        "every request accounted"
+    );
+}

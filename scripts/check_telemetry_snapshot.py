@@ -2,17 +2,26 @@
 """Validate a treads-telemetry JSON snapshot.
 
 Used by CI after an instrumented simulation run: checks that the snapshot
-parses as JSON and contains the metric catalog an engine run must emit
-(see DESIGN.md "Observability"). Exits non-zero with a diagnostic when a
+parses as JSON and contains the metric catalog the run must emit (see
+DESIGN.md "Observability"). Exits non-zero with a diagnostic when a
 required key is missing or a histogram is empty.
 
-Usage: check_telemetry_snapshot.py <snapshot.json>
+Two modes:
+
+  check_telemetry_snapshot.py <snapshot.json>
+      Batch-engine catalog: per-phase timing histograms, index and
+      eligibility counters, auction_decided flight events.
+
+  check_telemetry_snapshot.py --serving <snapshot.json>
+      Serving catalog (DESIGN.md §12): request/shed/SLO counters and the
+      per-request latency + micro-batch size histograms. The serving path
+      runs no timed engine phases, so those histograms are NOT required.
 """
 
 import json
 import sys
 
-REQUIRED_COUNTERS = [
+ENGINE_COUNTERS = [
     "engine.ticks",
     "engine.page_views",
     "engine.impressions",
@@ -34,7 +43,7 @@ REQUIRED_COUNTERS = [
     "checkpoint.bytes",
 ]
 
-REQUIRED_HISTOGRAMS = [
+ENGINE_HISTOGRAMS = [
     "engine.tick_ns",
     "phase.session_gen_ns",
     "phase.auction_ns",
@@ -43,6 +52,27 @@ REQUIRED_HISTOGRAMS = [
     "phase.apply_ns",
     "auction.eligible_bids",
     "index.candidate_set_size",
+]
+
+# The serving front end's catalog: request accounting, SLO verdicts, and
+# the wall-clock shape of the request path. Fault counters stay required —
+# the serving stack always runs under the supervisor's fault plan.
+SERVING_COUNTERS = [
+    "engine.ticks",
+    "engine.page_views",
+    "engine.impressions",
+    "auction.won",
+    "serving.requests",
+    "serving.shed",
+    "serving.slo_breach",
+    "faults.injected",
+    "faults.recovered",
+    "faults.unrecoverable",
+]
+
+SERVING_HISTOGRAMS = [
+    "serving.request_latency_ns",
+    "serving.batch_size",
 ]
 
 HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "p50", "p95", "p99", "buckets"]
@@ -54,9 +84,12 @@ def fail(msg: str) -> None:
 
 
 def main() -> None:
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <snapshot.json>")
-    path = sys.argv[1]
+    args = sys.argv[1:]
+    serving = "--serving" in args
+    args = [a for a in args if a != "--serving"]
+    if len(args) != 1:
+        fail(f"usage: {sys.argv[0]} [--serving] <snapshot.json>")
+    path = args[0]
     try:
         with open(path, encoding="utf-8") as f:
             snap = json.load(f)
@@ -66,21 +99,29 @@ def main() -> None:
     if snap.get("enabled") is not True:
         fail("snapshot says telemetry was not enabled")
 
+    required_counters = SERVING_COUNTERS if serving else ENGINE_COUNTERS
+    required_histograms = SERVING_HISTOGRAMS if serving else ENGINE_HISTOGRAMS
+
     counters = snap.get("counters")
     if not isinstance(counters, dict):
         fail("missing 'counters' object")
-    for name in REQUIRED_COUNTERS:
+    for name in required_counters:
         if name not in counters:
             fail(f"missing counter '{name}' (have: {sorted(counters)})")
         if not isinstance(counters[name], int) or counters[name] < 0:
             fail(f"counter '{name}' is not a non-negative integer")
     if counters["engine.impressions"] == 0:
         fail("instrumented run delivered no impressions")
+    if serving:
+        if counters["serving.requests"] == 0:
+            fail("serving run answered no requests")
+        if counters["serving.requests"] < counters["serving.shed"]:
+            fail("serving.shed exceeds serving.requests")
 
     histograms = snap.get("histograms")
     if not isinstance(histograms, dict):
         fail("missing 'histograms' object")
-    for name in REQUIRED_HISTOGRAMS:
+    for name in required_histograms:
         if name not in histograms:
             fail(f"missing histogram '{name}' (have: {sorted(histograms)})")
         h = histograms[name]
@@ -93,18 +134,28 @@ def main() -> None:
             fail(f"histogram '{name}' quantiles are not monotone: {h}")
         if not any(b.get("le") == "+Inf" for b in h["buckets"]):
             fail(f"histogram '{name}' lacks a +Inf bucket")
+    if serving:
+        lat = histograms["serving.request_latency_ns"]
+        if lat["count"] != counters["serving.requests"] - counters["serving.shed"]:
+            fail(
+                "serving.request_latency_ns count "
+                f"({lat['count']}) != served requests "
+                f"({counters['serving.requests'] - counters['serving.shed']})"
+            )
 
     flight = snap.get("flight")
     if not isinstance(flight, dict) or "events" not in flight:
         fail("missing 'flight' journal")
     if not flight["events"]:
         fail("flight journal is empty")
-    kinds = {e.get("kind") for e in flight["events"]}
-    if "auction_decided" not in kinds:
-        fail(f"flight journal has no auction_decided events (kinds: {sorted(kinds)})")
+    if not serving:
+        kinds = {e.get("kind") for e in flight["events"]}
+        if "auction_decided" not in kinds:
+            fail(f"flight journal has no auction_decided events (kinds: {sorted(kinds)})")
 
+    mode = "serving" if serving else "engine"
     print(
-        f"OK: {path}: {len(counters)} counters, {len(histograms)} histograms, "
+        f"OK ({mode}): {path}: {len(counters)} counters, {len(histograms)} histograms, "
         f"{len(flight['events'])} flight events "
         f"({counters['engine.impressions']} impressions over {counters['engine.ticks']} ticks)"
     )

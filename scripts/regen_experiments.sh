@@ -28,6 +28,7 @@ experiments=(
   e13_portability
   e14_time_to_reveal
   e15_engine_scale
+  e18_serving
 )
 
 cargo build --release -p treads-bench --bins

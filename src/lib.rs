@@ -12,6 +12,7 @@ pub use treads_broker as broker;
 pub use treads_core as treads;
 pub use treads_engine as engine;
 pub use treads_resilience as resilience;
+pub use treads_serving as serving;
 pub use treads_telemetry as telemetry;
 pub use treads_workload as workload;
 pub use websim;

@@ -24,12 +24,17 @@ use treads_repro::adplatform::compiled::EvalMode;
 use treads_repro::adplatform::reporting::{AdReport, Impression};
 use treads_repro::adsim_types::UserId;
 use treads_repro::engine::{
-    Engine, EngineCheckpoint, EngineConfig, EngineReport, FaultPlan, FaultReport, ResilienceOptions,
+    Engine, EngineCheckpoint, EngineConfig, EngineReport, FaultPlan, FaultReport,
+    ResilienceOptions, DAY_MS,
 };
+use treads_repro::serving::{
+    OpportunityRequest, RejectReason, Response, ServingConfig, ServingEngine, ServingReport, Ticket,
+};
+use treads_repro::telemetry::Telemetry;
 use treads_repro::treads::encoding::Encoding;
 use treads_repro::treads::planner::CampaignPlan;
 use treads_repro::treads::TreadClient;
-use treads_repro::websim::{SessionConfig, SiteRegistry};
+use treads_repro::websim::{ArrivalSchedule, ExtensionLog, SessionConfig, SiteRegistry};
 use treads_repro::workload::CohortScenario;
 
 const SEED: u64 = 31;
@@ -318,6 +323,182 @@ fn compiled_resume_matches_tree_and_compiled_full_runs() {
             "resumed run retakes later checkpoints byte-for-byte ({shards} shards)"
         );
     }
+}
+
+/// Durable outputs of one serving run over the chaos scenario.
+struct ServingRun {
+    invoices: Vec<Invoice>,
+    log: Vec<Impression>,
+    extensions: BTreeMap<UserId, ExtensionLog>,
+    report: ServingReport,
+    faults: FaultReport,
+    responses: Vec<Response>,
+}
+
+/// One serving run over the same scenario family as [`run`], offering the
+/// engine's own session stream request-by-request under `options.faults`.
+fn serving_run(shards: usize, options: &ResilienceOptions) -> ServingRun {
+    const SERVING_DAYS: u64 = 2;
+    let mut s = CohortScenario::setup(SEED, 40, 20);
+    let names: Vec<String> = s
+        .platform
+        .attributes
+        .partner_attributes()
+        .iter()
+        .take(12)
+        .map(|d| d.name.clone())
+        .collect();
+    let plan = CampaignPlan::binary_in_ad("chaos", &names, Encoding::CodebookToken);
+    s.provider
+        .run_plan(&mut s.platform, &plan, s.optin_audience)
+        .expect("plan runs");
+
+    let mut sites = SiteRegistry::new();
+    sites.create("feed.example", 2);
+    sites.create("news.example", 1);
+    let session = SessionConfig {
+        views_per_user_per_day: 6.0,
+        days: SERVING_DAYS,
+    };
+    let arrivals = ArrivalSchedule::from_sessions(&s.users, &sites.ids(), &session, SEED);
+
+    let engine = ServingEngine::new(ServingConfig {
+        shards,
+        tick_ms: DAY_MS,
+        horizon_ms: SERVING_DAYS * DAY_MS,
+        seed: SEED,
+        queue_watermark: u64::MAX,
+        ..ServingConfig::default()
+    });
+    let extension_users: BTreeSet<UserId> = s.opted_in.iter().copied().collect();
+    let mut telemetry = Telemetry::disabled();
+    let (outcome, responses) = engine.serve_with_telemetry(
+        &mut s.platform,
+        &sites,
+        &extension_users,
+        options,
+        &mut telemetry,
+        |frontend| {
+            let tickets: Vec<_> = arrivals
+                .arrivals()
+                .iter()
+                .map(|a| {
+                    frontend.submit(OpportunityRequest {
+                        user: a.user,
+                        site: a.site,
+                        at: a.at,
+                    })
+                })
+                .collect();
+            tickets.into_iter().map(Ticket::wait).collect::<Vec<_>>()
+        },
+    );
+    ServingRun {
+        invoices: s
+            .provider
+            .accounts
+            .iter()
+            .map(|&a| s.platform.invoice(a))
+            .collect(),
+        log: s.platform.log.all().to_vec(),
+        extensions: outcome.extensions,
+        report: outcome.report,
+        faults: outcome.faults,
+        responses,
+    }
+}
+
+#[test]
+fn serving_tick_under_shard_crash_degrades_instead_of_panicking() {
+    let clean = serving_run(2, &ResilienceOptions::default());
+    assert_eq!(clean.report.shed, 0, "fault-free serving sheds nothing");
+    assert!(clean.report.impressions > 0);
+
+    // A crash within the retry budget is invisible: the worker replays the
+    // micro-batch from its batch snapshot and every durable output is
+    // byte-identical to the fault-free run.
+    let recoverable = serving_run(
+        2,
+        &ResilienceOptions {
+            faults: FaultPlan::new().crash_shard(0, 0, 2),
+            max_retries_per_shard_tick: 3,
+            checkpoint_every_ticks: 0,
+        },
+    );
+    assert_eq!(recoverable.faults.injected, 2);
+    assert_eq!(recoverable.faults.recovered, 1);
+    assert_eq!(recoverable.faults.unrecoverable, 0);
+    assert_eq!(recoverable.report.shed, 0);
+    assert_eq!(
+        clean.invoices, recoverable.invoices,
+        "recovery is invisible"
+    );
+    assert_eq!(clean.log, recoverable.log);
+    assert_eq!(clean.extensions, recoverable.extensions);
+
+    // A crash beyond the budget degrades: the shard's tick sheds with
+    // retry-after hints, the loss is itemized, the run keeps serving.
+    let degraded = serving_run(
+        2,
+        &ResilienceOptions {
+            faults: FaultPlan::new().crash_shard(0, 0, 10),
+            max_retries_per_shard_tick: 2,
+            checkpoint_every_ticks: 0,
+        },
+    );
+    assert_eq!(degraded.faults.injected, 3, "budget + 1 failing attempts");
+    assert_eq!(degraded.faults.unrecoverable, 1);
+    assert!(
+        degraded.report.shed_failure > 0,
+        "the dead tick shed requests"
+    );
+    assert_eq!(degraded.report.shed, degraded.report.shed_failure);
+    let failures: Vec<_> = degraded
+        .responses
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                Response::Rejected {
+                    reason: RejectReason::ShardFailure,
+                    ..
+                }
+            )
+        })
+        .collect();
+    assert_eq!(failures.len() as u64, degraded.report.shed_failure);
+    assert!(
+        failures.iter().all(|r| match r {
+            Response::Rejected { retry_after_ms, .. } => *retry_after_ms > 0,
+            Response::Served(_) => false,
+        }),
+        "degraded responses carry a retry hint"
+    );
+    // Exact loss accounting, serving flavour: the lost work is itemized
+    // against the crashed (tick, shard) and covers every shed page view.
+    let lost_views: u64 = degraded.faults.lost.iter().map(|l| l.page_views).sum();
+    assert!(degraded
+        .faults
+        .lost
+        .iter()
+        .all(|l| (l.tick, l.shard) == (0, 0)));
+    assert_eq!(lost_views, degraded.report.shed_failure);
+    // Shed requests are never billed: the log holds exactly the ads on
+    // served pages, and the run completed every tick regardless.
+    let served_ads: u64 = degraded
+        .responses
+        .iter()
+        .filter_map(|r| r.page())
+        .map(|p| p.ads.len() as u64)
+        .sum();
+    assert_eq!(degraded.log.len() as u64, served_ads);
+    assert_eq!(degraded.report.ticks, clean.report.ticks);
+    // Fewer page views were auctioned; budget-limited delivery may catch
+    // up in later ticks, but the run cannot out-deliver the oracle and its
+    // actual impression log visibly diverged.
+    assert!(degraded.report.opportunities < clean.report.opportunities);
+    assert!(degraded.report.impressions <= clean.report.impressions);
+    assert_ne!(degraded.log, clean.log);
 }
 
 #[test]

@@ -1,12 +1,19 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Provides the scoped-thread API (`crossbeam::scope` /
-//! `crossbeam::thread::scope`) the engine uses, implemented on top of
-//! `std::thread::scope` (stable since Rust 1.63). Semantics differ from
-//! upstream in one way: a panicking child thread propagates through
-//! `std::thread::scope` instead of surfacing as `Err` from `scope`, so the
-//! `Result` returned here is always `Ok`. Callers that `.unwrap()` the
-//! scope result (the common idiom) behave identically.
+//! Provides the API surface this workspace uses:
+//!
+//! * the scoped-thread API (`crossbeam::scope` / `crossbeam::thread::scope`)
+//!   the engine uses, implemented on top of `std::thread::scope` (stable
+//!   since Rust 1.63). Semantics differ from upstream in one way: a
+//!   panicking child thread propagates through `std::thread::scope` instead
+//!   of surfacing as `Err` from `scope`, so the `Result` returned here is
+//!   always `Ok`. Callers that `.unwrap()` the scope result (the common
+//!   idiom) behave identically.
+//! * the [`channel`] MPMC channels (`bounded` / `unbounded`) the serving
+//!   front end uses, implemented over `Mutex<VecDeque>` + `Condvar` with
+//!   upstream's disconnect semantics. A `bounded(0)` rendezvous channel is
+//!   not supported (the workspace never creates one); zero capacities are
+//!   promoted to 1.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,6 +66,358 @@ pub mod thread {
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
         Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+    //!
+    //! Mirrors the `crossbeam-channel` API this workspace uses: `bounded` /
+    //! `unbounded` constructors, cloneable [`Sender`]s and [`Receiver`]s,
+    //! blocking `send` / `recv`, `try_recv`, and `recv_timeout`, with
+    //! upstream's disconnect semantics (a receive on an empty channel whose
+    //! senders are all gone fails; a send whose receivers are all gone
+    //! fails and hands the message back).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when a message arrives or the last sender leaves.
+        readable: Condvar,
+        /// Signalled when space frees up or the last receiver leaves.
+        writable: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
+            // The stub forbids unsafe and never panics while holding the
+            // lock with an inconsistent queue, so poisoning is benign.
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// The sending half of a channel. Cloneable; the channel disconnects
+    /// for receivers when every clone is dropped.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable (MPMC); the channel
+    /// disconnects for senders when every clone is dropped.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The channel is disconnected: every receiver is gone. Carries the
+    /// unsent message back to the caller.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Receiving failed: the channel is empty and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a non-blocking receive returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message ready right now, but senders remain.
+        Empty,
+        /// Empty and every sender is gone; nothing will ever arrive.
+        Disconnected,
+    }
+
+    /// Why a bounded-wait receive returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// Empty and every sender is gone; nothing will ever arrive.
+        Disconnected,
+    }
+
+    /// A FIFO channel buffering at most `capacity` messages; `send` blocks
+    /// while full. Capacity 0 (upstream's rendezvous mode) is promoted
+    /// to 1 — see the crate docs.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(capacity.max(1))
+    }
+
+    /// A FIFO channel with no backpressure; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(usize::MAX)
+    }
+
+    fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `msg`, blocking while the channel is full. Fails —
+        /// returning the message — once every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if state.queue.len() < state.capacity {
+                    state.queue.push_back(msg);
+                    drop(state);
+                    self.chan.readable.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .chan
+                    .writable
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Receiver { .. }")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().senders += 1;
+            Self {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut state = self.chan.lock();
+                state.senders -= 1;
+                state.senders
+            };
+            if remaining == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.chan.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Takes the next message, blocking until one arrives. Fails once
+        /// the channel is empty and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.chan.lock();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    self.chan.writable.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .chan
+                    .readable
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Takes the next message if one is ready, without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.chan.lock();
+            match state.queue.pop_front() {
+                Some(msg) => {
+                    drop(state);
+                    self.chan.writable.notify_one();
+                    Ok(msg)
+                }
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Takes the next message, blocking at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.chan.lock();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    self.chan.writable.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, result) = self
+                    .chan
+                    .readable
+                    .wait_timeout(state, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = guard;
+                if result.timed_out() && state.queue.is_empty() {
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().receivers += 1;
+            Self {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut state = self.chan.lock();
+                state.receivers -= 1;
+                state.receivers
+            };
+            if remaining == 0 {
+                // Wake blocked senders so they observe the disconnect.
+                self.chan.writable.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = unbounded();
+        tx.send(1u32).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(7u32).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_space_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let total = crate::scope(|s| {
+            let h = s.spawn(move |_| {
+                // Blocks until the main thread drains the first message.
+                tx.send(2u32).unwrap();
+            });
+            let a = rx.recv().unwrap();
+            let b = rx.recv().unwrap();
+            h.join().unwrap();
+            a + b
+        })
+        .unwrap();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cross_thread_producer_consumer() {
+        let (tx, rx) = bounded(4);
+        let sum = crate::scope(|s| {
+            for chunk in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..25u64 {
+                        tx.send(chunk * 25 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut sum = 0u64;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            sum
+        })
+        .unwrap();
+        assert_eq!(sum, (0..100).sum());
     }
 }
 
