@@ -379,6 +379,108 @@ fn consider_ad<B: BudgetView>(
     });
 }
 
+/// The filter chain's verdict for one examined ad — the per-candidate
+/// counterpart of the [`EligibilityBreakdown`] census. Produced by
+/// [`candidate_verdicts`] for provenance traces and the `explain_delivery`
+/// transparency report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateVerdict {
+    /// The examined ad.
+    pub ad: AdId,
+    /// The bucket the ad landed in: the [`EligibilityBreakdown`] field
+    /// name of the first filter that rejected it, or `"eligible"`.
+    pub verdict: &'static str,
+    /// The bid the ad entered (its campaign's bid CPM when eligible,
+    /// [`Money::ZERO`] otherwise).
+    pub bid_cpm: Money,
+}
+
+/// Mirror of [`consider_ad`]'s filter chain that reports *which* bucket an
+/// ad lands in instead of counting it. The two must stay in lockstep —
+/// the census-agreement test pins them together.
+#[allow(clippy::too_many_arguments)]
+fn verdict_for<B: BudgetView>(
+    ad: &Ad,
+    user: &UserProfile,
+    campaigns: &CampaignStore,
+    audiences: &AudienceStore,
+    suspended: &BTreeSet<AccountId>,
+    billing: &B,
+    freq: &FrequencyCaps,
+    eval: EvalMode,
+) -> CandidateVerdict {
+    let reject = |verdict| CandidateVerdict {
+        ad: ad.id,
+        verdict,
+        bid_cpm: Money::ZERO,
+    };
+    if !ad.is_servable() {
+        return reject("not_servable");
+    }
+    let targeted = match eval {
+        EvalMode::Tree => ad.targeting.matches(user, audiences),
+        EvalMode::Compiled => campaigns
+            .compiled_matches(ad.id, user, audiences)
+            .unwrap_or_else(|| ad.targeting.matches(user, audiences)),
+    };
+    if !targeted {
+        return reject("targeting_mismatch");
+    }
+    let campaign = match campaigns.campaign(ad.campaign) {
+        Ok(c) => c,
+        Err(_) => return reject("not_servable"),
+    };
+    if suspended.contains(&campaign.account) {
+        return reject("suspended");
+    }
+    if !billing.within_budget(campaign.id, campaign.budget) {
+        return reject("over_budget");
+    }
+    if !freq.allows(ad.id, user.id) {
+        return reject("frequency_capped");
+    }
+    CandidateVerdict {
+        ad: ad.id,
+        verdict: "eligible",
+        bid_cpm: campaign.bid_cpm,
+    }
+}
+
+/// Re-derives the per-ad filter verdicts for one opportunity: the same
+/// examined set (index candidates or full scan), the same filter order,
+/// the same budget view as [`eligible_bids_traced_into`], but reported
+/// per candidate in ascending ad-id order. RNG-free and read-only, so
+/// trace builders can call it for sampled requests only without
+/// perturbing anything — the decision path never depends on it.
+pub fn candidate_verdicts<B: BudgetView>(
+    user: &UserProfile,
+    campaigns: &CampaignStore,
+    audiences: &AudienceStore,
+    suspended: &BTreeSet<AccountId>,
+    billing: &B,
+    freq: &FrequencyCaps,
+) -> Vec<CandidateVerdict> {
+    let eval = campaigns.eval_mode();
+    let examine = |ad: &Ad| {
+        verdict_for(
+            ad, user, campaigns, audiences, suspended, billing, freq, eval,
+        )
+    };
+    match campaigns.selection_mode() {
+        SelectionMode::LinearScan => campaigns.ads().map(examine).collect(),
+        SelectionMode::Indexed => {
+            let mut candidates = Vec::new();
+            campaigns
+                .index()
+                .candidates_into(user, audiences, &mut candidates);
+            candidates
+                .iter()
+                .map(|id| examine(campaigns.ad(*id).expect("indexed ads exist in the store")))
+                .collect()
+        }
+    }
+}
+
 /// A [`Decision`] together with the telemetry the decide phase produced
 /// along the way: the eligibility census and the auction trace. Returned
 /// by [`decide_opportunity_traced`]; the engine forwards the extras to its
@@ -855,6 +957,70 @@ mod tests {
         assert_eq!(traced.decision, plain);
         assert_eq!(traced.breakdown, b);
         assert_eq!(traced.auction.advertiser_bids, 1);
+    }
+
+    #[test]
+    fn candidate_verdicts_agree_with_the_breakdown_census() {
+        let mut r = rig();
+        r.campaigns.set_selection_mode(SelectionMode::LinearScan);
+        let user = r.profiles.register(25, Gender::Male, "Texas", "73301");
+        let everyone = TargetingSpec::including(TargetingExpr::Everyone);
+        let winner = approved_ad(&mut r, 1, Money::dollars(10), everyone.clone());
+        approved_ad(&mut r, 2, Money::dollars(5), everyone.clone());
+        r.suspended.insert(AccountId(2));
+        let capped = approved_ad(&mut r, 3, Money::dollars(5), everyone);
+        r.freq.bump(capped, user);
+        r.freq.bump(capped, user);
+        approved_ad(
+            &mut r,
+            4,
+            Money::dollars(5),
+            TargetingSpec::including(TargetingExpr::Attr(AttributeId(99))),
+        );
+
+        let profile = r.profiles.get(user).expect("user").clone();
+        let verdicts = candidate_verdicts(
+            &profile,
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+        );
+        let (_, b) = eligible_bids_traced(
+            &profile,
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+        );
+        let count = |label| verdicts.iter().filter(|v| v.verdict == label).count() as u32;
+        assert_eq!(verdicts.len() as u32, b.considered);
+        assert_eq!(count("eligible"), b.eligible);
+        assert_eq!(count("suspended"), b.suspended);
+        assert_eq!(count("frequency_capped"), b.frequency_capped);
+        assert_eq!(count("targeting_mismatch"), b.targeting_mismatch);
+        assert_eq!(count("over_budget"), b.over_budget);
+        let won = verdicts.iter().find(|v| v.ad == winner).expect("winner");
+        assert_eq!(won.verdict, "eligible");
+        assert_eq!(won.bid_cpm, Money::dollars(10));
+
+        // The indexed examined set gets the same verdicts for every ad it
+        // keeps (it only drops provably-mismatching ones).
+        r.campaigns.set_selection_mode(SelectionMode::Indexed);
+        let indexed = candidate_verdicts(
+            &profile,
+            &r.campaigns,
+            &r.audiences,
+            &r.suspended,
+            &r.billing,
+            &r.freq,
+        );
+        for v in &indexed {
+            let scan = verdicts.iter().find(|s| s.ad == v.ad).expect("examined");
+            assert_eq!(scan, v);
+        }
     }
 
     #[test]

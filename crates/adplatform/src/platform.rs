@@ -20,9 +20,9 @@ use crate::billing::{BillingLedger, BudgetView, Invoice};
 use crate::campaign::{AdCreative, AdStatus, CampaignStore};
 use crate::compiled::EvalMode;
 use crate::delivery::{
-    apply_impression, decide_opportunity, decide_opportunity_traced,
-    decide_opportunity_traced_with_scratch, Decision, DeliveryScratch, DeliveryStats,
-    FrequencyCaps, PendingImpression, TracedDecision,
+    apply_impression, candidate_verdicts, decide_opportunity, decide_opportunity_traced,
+    decide_opportunity_traced_with_scratch, CandidateVerdict, Decision, DeliveryScratch,
+    DeliveryStats, FrequencyCaps, PendingImpression, TracedDecision,
 };
 use crate::enforcement::{scan_account, EnforcementConfig, SuspicionReport};
 use crate::index::SelectionMode;
@@ -574,6 +574,28 @@ impl Platform {
             &self.config.auction,
             rng,
             scratch,
+        ))
+    }
+
+    /// Re-derives per-candidate filter verdicts for one opportunity —
+    /// the same examined set and filter order as
+    /// [`Platform::decide_browse_traced_with_scratch`], reported per ad.
+    /// RNG-free and read-only: trace builders call it for sampled
+    /// requests only, so it must never affect the decision path.
+    pub fn candidate_verdicts<B: BudgetView>(
+        &self,
+        user: UserId,
+        budget: &B,
+        freq: &FrequencyCaps,
+    ) -> Result<Vec<CandidateVerdict>> {
+        let profile = self.profiles.get(user)?;
+        Ok(candidate_verdicts(
+            profile,
+            &self.campaigns,
+            &self.audiences,
+            &self.suspended,
+            budget,
+            freq,
         ))
     }
 

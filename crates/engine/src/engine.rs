@@ -9,7 +9,9 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use treads_resilience::checkpoint::{ConfigEcho, EngineCheckpoint, ReportCounters};
 use treads_resilience::{FaultPlan, FaultReport};
-use treads_telemetry::{span, FlightEvent, FlightKind, Telemetry};
+use treads_telemetry::{
+    span, FlightEvent, FlightKind, RequestTrace, Telemetry, TraceEventKind, TraceId, SHED_SEQ,
+};
 use treads_workload::ShardPlan;
 use websim::{ExtensionLog, SessionConfig, SiteRegistry};
 
@@ -163,6 +165,10 @@ pub fn fold_tick_events(
                         at: pending.at,
                         user: pending.user,
                         seq: user_seq,
+                        // The fold runs after the merge erased the page
+                        // view's starting seq, so it cannot re-derive the
+                        // request's trace id; see `FlightEvent::trace`.
+                        trace: 0,
                         kind: FlightKind::ImpressionBilled {
                             ad: pending.ad.raw(),
                             campaign: pending.campaign.raw(),
@@ -195,6 +201,8 @@ pub fn fold_tick_events(
                     at: tick_end,
                     user: UserId(0),
                     seq: campaign.raw(),
+                    // Campaign-level: no single request caused it.
+                    trace: 0,
                     kind: FlightKind::BudgetExhausted {
                         campaign: campaign.raw(),
                     },
@@ -486,6 +494,8 @@ impl Engine {
         let probe = TickProbe {
             record: telemetry.is_enabled(),
             flight_capacity: telemetry.flight_capacity(),
+            trace: telemetry.trace_config(),
+            seed: self.config.seed,
         };
         // Campaigns already seen crossing their budget, so exhaustion is
         // journaled once per campaign, at the tick whose fold crossed it.
@@ -504,6 +514,10 @@ impl Engine {
         // `facet_updates` settles to its true value at run end.
         telemetry.count("targeting.compiled_evals", 0);
         telemetry.count("targeting.facet_updates", 0);
+        // Trace counters exist at zero even when no trace is retained.
+        telemetry.count("trace.spans", 0);
+        telemetry.count("trace.sampled", 0);
+        telemetry.count("trace.dropped", 0);
 
         let mut tick_start = 0u64;
         if let Some(cp) = resume {
@@ -637,6 +651,28 @@ impl Engine {
                         lost.tick = tick_index;
                         fault_report.unrecoverable += 1;
                         telemetry.count("faults.unrecoverable", 1);
+                        // Fault-degraded work is always retained by the
+                        // tail sampler: one synthetic trace inventories
+                        // the skipped (shard, tick).
+                        if telemetry.trace_config().enabled {
+                            let id = TraceId::from_key(
+                                self.config.seed,
+                                SimTime(tick_end),
+                                index as u64,
+                                SHED_SEQ,
+                            );
+                            let mut t =
+                                RequestTrace::tail(id, SimTime(tick_end), index as u64, SHED_SEQ);
+                            let span = t.span("skipped_tick", None, SimTime(tick_start));
+                            t.event(
+                                span,
+                                TraceEventKind::FaultDegraded {
+                                    what: "shard_tick_skipped",
+                                    detail: lost.page_views,
+                                },
+                            );
+                            telemetry.offer_trace(t);
+                        }
                         fault_report.lost.push(lost);
                     }
                 }
@@ -694,8 +730,9 @@ impl Engine {
             });
 
             let mut tick_flight: Vec<FlightEvent> = Vec::new();
+            let mut tick_traces: Vec<RequestTrace> = Vec::new();
             let mut shard_flight_dropped = 0u64;
-            for batch in &batches {
+            for batch in &mut batches {
                 report.page_views += batch.page_views;
                 report.opportunities += batch.stats.opportunities;
                 platform.stats.opportunities += batch.stats.opportunities;
@@ -704,6 +741,7 @@ impl Engine {
                 platform.stats.unfilled += batch.stats.unfilled;
                 telemetry.merge_registry(&batch.telemetry);
                 tick_flight.extend(batch.flight.iter().copied());
+                tick_traces.append(&mut batch.traces);
                 shard_flight_dropped += batch.flight_dropped;
             }
             // Flight events sort by the same canonical key as the event
@@ -711,6 +749,11 @@ impl Engine {
             // as no shard's per-tick ring overflowed).
             tick_flight.sort_by_key(FlightEvent::key);
             telemetry.append_events(tick_flight);
+            // Traces sort by their request key for the same invariance.
+            tick_traces.sort_by_key(RequestTrace::key);
+            for t in tick_traces {
+                telemetry.offer_trace(t);
+            }
             if shard_flight_dropped > 0 {
                 telemetry.count("flight.dropped_in_shards", shard_flight_dropped);
             }

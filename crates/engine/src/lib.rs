@@ -46,7 +46,7 @@ pub use engine::{
     ResilientOutcome, TickFold, DAY_MS,
 };
 pub use event::ShardEvent;
-pub use merge::{merge_batches, MergeError};
+pub use merge::{merge_batches, merge_batches_lossy, MergeError};
 pub use shard::{CrashPoint, CrashSignal, ShardBatch, ShardState, TickProbe};
 // The resilience substrate (fault plans, checkpoints), re-exported so
 // engine callers can schedule faults and resume runs without depending on

@@ -60,6 +60,29 @@ pub fn merge_batches(batches: Vec<Vec<ShardEvent>>) -> Result<Vec<ShardEvent>, M
     Ok(all)
 }
 
+/// [`merge_batches`], but **lossy**: instead of failing on a duplicate
+/// key, keeps the first event of each duplicated key (first in the
+/// canonical sort order, which is deterministic because the sort is
+/// stable over the flattened batch order) and returns one [`MergeError`]
+/// per dropped event. The serving applier uses this — a duplicate key
+/// from a buggy fault replay must degrade and be counted, not take the
+/// front end down. The batch engine keeps the strict form: there a
+/// duplicate means corrupted recovery state and must abort the run.
+pub fn merge_batches_lossy(batches: Vec<Vec<ShardEvent>>) -> (Vec<ShardEvent>, Vec<MergeError>) {
+    let mut all: Vec<ShardEvent> = batches.into_iter().flatten().collect();
+    all.sort_by_key(ShardEvent::key);
+    let mut conflicts = Vec::new();
+    all.dedup_by(|next, kept| {
+        let (at, user, user_seq) = kept.key();
+        let dup = (at, user, user_seq) == next.key();
+        if dup {
+            conflicts.push(MergeError { at, user, user_seq });
+        }
+        dup
+    });
+    (all, conflicts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +119,27 @@ mod tests {
         assert!(merge_batches(vec![vec![], vec![]])
             .expect("empty")
             .is_empty());
+    }
+
+    #[test]
+    fn lossy_merge_keeps_first_and_reports_conflicts() {
+        let batch = vec![fire(1, 2, 0), fire(2, 2, 1)];
+        let (merged, conflicts) = merge_batches_lossy(vec![batch.clone(), batch.clone()]);
+        assert_eq!(merged, vec![fire(1, 2, 0), fire(2, 2, 1)]);
+        assert_eq!(conflicts.len(), 2);
+        assert_eq!(
+            conflicts[0],
+            MergeError {
+                at: SimTime(1),
+                user: UserId(2),
+                user_seq: 0,
+            }
+        );
+        // Conflict-free input matches the strict merge exactly.
+        let strict = merge_batches(vec![batch.clone()]).expect("unique");
+        let (lossy, none) = merge_batches_lossy(vec![batch]);
+        assert_eq!(strict, lossy);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -24,7 +24,10 @@ use adsim_types::rng::substream;
 use adsim_types::{SimTime, SiteId, UserId};
 use rand::rngs::StdRng;
 use std::time::Instant;
-use treads_telemetry::{FlightEvent, FlightKind, FlightRecorder, Histogram, Registry};
+use treads_telemetry::{
+    FlightEvent, FlightKind, FlightRecorder, Histogram, Registry, RequestTrace, TraceConfig,
+    TraceEventKind, TraceId,
+};
 use websim::{BrowsingEvent, ExtensionLog, SessionConfig, SessionSchedule, SiteRegistry};
 
 use treads_resilience::checkpoint::{ExtensionSnapshot, ShardCheckpoint, UserCursor};
@@ -62,6 +65,12 @@ pub struct TickProbe {
     pub record: bool,
     /// Ring capacity for the shard's per-tick flight journal.
     pub flight_capacity: usize,
+    /// Causal-trace sampling policy (disabled unless telemetry is live).
+    pub trace: TraceConfig,
+    /// The engine seed, the salt of every derived [`TraceId`]. Trace ids
+    /// are a pure function of `(seed, at, user, user_seq)`, so they are
+    /// shard-count-invariant like the merge key itself.
+    pub seed: u64,
 }
 
 impl TickProbe {
@@ -70,6 +79,8 @@ impl TickProbe {
         Self {
             record: false,
             flight_capacity: 1,
+            trace: TraceConfig::disabled(),
+            seed: 0,
         }
     }
 }
@@ -117,6 +128,9 @@ pub struct ShardBatch {
     pub flight: Vec<FlightEvent>,
     /// Flight events this shard's per-tick ring evicted.
     pub flight_dropped: u64,
+    /// Head-sampled request traces built this tick, in shard-local
+    /// production order (the engine re-sorts by request key).
+    pub traces: Vec<RequestTrace>,
 }
 
 /// A point inside a tick at which an injected crash strikes.
@@ -241,6 +255,10 @@ impl ShardState {
         // `cfg!` first so the whole recording path const-folds away when
         // the engine is built without its `telemetry` feature.
         let record = cfg!(feature = "telemetry") && probe.record;
+        // Tracing rides on the recording path: ids and sampling are pure
+        // functions of user-owned state (no RNG draws, no platform
+        // mutation), so traced and untraced runs simulate identically.
+        let tracing = record && probe.trace.enabled;
         let mut batch = ShardBatch {
             shard: self.index,
             events: Vec::new(),
@@ -249,6 +267,7 @@ impl ShardState {
             telemetry: Registry::new(),
             flight: Vec::new(),
             flight_dropped: 0,
+            traces: Vec::new(),
         };
         let mut flight = FlightRecorder::with_capacity(probe.flight_capacity.max(1));
         // Phase wall time accumulates across the whole tick and is
@@ -283,7 +302,22 @@ impl ShardState {
                         return Err(CrashSignal);
                     }
                 }
+                // The trace id is keyed on the page view's *first* merge
+                // key — `user.seq` before any pixel or impression of this
+                // view consumes one — so any stage that knows the request
+                // key can re-derive the same id on any shard count.
+                let trace_id = if tracing {
+                    TraceId::from_key(probe.seed, at, uid.raw(), user.seq)
+                } else {
+                    TraceId(0)
+                };
+                let mut trace = (tracing && probe.trace.sampled(trace_id))
+                    .then(|| RequestTrace::new(trace_id, at, uid.raw(), user.seq, true));
+                let root = trace.as_mut().map(|t| t.span("page_view", None, at));
                 for &pixel in &site.pixels {
+                    if let (Some(t), Some(root)) = (trace.as_mut(), root) {
+                        t.event(root, TraceEventKind::PixelFired { pixel: pixel.raw() });
+                    }
                     batch.events.push(ShardEvent::PixelFire {
                         at,
                         user: uid,
@@ -292,7 +326,7 @@ impl ShardState {
                     });
                     user.seq += 1;
                 }
-                for _ in 0..site.ad_slots_per_view {
+                for slot in 0..u32::from(site.ad_slots_per_view) {
                     batch.stats.opportunities += 1;
                     let traced = platform
                         .decide_browse_traced_with_scratch(
@@ -331,6 +365,7 @@ impl ShardState {
                             at,
                             user: uid,
                             seq: user.fseq,
+                            trace: trace_id.0,
                             kind: FlightKind::AuctionDecided {
                                 outcome: outcome_tag,
                                 eligible: b.eligible,
@@ -345,11 +380,79 @@ impl ShardState {
                                 at,
                                 user: uid,
                                 seq: user.fseq,
+                                trace: trace_id.0,
                                 kind: FlightKind::CapRejection {
                                     ads_capped: b.frequency_capped,
                                 },
                             });
                             user.fseq += 1;
+                        }
+                        if let Some(t) = trace.as_mut() {
+                            let span = t.span("decide_slot", root, at);
+                            let b = traced.breakdown;
+                            t.event(
+                                span,
+                                TraceEventKind::Slot {
+                                    slot,
+                                    considered: b.considered,
+                                    index_pruned: b.index_pruned,
+                                    not_servable: b.not_servable,
+                                    suspended: b.suspended,
+                                    over_budget: b.over_budget,
+                                    frequency_capped: b.frequency_capped,
+                                    targeting_mismatch: b.targeting_mismatch,
+                                    eligible: b.eligible,
+                                    compiled_evals: b.compiled_evals,
+                                },
+                            );
+                            // Per-candidate verdicts are re-derived (pure,
+                            // RNG-free) only for sampled requests — the
+                            // decision path above never depends on them.
+                            let verdicts = platform
+                                .candidate_verdicts(uid, budget, &self.freq)
+                                .expect("engine users are registered on the platform");
+                            for v in verdicts {
+                                t.event(
+                                    span,
+                                    TraceEventKind::Candidate {
+                                        slot,
+                                        ad: v.ad.raw(),
+                                        verdict: v.verdict,
+                                        bid_cpm_micros: v.bid_cpm.as_micros(),
+                                    },
+                                );
+                            }
+                            let (winner, clearing) = match traced.decision.outcome {
+                                adplatform::auction::AuctionOutcome::Won { ad, clearing_cpm } => {
+                                    (ad.raw(), clearing_cpm.as_micros())
+                                }
+                                _ => (0, 0),
+                            };
+                            t.event(
+                                span,
+                                TraceEventKind::Auction {
+                                    slot,
+                                    outcome: outcome_tag,
+                                    winner,
+                                    clearing_cpm_micros: clearing,
+                                    advertiser_bids: traced.auction.advertiser_bids,
+                                    background_competitors: traced.auction.background_competitors,
+                                    best_background_cpm_micros: traced
+                                        .auction
+                                        .best_background_cpm
+                                        .as_micros(),
+                                },
+                            );
+                            if let Some(p) = traced.decision.pending.as_ref() {
+                                t.event(
+                                    span,
+                                    TraceEventKind::Billed {
+                                        slot,
+                                        ad: p.ad.raw(),
+                                        price_micros: p.clearing_cpm.as_micros() / 1000,
+                                    },
+                                );
+                            }
                         }
                     }
                     let decision = traced.decision;
@@ -384,6 +487,7 @@ impl ShardState {
                                         at,
                                         user: uid,
                                         seq: user.fseq,
+                                        trace: trace_id.0,
                                         kind: FlightKind::TreadObserved {
                                             ad: pending.ad.raw(),
                                         },
@@ -413,6 +517,9 @@ impl ShardState {
                             tally.unfilled += 1;
                         }
                     }
+                }
+                if let Some(t) = trace.take() {
+                    batch.traces.push(t);
                 }
             }
             if let Some(t) = chain {

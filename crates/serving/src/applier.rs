@@ -16,9 +16,11 @@ use adplatform::Platform;
 use adsim_types::{CampaignId, SimTime};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::RwLock;
-use treads_engine::{fold_tick_events, merge_batches};
+use treads_engine::{fold_tick_events, merge_batches_lossy};
 use treads_resilience::FaultReport;
-use treads_telemetry::{Histogram, Registry, SloTracker, Telemetry};
+use treads_telemetry::{
+    Histogram, Registry, RequestTrace, SloTracker, Telemetry, TraceEventKind, TraceId,
+};
 
 use crate::worker::TickBatch;
 
@@ -59,15 +61,18 @@ impl ApplierResult {
 }
 
 /// Runs the applier loop until the workers disconnect the batch channel.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_applier(
     platform: &RwLock<&mut Platform>,
     shards: usize,
+    seed: u64,
     batch_rx: Receiver<TickBatch>,
     resume_txs: &[Sender<Arc<BudgetSnapshot>>],
     ack_tx: Sender<()>,
     slo: &mut SloTracker,
     telemetry: &mut Telemetry,
 ) -> ApplierResult {
+    let tracing = telemetry.trace_config().enabled;
     let mut out = ApplierResult::new();
     // Campaigns already journaled crossing their budget (for the
     // once-per-campaign `BudgetExhausted` flight event).
@@ -93,7 +98,14 @@ pub(crate) fn run_applier(
 
         let mut tick_latency = Histogram::latency_ns();
         let mut reg = Registry::new();
-        for batch in &batches {
+        let mut tick_traces: Vec<RequestTrace> = Vec::new();
+        let mut tick_keys = Vec::new();
+        for batch in &mut batches {
+            tick_traces.append(&mut batch.traces);
+            tick_keys.append(&mut batch.trace_keys);
+            if let Some((worst_ns, trace_id)) = batch.exemplar.take() {
+                telemetry.exemplar("serving.request_latency_ns", worst_ns, trace_id);
+            }
             out.requests += batch.requests;
             out.shed += batch.shed;
             out.shed_failure += batch.shed_failure;
@@ -125,6 +137,25 @@ pub(crate) fn run_applier(
         out.latency.merge(&tick_latency);
         if slo.observe_window(&tick_latency) {
             telemetry.count("serving.slo_breach", 1);
+            // Tail-based retention: the whole breaching window is
+            // interesting. Every trace already built this tick is
+            // promoted past the head-sampling decision, and every other
+            // request of the window is materialized from the worker's
+            // allocation-free key journal as a tail stub.
+            for t in &mut tick_traces {
+                t.retain_always();
+                let span = t.span("slo_breach", None, SimTime(tick_end));
+                t.event(span, TraceEventKind::SloBreachWindow);
+            }
+            let already: BTreeSet<_> = tick_traces.iter().map(|t| t.id).collect();
+            for k in &tick_keys {
+                if !already.contains(&k.id) {
+                    let mut t = RequestTrace::tail(k.id, k.at, k.user, k.user_seq);
+                    let span = t.span("request", None, k.at);
+                    t.event(span, TraceEventKind::SloBreachWindow);
+                    tick_traces.push(t);
+                }
+            }
         }
 
         // The single-writer step: merge canonically, fold, refreeze.
@@ -137,14 +168,48 @@ pub(crate) fn run_applier(
                 p.stats.lost_to_background += batch.stats.lost_to_background;
                 p.stats.unfilled += batch.stats.unfilled;
             }
-            let merged = merge_batches(batches.into_iter().map(|b| b.events).collect())
-                .expect("serving event keys are unique per (at, user, user_seq)");
+            // Lossy merge: a duplicate key can only mean a replay bug, but
+            // the front end must degrade (first-writer-wins) and keep
+            // serving rather than panic. Conflicts are counted, and each
+            // leaves an always-retained trace naming the duplicated key.
+            let (merged, conflicts) =
+                merge_batches_lossy(batches.into_iter().map(|b| b.events).collect());
+            if !conflicts.is_empty() {
+                telemetry.count("serving.merge_conflicts", conflicts.len() as u64);
+                if tracing {
+                    for c in &conflicts {
+                        let id = TraceId::from_key(seed, c.at, c.user.raw(), c.user_seq);
+                        let mut t = RequestTrace::tail(id, c.at, c.user.raw(), c.user_seq);
+                        let span = t.span("merge_conflict", None, c.at);
+                        t.event(
+                            span,
+                            TraceEventKind::MergeConflict {
+                                at: c.at.0,
+                                user: c.user.raw(),
+                                user_seq: c.user_seq,
+                            },
+                        );
+                        tick_traces.push(t);
+                    }
+                }
+            }
             let fold = fold_tick_events(p, merged, SimTime(tick_end), telemetry, &mut exhausted);
             out.impressions += fold.impressions;
             out.pixel_fires += fold.pixel_fires;
             Arc::new(p.billing.budget_snapshot())
         };
         out.ticks += 1;
+
+        // Retention, in canonical key order so the collector's contents
+        // are shard-count-invariant. Only retained traces are offered:
+        // `trace.dropped` counts collector-capacity evictions, not the
+        // head-sampling decision.
+        tick_traces.sort_by_key(RequestTrace::key);
+        for t in tick_traces {
+            if t.retained() {
+                telemetry.offer_trace(t);
+            }
+        }
 
         // Release the barrier: workers first (they block on the new
         // snapshot), then the front end's clock.

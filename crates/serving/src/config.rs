@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use treads_engine::DAY_MS;
-use treads_telemetry::SloTarget;
+use treads_telemetry::{SloTarget, TraceConfig};
 
 /// Parameters of a [`crate::ServingEngine`].
 ///
@@ -43,6 +43,12 @@ pub struct ServingConfig {
     /// The latency objective evaluated per tick window (breaches count
     /// into `serving.slo_breach`).
     pub slo: SloTarget,
+    /// Causal-trace sampling policy. Only effective when the run records
+    /// into a live [`treads_telemetry::Telemetry`] handle — with telemetry
+    /// disabled (or the `record` feature off) tracing compiles out and
+    /// this field is ignored. Like every telemetry knob, it can never
+    /// change a simulation outcome.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServingConfig {
@@ -57,6 +63,7 @@ impl Default for ServingConfig {
             queue_watermark: 1024,
             retry_after_ms: 10,
             slo: SloTarget::p99_ms(20),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -76,5 +83,7 @@ mod tests {
         assert!(c.queue_watermark > 0);
         assert!((c.slo.quantile - 0.99).abs() < 1e-9);
         assert_eq!(c.slo.target_ns, 20_000_000);
+        assert!(c.trace.enabled);
+        assert_eq!(c.trace.sample_per_mille, 10);
     }
 }

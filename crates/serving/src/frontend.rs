@@ -10,7 +10,9 @@ use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use treads_engine::ResilienceOptions;
 use treads_resilience::FaultPlan;
-use treads_telemetry::{SloTracker, Telemetry};
+use treads_telemetry::{
+    RequestTrace, SloTracker, Telemetry, TraceConfig, TraceEventKind, TraceId, SHED_SEQ,
+};
 use treads_workload::ShardPlan;
 use websim::SiteRegistry;
 
@@ -36,6 +38,9 @@ pub struct Frontend {
     tick_ms: u64,
     horizon_ms: u64,
     retry_after_ms: u64,
+    seed: u64,
+    /// Effective trace policy (disabled when the run's telemetry is).
+    trace: TraceConfig,
     admission: AdmissionController,
     faults: FaultPlan,
     /// End of the currently open tick. Also the submission serialization
@@ -51,6 +56,9 @@ pub struct Frontend {
     shed_brownout: AtomicU64,
     shed_after_horizon: AtomicU64,
     shed_failure: AtomicU64,
+    /// Tail traces for requests shed before reaching a worker (brownout,
+    /// after-horizon, overload); offered to telemetry when the run ends.
+    shed_traces: Mutex<Vec<RequestTrace>>,
 }
 
 /// Front-end-side request tallies (requests that never reached a worker).
@@ -85,6 +93,10 @@ impl Frontend {
         let call = self.calls.fetch_add(1, Ordering::SeqCst);
         if self.faults.api_unavailable(call) {
             self.shed_brownout.fetch_add(1, Ordering::SeqCst);
+            // Brownouts are keyed by call index: `at`/`user` would collide
+            // for retries of the same opportunity, and the call index is
+            // the deterministic quantity the fault plan itself consults.
+            self.record_shed(TraceId::from_call(self.seed, call), &req, "brownout");
             return Ticket::ready(Response::Rejected {
                 reason: RejectReason::Brownout,
                 retry_after_ms: self.retry_after_ms,
@@ -93,6 +105,7 @@ impl Frontend {
         let mut clock = self.clock.lock();
         if req.at.0 >= self.horizon_ms {
             self.shed_after_horizon.fetch_add(1, Ordering::SeqCst);
+            self.record_shed(self.shed_trace_id(&req), &req, "after_horizon");
             return Ticket::ready(Response::Rejected {
                 reason: RejectReason::AfterHorizon,
                 retry_after_ms: 0,
@@ -106,6 +119,7 @@ impl Frontend {
         match self.admission.decide(depth) {
             Admission::Shed { retry_after_ms } => {
                 self.shed_overload.fetch_add(1, Ordering::SeqCst);
+                self.record_shed(self.shed_trace_id(&req), &req, "overload");
                 Ticket::ready(Response::Rejected {
                     reason: RejectReason::Overload,
                     retry_after_ms,
@@ -126,6 +140,7 @@ impl Frontend {
                     // The worker is gone; release the slot and degrade.
                     self.depths[shard].fetch_sub(1, Ordering::SeqCst);
                     self.shed_failure.fetch_add(1, Ordering::SeqCst);
+                    self.record_shed(self.shed_trace_id(&req), &req, "shard_failure");
                     return Ticket::ready(Response::Rejected {
                         reason: RejectReason::ShardFailure,
                         retry_after_ms: self.retry_after_ms,
@@ -134,6 +149,24 @@ impl Frontend {
                 Ticket::pending(reply_rx, self.retry_after_ms)
             }
         }
+    }
+
+    /// The trace id for a request shed before its page view could begin:
+    /// the request never consumed a user sequence number, so the shed
+    /// stand-in seq keys it.
+    fn shed_trace_id(&self, req: &OpportunityRequest) -> TraceId {
+        TraceId::from_key(self.seed, req.at, req.user.raw(), SHED_SEQ)
+    }
+
+    /// Records an always-retained tail trace for a front-end shed.
+    fn record_shed(&self, id: TraceId, req: &OpportunityRequest, reason: &'static str) {
+        if !self.trace.enabled {
+            return;
+        }
+        let mut t = RequestTrace::tail(id, req.at, req.user.raw(), SHED_SEQ);
+        let span = t.span("request", None, req.at);
+        t.event(span, TraceEventKind::Shed { reason });
+        self.shed_traces.lock().push(t);
     }
 
     /// The number of requests currently in flight to `user`'s shard —
@@ -248,11 +281,19 @@ impl ServingEngine {
     ) -> (ServingOutcome, T) {
         let cfg = &self.config;
         let shards = cfg.shards;
+        // The run's trace policy: the config's, degraded to disabled when
+        // telemetry itself is off (tracing can then cost nothing).
+        telemetry.set_trace_config(cfg.trace);
+        let trace = telemetry.trace_config();
         // Every counter a serving snapshot is contractually required to
         // carry exists from the first tick, at zero (mirrors `run_core`).
         telemetry.count("serving.requests", 0);
         telemetry.count("serving.shed", 0);
         telemetry.count("serving.slo_breach", 0);
+        telemetry.count("serving.merge_conflicts", 0);
+        telemetry.count("trace.spans", 0);
+        telemetry.count("trace.sampled", 0);
+        telemetry.count("trace.dropped", 0);
         telemetry.count("engine.page_views", 0);
         telemetry.count("engine.impressions", 0);
         telemetry.count("engine.pixel_fires", 0);
@@ -288,6 +329,8 @@ impl ServingEngine {
             tick_ms: cfg.tick_ms,
             horizon_ms: cfg.horizon_ms,
             retry_after_ms: cfg.retry_after_ms,
+            seed: cfg.seed,
+            trace,
             admission: AdmissionController::new(cfg.queue_watermark, cfg.retry_after_ms),
             faults: options.faults.clone(),
             clock: Mutex::new(cfg.tick_ms.min(cfg.horizon_ms)),
@@ -300,6 +343,7 @@ impl ServingEngine {
             shed_brownout: AtomicU64::new(0),
             shed_after_horizon: AtomicU64::new(0),
             shed_failure: AtomicU64::new(0),
+            shed_traces: Mutex::new(Vec::new()),
         };
 
         let lock_ref = &lock;
@@ -328,6 +372,7 @@ impl ServingEngine {
                         budget: initial_budget.clone(),
                         max_batch: cfg.max_batch,
                         max_delay: cfg.max_delay,
+                        trace,
                     };
                     s.spawn(move |_| run_worker(ctx))
                 })
@@ -339,6 +384,7 @@ impl ServingEngine {
                 run_applier(
                     lock_ref,
                     shards,
+                    cfg.seed,
                     batch_rx,
                     &resume_txs,
                     ack_tx,
@@ -368,6 +414,13 @@ impl ServingEngine {
         // A browned-out submission is one injected fault activation, like
         // one failing call through the batch-side FlakyPlatform.
         telemetry.count("faults.injected", front.shed_brownout);
+        // Front-end sheds are tail traces too: offered last, in canonical
+        // key order, all always-retained.
+        let mut shed_traces = frontend.shed_traces.into_inner();
+        shed_traces.sort_by_key(RequestTrace::key);
+        for t in shed_traces {
+            telemetry.offer_trace(t);
+        }
 
         let mut extensions = BTreeMap::new();
         for result in worker_results {

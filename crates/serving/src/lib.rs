@@ -66,4 +66,4 @@ pub use report::{ServingOutcome, ServingReport};
 pub use request::{OpportunityRequest, RejectReason, Response, ServedPage, Ticket};
 
 pub use treads_engine::ResilienceOptions;
-pub use treads_telemetry::{SloTarget, SloTracker};
+pub use treads_telemetry::{RequestTrace, SloTarget, SloTracker, TraceConfig, TraceId};

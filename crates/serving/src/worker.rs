@@ -21,13 +21,13 @@ use adplatform::billing::BudgetSnapshot;
 use adplatform::delivery::{DeliveryScratch, DeliveryStats, FrequencyCaps};
 use adplatform::Platform;
 use adsim_types::rng::substream;
-use adsim_types::UserId;
+use adsim_types::{SimTime, UserId};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use treads_engine::ShardEvent;
 use treads_resilience::{FaultPlan, LostWork};
-use treads_telemetry::Histogram;
+use treads_telemetry::{Histogram, RequestTrace, TraceConfig, TraceEventKind, TraceId, SHED_SEQ};
 use treads_workload::ShardPlan;
 use websim::{ExtensionLog, SiteRegistry};
 
@@ -83,6 +83,29 @@ pub(crate) struct TickBatch {
     pub recovered: u64,
     pub unrecoverable: u64,
     pub lost: Vec<LostWork>,
+    /// Causal traces built this tick, in shard-local production order
+    /// (the applier re-sorts by request key before retention).
+    pub traces: Vec<RequestTrace>,
+    /// Canonical identity of every page view served this tick while
+    /// tracing is on — the raw material for materializing tail traces of
+    /// a whole SLO-breaching window without paying per-request
+    /// allocations on the healthy path.
+    pub trace_keys: Vec<TraceKey>,
+    /// The tick's worst request latency and its trace id — the applier's
+    /// exemplar candidate for the request-latency histogram.
+    pub exemplar: Option<(u64, TraceId)>,
+}
+
+/// The canonical `(at, user, user_seq)` identity of one page view, plus
+/// its derived trace id. Recording one of these per request is a single
+/// amortized `Vec` push — no allocation, no wall-clock reads — which is
+/// what keeps default-sampling tracing under its overhead budget.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TraceKey {
+    pub id: TraceId,
+    pub at: SimTime,
+    pub user: u64,
+    pub user_seq: u64,
 }
 
 /// Tick-local accumulator, reset at every tick-close flush.
@@ -100,6 +123,9 @@ struct TickAcc {
     recovered: u64,
     unrecoverable: u64,
     lost: Option<LostWork>,
+    traces: Vec<RequestTrace>,
+    trace_keys: Vec<TraceKey>,
+    exemplar: Option<(u64, TraceId)>,
 }
 
 impl TickAcc {
@@ -118,6 +144,9 @@ impl TickAcc {
             recovered: 0,
             unrecoverable: 0,
             lost: None,
+            traces: Vec::new(),
+            trace_keys: Vec::new(),
+            exemplar: None,
         }
     }
 }
@@ -142,6 +171,10 @@ struct BatchSnapshot {
     events_len: usize,
     stats: DeliveryStats,
     page_views: u64,
+    /// Traces, like events, are truncated back to the snapshot length
+    /// when a crash attempt rolls back.
+    traces_len: usize,
+    trace_keys_len: usize,
 }
 
 /// Everything a worker thread needs, bundled for the spawn call.
@@ -167,6 +200,8 @@ pub(crate) struct WorkerContext<'a, 'p> {
     pub budget: Arc<BudgetSnapshot>,
     pub max_batch: usize,
     pub max_delay: Duration,
+    /// Effective trace policy (already gated on telemetry being live).
+    pub trace: TraceConfig,
 }
 
 /// What a worker thread hands back when it exits.
@@ -197,6 +232,7 @@ struct Worker<'a, 'p> {
     freq: FrequencyCaps,
     extensions: BTreeMap<UserId, ExtensionLog>,
     scratch: DeliveryScratch,
+    trace: TraceConfig,
     tick_index: u64,
     /// Set when this tick's crash exhausted the retry budget: every
     /// remaining request this tick sheds with `ShardFailure`.
@@ -240,6 +276,7 @@ impl<'a, 'p> Worker<'a, 'p> {
             freq: FrequencyCaps::new(frequency_cap),
             extensions,
             scratch: DeliveryScratch::new(),
+            trace: ctx.trace,
             tick_index: 0,
             tick_degraded: false,
             crash_pending: None,
@@ -373,18 +410,36 @@ impl<'a, 'p> Worker<'a, 'p> {
     /// attempt will be rolled back wholesale.
     fn serve_one(&mut self, platform: &Platform, env: &Envelope, deliver: bool) {
         let req = env.req;
+        let tracing = self.trace.enabled;
         // Unknown users are rejected before any state moves (the batch
         // engine never generates them; a serving client can).
         if platform.profiles.get(req.user).is_err() {
             if deliver {
                 self.acc.shed += 1;
                 self.acc.shed_unknown_user += 1;
+                let mut trace_id = TraceId(0);
+                if tracing {
+                    // The user never earned a sequence counter, so the
+                    // shed stand-in seq keys the (always-retained) trace.
+                    trace_id = TraceId::from_key(self.seed, req.at, req.user.raw(), SHED_SEQ);
+                    let mut t = RequestTrace::tail(trace_id, req.at, req.user.raw(), SHED_SEQ);
+                    let span = t.span("request", None, req.at);
+                    t.event(
+                        span,
+                        TraceEventKind::Shed {
+                            reason: "unknown_user",
+                        },
+                    );
+                    t.set_span_wall(span, 0, env.accepted.elapsed().as_nanos() as u64);
+                    self.acc.traces.push(t);
+                }
                 self.reply(
                     env,
                     Response::Rejected {
                         reason: RejectReason::UnknownUser,
                         retry_after_ms: 0,
                     },
+                    trace_id,
                 );
             }
             return;
@@ -403,6 +458,7 @@ impl<'a, 'p> Worker<'a, 'p> {
                             ads: Vec::new(),
                             slots: 0,
                         }),
+                        TraceId(0),
                     );
                 }
                 return;
@@ -414,7 +470,46 @@ impl<'a, 'p> Worker<'a, 'p> {
             rng: substream(seed, &format!("engine-user-{}", req.user.raw())),
             seq: 0,
         });
+        // The trace id is keyed on the page view's first merge key —
+        // `user.seq` before pixels consume any — the identical derivation
+        // the batch engine's shard uses, so ids are shard-count-invariant
+        // and path-invariant (batch vs serving).
+        let trace_id = if tracing {
+            TraceId::from_key(seed, req.at, req.user.raw(), user.seq)
+        } else {
+            TraceId(0)
+        };
+        if tracing {
+            // Every request leaves its canonical key behind (allocation
+            // -free) so the applier can materialize tail traces for the
+            // whole window if this tick breaches the SLO. Full span/event
+            // detail rides on the deterministic head-sampling decision.
+            self.acc.trace_keys.push(TraceKey {
+                id: trace_id,
+                at: req.at,
+                user: req.user.raw(),
+                user_seq: user.seq,
+            });
+        }
+        let sampled = tracing && self.trace.sampled(trace_id);
+        let mut trace =
+            sampled.then(|| RequestTrace::new(trace_id, req.at, req.user.raw(), user.seq, true));
+        let root = trace.as_mut().map(|t| {
+            let root = t.span("request", None, req.at);
+            t.event(
+                root,
+                TraceEventKind::Admitted {
+                    shard: self.shard as u32,
+                },
+            );
+            let wait = t.span("batch_wait", Some(root), req.at);
+            t.set_span_wall(wait, 0, env.accepted.elapsed().as_nanos() as u64);
+            root
+        });
         for &pixel in &site.pixels {
+            if let (Some(t), Some(root)) = (trace.as_mut(), root) {
+                t.event(root, TraceEventKind::PixelFired { pixel: pixel.raw() });
+            }
             self.acc.events.push(ShardEvent::PixelFire {
                 at: req.at,
                 user: req.user,
@@ -424,8 +519,11 @@ impl<'a, 'p> Worker<'a, 'p> {
             user.seq += 1;
         }
         let mut ads = Vec::with_capacity(usize::from(site.ad_slots_per_view));
-        for _ in 0..site.ad_slots_per_view {
+        for slot in 0..u32::from(site.ad_slots_per_view) {
             self.acc.stats.opportunities += 1;
+            let decide_start = trace
+                .is_some()
+                .then(|| env.accepted.elapsed().as_nanos() as u64);
             let traced = platform
                 .decide_browse_traced_with_scratch(
                     req.user,
@@ -436,6 +534,75 @@ impl<'a, 'p> Worker<'a, 'p> {
                     &mut self.scratch,
                 )
                 .expect("user profile was checked above");
+            if let Some(t) = trace.as_mut() {
+                let span = t.span("decide_slot", root, req.at);
+                if let Some(start) = decide_start {
+                    let end = env.accepted.elapsed().as_nanos() as u64;
+                    t.set_span_wall(span, start, end.saturating_sub(start));
+                }
+                let b = traced.breakdown;
+                t.event(
+                    span,
+                    TraceEventKind::Slot {
+                        slot,
+                        considered: b.considered,
+                        index_pruned: b.index_pruned,
+                        not_servable: b.not_servable,
+                        suspended: b.suspended,
+                        over_budget: b.over_budget,
+                        frequency_capped: b.frequency_capped,
+                        targeting_mismatch: b.targeting_mismatch,
+                        eligible: b.eligible,
+                        compiled_evals: b.compiled_evals,
+                    },
+                );
+                // Per-candidate verdicts are re-derived (pure, RNG-free)
+                // only for sampled requests, against the same pre-bump
+                // frequency state the decide saw.
+                let verdicts = platform
+                    .candidate_verdicts(req.user, self.budget.as_ref(), &self.freq)
+                    .expect("user profile was checked above");
+                for v in verdicts {
+                    t.event(
+                        span,
+                        TraceEventKind::Candidate {
+                            slot,
+                            ad: v.ad.raw(),
+                            verdict: v.verdict,
+                            bid_cpm_micros: v.bid_cpm.as_micros(),
+                        },
+                    );
+                }
+                let (outcome_tag, winner, clearing) = match traced.decision.outcome {
+                    AuctionOutcome::Won { ad, clearing_cpm } => {
+                        ("won", ad.raw(), clearing_cpm.as_micros())
+                    }
+                    AuctionOutcome::LostToBackground => ("lost_to_background", 0, 0),
+                    AuctionOutcome::Unfilled => ("unfilled", 0, 0),
+                };
+                t.event(
+                    span,
+                    TraceEventKind::Auction {
+                        slot,
+                        outcome: outcome_tag,
+                        winner,
+                        clearing_cpm_micros: clearing,
+                        advertiser_bids: traced.auction.advertiser_bids,
+                        background_competitors: traced.auction.background_competitors,
+                        best_background_cpm_micros: traced.auction.best_background_cpm.as_micros(),
+                    },
+                );
+                if let Some(p) = traced.decision.pending.as_ref() {
+                    t.event(
+                        span,
+                        TraceEventKind::Billed {
+                            slot,
+                            ad: p.ad.raw(),
+                            price_micros: p.clearing_cpm.as_micros() / 1000,
+                        },
+                    );
+                }
+            }
             match traced.decision.outcome {
                 AuctionOutcome::Won { .. } => {
                     self.acc.stats.won += 1;
@@ -469,6 +636,12 @@ impl<'a, 'p> Worker<'a, 'p> {
                 AuctionOutcome::Unfilled => self.acc.stats.unfilled += 1,
             }
         }
+        if let Some(mut t) = trace.take() {
+            if let Some(root) = root {
+                t.set_span_wall(root, 0, env.accepted.elapsed().as_nanos() as u64);
+            }
+            self.acc.traces.push(t);
+        }
         if deliver {
             self.reply(
                 env,
@@ -477,6 +650,7 @@ impl<'a, 'p> Worker<'a, 'p> {
                     ads,
                     slots: u32::from(site.ad_slots_per_view),
                 }),
+                trace_id,
             );
         }
     }
@@ -497,22 +671,49 @@ impl<'a, 'p> Worker<'a, 'p> {
                 lost.pixel_fires += site.pixels.len() as u64;
                 lost.opportunities += u64::from(site.ad_slots_per_view);
             }
+            let mut trace_id = TraceId(0);
+            if self.trace.enabled {
+                // Fault-degraded requests never reach the decide path, so
+                // the user's sequence counter is unknowable here; the shed
+                // stand-in seq keys the (always-retained) trace.
+                trace_id = TraceId::from_key(self.seed, env.req.at, env.req.user.raw(), SHED_SEQ);
+                let mut t = RequestTrace::tail(trace_id, env.req.at, env.req.user.raw(), SHED_SEQ);
+                let span = t.span("request", None, env.req.at);
+                t.event(
+                    span,
+                    TraceEventKind::Shed {
+                        reason: "shard_failure",
+                    },
+                );
+                t.event(
+                    span,
+                    TraceEventKind::FaultDegraded {
+                        what: "shard_tick_degraded",
+                        detail: self.tick_index,
+                    },
+                );
+                t.set_span_wall(span, 0, env.accepted.elapsed().as_nanos() as u64);
+                self.acc.traces.push(t);
+            }
             self.reply(
                 env,
                 Response::Rejected {
                     reason: RejectReason::ShardFailure,
                     retry_after_ms: self.retry_after_ms,
                 },
+                trace_id,
             );
         }
     }
 
     /// Sends the response, observing end-to-end latency and releasing the
     /// request's admission-queue slot. Exactly once per envelope.
-    fn reply(&mut self, env: &Envelope, response: Response) {
-        self.acc
-            .latency
-            .observe(env.accepted.elapsed().as_nanos() as u64);
+    fn reply(&mut self, env: &Envelope, response: Response, trace: TraceId) {
+        let latency = env.accepted.elapsed().as_nanos() as u64;
+        self.acc.latency.observe(latency);
+        if trace.0 != 0 && self.acc.exemplar.is_none_or(|(worst, _)| latency > worst) {
+            self.acc.exemplar = Some((latency, trace));
+        }
         // A dropped ticket (client gave up) is not an error.
         let _ = env.reply.send(response);
         self.depth.fetch_sub(1, Ordering::SeqCst);
@@ -526,6 +727,8 @@ impl<'a, 'p> Worker<'a, 'p> {
             events_len: self.acc.events.len(),
             stats: self.acc.stats,
             page_views: self.acc.page_views,
+            traces_len: self.acc.traces.len(),
+            trace_keys_len: self.acc.trace_keys.len(),
         }
     }
 
@@ -536,6 +739,8 @@ impl<'a, 'p> Worker<'a, 'p> {
         self.acc.events.truncate(snapshot.events_len);
         self.acc.stats = snapshot.stats;
         self.acc.page_views = snapshot.page_views;
+        self.acc.traces.truncate(snapshot.traces_len);
+        self.acc.trace_keys.truncate(snapshot.trace_keys_len);
     }
 
     fn flush_tick(&mut self, tick_end: u64) -> TickBatch {
@@ -556,6 +761,9 @@ impl<'a, 'p> Worker<'a, 'p> {
             recovered: acc.recovered,
             unrecoverable: acc.unrecoverable,
             lost: acc.lost.into_iter().collect(),
+            traces: acc.traces,
+            trace_keys: acc.trace_keys,
+            exemplar: acc.exemplar,
         }
     }
 }

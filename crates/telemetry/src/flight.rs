@@ -87,6 +87,13 @@ pub struct FlightEvent {
     /// Deterministic tie-breaker: a per-user event counter for user
     /// events, the campaign id for campaign-level events.
     pub seq: u64,
+    /// The causal trace id of the request that produced the event
+    /// ([`crate::trace::TraceId`] raw value), or zero when no trace
+    /// context was available. Shard-side events (auction decided, cap
+    /// rejection, Tread observed) carry the page view's id; fold-side
+    /// events (impression billed, budget exhausted) run after the merge
+    /// erased the page-view-start sequence number and stay zero.
+    pub trace: u64,
     /// What happened.
     pub kind: FlightKind,
 }
@@ -202,6 +209,7 @@ mod tests {
             at: SimTime(at),
             user: UserId(user),
             seq,
+            trace: 0,
             kind: FlightKind::CapRejection { ads_capped: 1 },
         }
     }

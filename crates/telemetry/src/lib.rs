@@ -35,11 +35,58 @@ pub mod metrics;
 pub mod slo;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use flight::{FlightEvent, FlightKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use metrics::{Histogram, Registry};
 pub use slo::{SloTarget, SloTracker};
 pub use span::SpanTimer;
+pub use trace::{
+    traces_to_chrome, traces_to_json, RequestTrace, TraceCollector, TraceConfig, TraceEvent,
+    TraceEventKind, TraceId, TraceSpan, DEFAULT_TRACE_CAPACITY, SHED_SEQ,
+};
+
+/// One exemplar: a histogram observation annotated with the trace that
+/// produced it, so a p95+ bucket can link straight to a retained trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (same unit as the owning histogram).
+    pub value: u64,
+    /// The producing request's trace id.
+    pub trace: TraceId,
+}
+
+/// Exemplars retained per histogram name: the top-K largest observations
+/// offered, largest first. Lives on [`Telemetry`] rather than in
+/// [`Registry`] — registries are equality-compared across shard counts,
+/// and which requests carry the tail is wall-clock-shaped.
+#[derive(Debug, Clone, Default)]
+pub struct ExemplarStore {
+    per: std::collections::BTreeMap<&'static str, Vec<Exemplar>>,
+}
+
+/// Exemplars kept per histogram.
+const EXEMPLARS_PER_HISTOGRAM: usize = 4;
+
+impl ExemplarStore {
+    /// Offers one observation; kept if it ranks in the histogram's top-K.
+    pub fn offer(&mut self, name: &'static str, value: u64, trace: TraceId) {
+        let slot = self.per.entry(name).or_default();
+        slot.push(Exemplar { value, trace });
+        slot.sort_by(|a, b| b.value.cmp(&a.value).then(a.trace.cmp(&b.trace)));
+        slot.truncate(EXEMPLARS_PER_HISTOGRAM);
+    }
+
+    /// The retained exemplars for a histogram, largest first.
+    pub fn get(&self, name: &str) -> &[Exemplar] {
+        self.per.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if no exemplar is retained anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.per.is_empty()
+    }
+}
 
 /// The bundled telemetry handle: a metrics [`Registry`], a
 /// [`FlightRecorder`], and an on/off switch.
@@ -52,6 +99,8 @@ pub struct Telemetry {
     enabled: bool,
     metrics: Registry,
     flight: FlightRecorder,
+    traces: TraceCollector,
+    exemplars: ExemplarStore,
 }
 
 impl Default for Telemetry {
@@ -72,6 +121,8 @@ impl Telemetry {
             enabled: true,
             metrics: Registry::new(),
             flight: FlightRecorder::with_capacity(capacity),
+            traces: TraceCollector::new(TraceConfig::default()),
+            exemplars: ExemplarStore::default(),
         }
     }
 
@@ -158,12 +209,72 @@ impl Telemetry {
         }
     }
 
-    /// Folds another handle's metrics and flight journal into this one.
+    /// Folds another handle's metrics, flight journal, and retained
+    /// traces into this one. The other handle's trace counters already
+    /// live in its registry, so the traces transfer without re-counting.
     pub fn merge(&mut self, other: &Telemetry) {
         if self.is_enabled() {
             self.metrics.merge(&other.metrics);
             self.flight.append(other.flight.events().copied());
+            self.traces.absorb(other.traces.clone());
         }
+    }
+
+    /// The active trace config. [`TraceConfig::disabled`] whenever this
+    /// handle is off or recording is compiled out, so callers can gate
+    /// trace construction on `trace_config().enabled` alone.
+    pub fn trace_config(&self) -> TraceConfig {
+        if self.is_enabled() {
+            self.traces.config()
+        } else {
+            TraceConfig::disabled()
+        }
+    }
+
+    /// Replaces the trace config (retained traces are kept).
+    pub fn set_trace_config(&mut self, config: TraceConfig) {
+        self.traces.set_config(config);
+    }
+
+    /// Offers one finished trace to the collector, maintaining the
+    /// `trace.spans` / `trace.sampled` / `trace.dropped` counters.
+    /// Returns `true` when the trace was retained.
+    pub fn offer_trace(&mut self, trace: RequestTrace) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let spans = trace.spans.len() as u64;
+        if self.traces.offer(trace) {
+            self.metrics.add("trace.sampled", 1);
+            self.metrics.add("trace.spans", spans);
+            true
+        } else {
+            self.metrics.add("trace.dropped", 1);
+            false
+        }
+    }
+
+    /// The retained traces, in offer order.
+    pub fn traces(&self) -> &[RequestTrace] {
+        self.traces.retained()
+    }
+
+    /// Drains and returns the retained traces.
+    pub fn take_traces(&mut self) -> Vec<RequestTrace> {
+        self.traces.drain()
+    }
+
+    /// Offers a histogram exemplar (an observation + the trace behind it).
+    #[inline]
+    pub fn exemplar(&mut self, name: &'static str, value: u64, trace: TraceId) {
+        if self.is_enabled() {
+            self.exemplars.offer(name, value, trace);
+        }
+    }
+
+    /// The retained exemplars for a histogram, largest first.
+    pub fn exemplars(&self, name: &str) -> &[Exemplar] {
+        self.exemplars.get(name)
     }
 
     /// The metrics registry (read-only).
@@ -203,6 +314,7 @@ mod tests {
             at: SimTime(seq),
             user: UserId(1),
             seq,
+            trace: 0,
             kind: FlightKind::TreadObserved { ad: seq },
         }
     }
@@ -242,9 +354,19 @@ mod tests {
         let timer = t.span();
         assert!(!timer.is_running());
         t.end_span("phase.auction_ns", timer);
+        assert!(!t.trace_config().enabled);
+        assert!(!t.offer_trace(RequestTrace::tail(
+            TraceId(1),
+            SimTime(0),
+            1,
+            trace::SHED_SEQ
+        )));
+        t.exemplar("serving.request_latency_ns", 5, TraceId(1));
 
         assert!(t.metrics().is_empty());
         assert!(t.flight().is_empty());
+        assert!(t.traces().is_empty());
+        assert!(t.exemplars("serving.request_latency_ns").is_empty());
     }
 
     #[cfg(feature = "record")]
@@ -265,6 +387,32 @@ mod tests {
         let mut c = Telemetry::new();
         c.merge_registry(b.metrics());
         assert_eq!(c.metrics().counter("engine.impressions"), 2);
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn offered_traces_maintain_counters_and_exemplars() {
+        let mut t = Telemetry::new();
+        t.set_trace_config(TraceConfig::full());
+        let mut tr = RequestTrace::new(TraceId(7), SimTime(0), 1, 0, true);
+        tr.span("request", None, SimTime(0));
+        tr.span("decide", Some(0), SimTime(0));
+        assert!(t.offer_trace(tr));
+        assert!(!t.offer_trace(RequestTrace::new(TraceId(8), SimTime(0), 2, 0, false)));
+        assert_eq!(t.metrics().counter("trace.sampled"), 1);
+        assert_eq!(t.metrics().counter("trace.spans"), 2);
+        assert_eq!(t.metrics().counter("trace.dropped"), 1);
+        assert_eq!(t.traces().len(), 1);
+
+        t.exemplar("serving.request_latency_ns", 50, TraceId(7));
+        t.exemplar("serving.request_latency_ns", 99, TraceId(9));
+        let ex = t.exemplars("serving.request_latency_ns");
+        assert_eq!(ex[0].value, 99);
+        assert_eq!(ex[0].trace, TraceId(9));
+
+        let taken = t.take_traces();
+        assert_eq!(taken.len(), 1);
+        assert!(t.traces().is_empty());
     }
 
     #[cfg(feature = "record")]

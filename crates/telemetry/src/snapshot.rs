@@ -10,7 +10,7 @@
 
 use crate::flight::{FlightEvent, FlightKind};
 use crate::metrics::Histogram;
-use crate::Telemetry;
+use crate::{Exemplar, Telemetry};
 
 /// Renders a full snapshot — counters, histograms (with p50/p95/p99), and
 /// the flight-recorder journal — as a JSON document.
@@ -39,12 +39,18 @@ pub fn to_json(telemetry: &Telemetry) -> String {
             out.push(',');
         }
         out.push_str(&format!("\n    \"{name}\": "));
-        out.push_str(&histogram_json(h));
+        out.push_str(&histogram_json(h, telemetry.exemplars(name)));
     }
     if !histograms.is_empty() {
         out.push_str("\n  ");
     }
     out.push_str("},\n");
+
+    out.push_str(&format!(
+        "  \"trace\": {{\"retained\": {}, \"dropped\": {}}},\n",
+        telemetry.traces().len(),
+        telemetry.metrics().counter("trace.dropped")
+    ));
 
     out.push_str("  \"flight\": {\n");
     out.push_str(&format!(
@@ -67,7 +73,7 @@ pub fn to_json(telemetry: &Telemetry) -> String {
     out
 }
 
-fn histogram_json(h: &Histogram) -> String {
+fn histogram_json(h: &Histogram, exemplars: &[Exemplar]) -> String {
     let [p50, p95, p99] = h.percentiles();
     let mut s = format!(
         "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
@@ -88,18 +94,33 @@ fn histogram_json(h: &Histogram) -> String {
         s.push_str(&format!("{{\"le\": {bound}, \"count\": {count}}}"));
     }
     s.push_str(&format!(
-        ", {{\"le\": \"+Inf\", \"count\": {}}}]}}",
+        ", {{\"le\": \"+Inf\", \"count\": {}}}]",
         counts.last().expect("overflow bucket exists")
     ));
+    if !exemplars.is_empty() {
+        s.push_str(", \"exemplars\": [");
+        for (i, e) in exemplars.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"value\": {}, \"trace_id\": \"{}\"}}",
+                e.value, e.trace
+            ));
+        }
+        s.push(']');
+    }
+    s.push('}');
     s
 }
 
 fn event_json(event: &FlightEvent) -> String {
     let head = format!(
-        "{{\"at\": {}, \"user\": {}, \"seq\": {}, \"kind\": \"{}\"",
+        "{{\"at\": {}, \"user\": {}, \"seq\": {}, \"trace\": \"{:016x}\", \"kind\": \"{}\"",
         event.at.0,
         event.user.raw(),
         event.seq,
+        event.trace,
         event.kind.tag()
     );
     let body = match event.kind {
@@ -143,20 +164,43 @@ pub fn to_prometheus(telemetry: &Telemetry) -> String {
     }
     for (name, h) in telemetry.metrics().histograms() {
         let metric = prom_name(name);
+        let exemplars = telemetry.exemplars(name);
+        let [_, p95, _] = h.percentiles();
         out.push_str(&format!("# TYPE {metric} histogram\n"));
         let mut cumulative = 0u64;
         for (&bound, &count) in h.bounds().iter().zip(h.bucket_counts()) {
             cumulative += count;
-            out.push_str(&format!("{metric}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            out.push_str(&format!("{metric}_bucket{{le=\"{bound}\"}} {cumulative}"));
+            out.push_str(&exemplar_suffix(exemplars, bound, p95));
+            out.push('\n');
         }
+        out.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {}", h.count()));
+        out.push_str(&exemplar_suffix(exemplars, u64::MAX, p95));
         out.push_str(&format!(
-            "{metric}_bucket{{le=\"+Inf\"}} {}\n{metric}_sum {}\n{metric}_count {}\n",
-            h.count(),
+            "\n{metric}_sum {}\n{metric}_count {}\n",
             h.sum(),
             h.count()
         ));
     }
     out
+}
+
+/// OpenMetrics exemplar suffix for one cumulative bucket line: attached
+/// only to buckets at or above the histogram's p95 (exemplars annotate
+/// the latency tail, not the body), linking the largest retained exemplar
+/// that falls inside the bucket's range.
+fn exemplar_suffix(exemplars: &[Exemplar], bound: u64, p95: u64) -> String {
+    if bound < p95 {
+        return String::new();
+    }
+    match exemplars.iter().find(|e| e.value <= bound) {
+        Some(e) => format!(
+            " # {{trace_id=\"{}\"}} {}",
+            prom_label_value(&e.trace.to_hex()),
+            e.value
+        ),
+        None => String::new(),
+    }
 }
 
 /// Prometheus metric name: `treads_` prefix, non-alphanumerics mapped to
@@ -167,6 +211,24 @@ fn prom_name(name: &str) -> String {
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect();
     format!("treads_{mapped}")
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, and newline
+/// must be escaped inside `label="…"` per the exposition format. The
+/// pre-exemplar writer never emitted label values that needed this (its
+/// only labels were numeric `le` bounds); exemplar labels route through
+/// here so arbitrary values stay well-formed.
+fn prom_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -184,6 +246,7 @@ mod tests {
             at: SimTime(10),
             user: UserId(7),
             seq: 0,
+            trace: 0xabcd,
             kind: FlightKind::AuctionDecided {
                 outcome: "won",
                 eligible: 2,
@@ -231,6 +294,33 @@ mod tests {
         assert!(prom.contains("treads_engine_tick_ns_count 1"));
         // The +Inf bucket equals the total count for every histogram.
         assert!(prom.contains("treads_auction_eligible_bids_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn exemplars_render_in_json_and_prometheus() {
+        use crate::TraceId;
+        let mut t = sample();
+        // The tick histogram holds one 5ms observation; exemplar it.
+        t.exemplar("engine.tick_ns", 5_000_000, TraceId(0xfeed));
+        let json = to_json(&t);
+        assert!(json
+            .contains("\"exemplars\": [{\"value\": 5000000, \"trace_id\": \"000000000000feed\"}]"));
+        assert!(json.contains("\"trace\": \"000000000000abcd\""));
+        assert!(json.contains("\"trace\": {\"retained\": 0,"));
+        let prom = to_prometheus(&t);
+        assert!(
+            prom.contains("# {trace_id=\"000000000000feed\"} 5000000"),
+            "missing exemplar suffix in:\n{prom}"
+        );
+        // Exemplars only decorate p95+ buckets: the first (1µs) bucket
+        // line stays bare.
+        assert!(prom.contains("treads_engine_tick_ns_bucket{le=\"1000\"} 0\n"));
+    }
+
+    #[test]
+    fn label_values_escape_specials() {
+        assert_eq!(prom_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

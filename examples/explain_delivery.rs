@@ -1,0 +1,256 @@
+//! "Why this ad?" — decision provenance for one served impression.
+//!
+//! ```text
+//! cargo run --release --example explain_delivery
+//! ```
+//!
+//! Runs one simulated day through the serving front end with causal
+//! tracing fully sampled ([`TraceConfig::full`]), picks a served page,
+//! looks up its retained [`RequestTrace`], and renders the complete
+//! provenance chain: admission → pixels → per-slot eligibility census →
+//! per-candidate verdicts → auction → billing. Everything here is
+//! deterministic — the trace id is a pure hash of the request's
+//! `(at, user, user_seq)` key, so rerunning this example prints the same
+//! ids, the same verdicts, and the same winner every time.
+//!
+//! The full trace set is also dumped to `experiments-out/traces.json`
+//! (machine-readable) and `experiments-out/traces_chrome.json` (Chrome
+//! trace-event format — load it in Perfetto or `chrome://tracing`). The
+//! CI trace-smoke step greps this example's `explained winner:` line and
+//! `jq`-validates both dumps.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use treads_repro::adplatform::campaign::AdCreative;
+use treads_repro::adplatform::targeting::{TargetingExpr, TargetingSpec};
+use treads_repro::adplatform::{Platform, PlatformConfig};
+use treads_repro::adsim_types::{Money, SimTime, UserId};
+use treads_repro::engine::{ResilienceOptions, DAY_MS};
+use treads_repro::serving::{
+    OpportunityRequest, Response, ServingConfig, ServingEngine, TraceConfig,
+};
+use treads_repro::telemetry::{
+    traces_to_chrome, traces_to_json, RequestTrace, Telemetry, TraceEventKind,
+};
+use treads_repro::websim::{ArrivalSchedule, LoadProfile, SiteRegistry};
+
+fn main() {
+    let seed = 42;
+
+    // 1. A small platform with two competing campaigns, so the candidate
+    //    table has something to disagree about.
+    let mut platform = Platform::us_2018(PlatformConfig::facebook_like(seed));
+    let advertiser = platform.register_advertiser("Demo Shoes Inc.");
+    let account = platform.open_account(advertiser).expect("account");
+    let campaign = platform
+        .create_campaign(account, "spring sale", Money::dollars(8), None)
+        .expect("campaign");
+    platform
+        .submit_ad(
+            campaign,
+            AdCreative::text("Spring sale", "30% off everything"),
+            TargetingSpec::including(TargetingExpr::Everyone),
+        )
+        .expect("ad");
+    let users: Vec<UserId> = (0..200)
+        .map(|i| {
+            platform.register_user(
+                20 + (i % 50) as u8,
+                treads_repro::adplatform::profile::Gender::Female,
+                "Ohio",
+                "43004",
+            )
+        })
+        .collect();
+    let mut sites = SiteRegistry::new();
+    sites.create("news.example", 2);
+    let shop = sites.create("shop.example", 1);
+    let pixel = platform.create_pixel(account, "shop pixel").expect("pixel");
+    sites.embed_pixel(shop, pixel);
+
+    // 2. One deterministic open-loop day of traffic.
+    let profile = LoadProfile {
+        base_rps: 0.25,
+        diurnal_amplitude: 0.5,
+        bursts: vec![],
+        horizon_ms: DAY_MS,
+    };
+    let arrivals = ArrivalSchedule::open_loop(&users, &sites.ids(), &profile, seed);
+
+    // 3. Serve with tracing fully sampled: every request's decision chain
+    //    is retained (up to the collector capacity).
+    let engine = ServingEngine::new(ServingConfig {
+        shards: 2,
+        tick_ms: DAY_MS / 24,
+        horizon_ms: DAY_MS,
+        seed,
+        max_batch: 32,
+        max_delay: Duration::from_micros(200),
+        trace: TraceConfig::full(),
+        ..ServingConfig::default()
+    });
+    let mut telemetry = Telemetry::new();
+    let (_outcome, answered) = engine.serve_with_telemetry(
+        &mut platform,
+        &sites,
+        &BTreeSet::new(),
+        &ResilienceOptions::default(),
+        &mut telemetry,
+        |frontend| {
+            let tickets: Vec<_> = arrivals
+                .arrivals()
+                .iter()
+                .map(|a| {
+                    let req = OpportunityRequest {
+                        user: a.user,
+                        site: a.site,
+                        at: a.at,
+                    };
+                    (req, frontend.submit(req))
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|(req, t)| (req, t.wait()))
+                .collect::<Vec<_>>()
+        },
+    );
+
+    // 4. Pick the first page that actually delivered an ad, and find its
+    //    trace by the canonical (at, user) key + matching winners.
+    let traces = telemetry.traces();
+    let (req, page) = answered
+        .iter()
+        .find_map(|(req, resp)| match resp {
+            Response::Served(page) if !page.ads.is_empty() => Some((req, page)),
+            _ => None,
+        })
+        .expect("a healthy full-sampling day serves at least one ad");
+    let won: Vec<u64> = page.ads.iter().map(|a| a.raw()).collect();
+    let trace = traces
+        .iter()
+        .find(|t| t.at == req.at && t.user == req.user.raw() && t.won_ads() == won)
+        .expect("full sampling retains the serving trace of every page");
+
+    explain(trace, req.at, page.slots);
+
+    // The grep anchor for the CI trace-smoke step: the explained winner
+    // must be the ad the page actually carries.
+    assert_eq!(trace.won_ads(), won, "trace winner matches the served page");
+    println!("explained winner: ad={}", won[0]);
+
+    // 5. Dump every retained trace for offline tooling.
+    std::fs::create_dir_all("experiments-out").expect("create experiments-out/");
+    std::fs::write("experiments-out/traces.json", traces_to_json(traces))
+        .expect("write traces.json");
+    std::fs::write(
+        "experiments-out/traces_chrome.json",
+        traces_to_chrome(traces),
+    )
+    .expect("write traces_chrome.json");
+    println!(
+        "wrote {} retained traces to experiments-out/traces.json (+ Chrome trace-event dump)",
+        traces.len()
+    );
+}
+
+/// Renders one trace as a human-readable "why this ad" report.
+fn explain(trace: &RequestTrace, at: SimTime, slots: u32) {
+    println!(
+        "why this ad? trace {} — user {} at t={}ms (seq {}), {} slot(s)",
+        trace.id, trace.user, at.0, trace.user_seq, slots
+    );
+    for (i, span) in trace.spans.iter().enumerate() {
+        let depth = {
+            let mut d = 0;
+            let mut cur = span.parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = trace.spans[p].parent;
+            }
+            d
+        };
+        println!(
+            "{:indent$}[span] {} (t={}ms, +{}ns for {}ns)",
+            "",
+            span.name,
+            span.at.0,
+            span.start_ns,
+            span.dur_ns,
+            indent = 2 + depth * 2
+        );
+        for event in trace.events.iter().filter(|e| e.span == i) {
+            println!(
+                "{:indent$}- {}",
+                "",
+                render(&event.kind),
+                indent = 4 + depth * 2
+            );
+        }
+    }
+}
+
+fn render(kind: &TraceEventKind) -> String {
+    match *kind {
+        TraceEventKind::Admitted { shard } => format!("admitted to shard {shard}"),
+        TraceEventKind::Shed { reason } => format!("shed ({reason})"),
+        TraceEventKind::FaultDegraded { what, detail } => {
+            format!("fault degraded: {what} ({detail})")
+        }
+        TraceEventKind::SloBreachWindow => "tick window breached the latency SLO".to_string(),
+        TraceEventKind::MergeConflict { at, user, user_seq } => {
+            format!("merge conflict on key (at={at}, user={user}, seq={user_seq})")
+        }
+        TraceEventKind::PixelFired { pixel } => format!("pixel {pixel} fired"),
+        TraceEventKind::Slot {
+            slot,
+            considered,
+            index_pruned,
+            not_servable,
+            suspended,
+            over_budget,
+            frequency_capped,
+            targeting_mismatch,
+            eligible,
+            compiled_evals,
+        } => format!(
+            "slot {slot} census: {considered} considered ({index_pruned} index-pruned, \
+             {not_servable} not servable, {suspended} suspended, {over_budget} over budget, \
+             {frequency_capped} frequency-capped, {targeting_mismatch} targeting mismatch) \
+             -> {eligible} eligible [{compiled_evals} compiled evals]"
+        ),
+        TraceEventKind::Candidate {
+            slot,
+            ad,
+            verdict,
+            bid_cpm_micros,
+        } => format!(
+            "slot {slot} candidate ad {ad}: {verdict} (bid cap ${:.2} CPM)",
+            bid_cpm_micros as f64 / 1e6
+        ),
+        TraceEventKind::Auction {
+            slot,
+            outcome,
+            winner,
+            clearing_cpm_micros,
+            advertiser_bids,
+            background_competitors,
+            best_background_cpm_micros,
+        } => format!(
+            "slot {slot} auction: {outcome} (winner ad {winner} at ${:.2} CPM; \
+             {advertiser_bids} advertiser bid(s) vs {background_competitors} background \
+             competitor(s), best background ${:.2} CPM)",
+            clearing_cpm_micros as f64 / 1e6,
+            best_background_cpm_micros as f64 / 1e6
+        ),
+        TraceEventKind::Billed {
+            slot,
+            ad,
+            price_micros,
+        } => format!(
+            "slot {slot} billed: ad {ad} charged ${:.6} for this impression",
+            price_micros as f64 / 1e6
+        ),
+    }
+}

@@ -16,6 +16,11 @@ Two modes:
       Serving catalog (DESIGN.md §12): request/shed/SLO counters and the
       per-request latency + micro-batch size histograms. The serving path
       runs no timed engine phases, so those histograms are NOT required.
+
+Either mode also accepts --trace (DESIGN.md §13): require the causal
+tracing counters (trace.spans / trace.sampled / trace.dropped), the
+trace-collector section, and at least one exemplar linking the
+request-latency histogram's tail to a retained trace id.
 """
 
 import json
@@ -75,6 +80,16 @@ SERVING_HISTOGRAMS = [
     "serving.batch_size",
 ]
 
+# Causal tracing accounting (DESIGN.md §13): span/retention counters the
+# runtime zero-registers whenever tracing is configured, plus the
+# histogram whose tail must carry trace-id exemplars.
+TRACE_COUNTERS = [
+    "trace.spans",
+    "trace.sampled",
+    "trace.dropped",
+]
+TRACE_EXEMPLAR_HISTOGRAM = "serving.request_latency_ns"
+
 HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "p50", "p95", "p99", "buckets"]
 
 
@@ -86,9 +101,10 @@ def fail(msg: str) -> None:
 def main() -> None:
     args = sys.argv[1:]
     serving = "--serving" in args
-    args = [a for a in args if a != "--serving"]
+    trace = "--trace" in args
+    args = [a for a in args if a not in ("--serving", "--trace")]
     if len(args) != 1:
-        fail(f"usage: {sys.argv[0]} [--serving] <snapshot.json>")
+        fail(f"usage: {sys.argv[0]} [--serving] [--trace] <snapshot.json>")
     path = args[0]
     try:
         with open(path, encoding="utf-8") as f:
@@ -101,6 +117,8 @@ def main() -> None:
 
     required_counters = SERVING_COUNTERS if serving else ENGINE_COUNTERS
     required_histograms = SERVING_HISTOGRAMS if serving else ENGINE_HISTOGRAMS
+    if trace:
+        required_counters = required_counters + TRACE_COUNTERS
 
     counters = snap.get("counters")
     if not isinstance(counters, dict):
@@ -143,6 +161,35 @@ def main() -> None:
                 f"({counters['serving.requests'] - counters['serving.shed']})"
             )
 
+    if trace:
+        collector = snap.get("trace")
+        if not isinstance(collector, dict):
+            fail("missing 'trace' collector section")
+        for field in ("retained", "dropped"):
+            if not isinstance(collector.get(field), int) or collector[field] < 0:
+                fail(f"trace section field '{field}' is not a non-negative integer")
+        if collector["retained"] == 0:
+            fail("traced run retained no traces")
+        if counters["trace.spans"] == 0:
+            fail("traced run recorded no spans")
+        if counters["trace.sampled"] != collector["retained"]:
+            fail(
+                f"trace.sampled ({counters['trace.sampled']}) != retained traces "
+                f"({collector['retained']})"
+            )
+        lat = histograms.get(TRACE_EXEMPLAR_HISTOGRAM)
+        if lat is None:
+            fail(f"--trace requires histogram '{TRACE_EXEMPLAR_HISTOGRAM}'")
+        exemplars = lat.get("exemplars")
+        if not isinstance(exemplars, list) or not exemplars:
+            fail(f"histogram '{TRACE_EXEMPLAR_HISTOGRAM}' carries no exemplars")
+        for e in exemplars:
+            tid = e.get("trace_id")
+            if not isinstance(e.get("value"), int):
+                fail(f"exemplar lacks an integer value: {e}")
+            if not isinstance(tid, str) or len(tid) != 16 or int(tid, 16) == 0:
+                fail(f"exemplar trace_id is not a nonzero 16-hex id: {e}")
+
     flight = snap.get("flight")
     if not isinstance(flight, dict) or "events" not in flight:
         fail("missing 'flight' journal")
@@ -153,7 +200,7 @@ def main() -> None:
         if "auction_decided" not in kinds:
             fail(f"flight journal has no auction_decided events (kinds: {sorted(kinds)})")
 
-    mode = "serving" if serving else "engine"
+    mode = ("serving" if serving else "engine") + ("+trace" if trace else "")
     print(
         f"OK ({mode}): {path}: {len(counters)} counters, {len(histograms)} histograms, "
         f"{len(flight['events'])} flight events "
