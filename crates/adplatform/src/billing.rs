@@ -134,6 +134,12 @@ impl BillingLedger {
             .unwrap_or(Money::ZERO)
     }
 
+    /// The account a campaign has billed against, if it has billed at
+    /// all (the link is recorded on first charge).
+    pub fn campaign_account(&self, campaign: CampaignId) -> Option<AccountId> {
+        self.campaign_account.get(&campaign).copied()
+    }
+
     /// True if a campaign with `budget` has spending room left.
     pub fn within_budget(&self, campaign: CampaignId, budget: Option<Money>) -> bool {
         match budget {

@@ -249,6 +249,10 @@ pub struct ProfileStore {
     attr_words_capacity: usize,
     /// Monotone count of incremental facet maintenance writes.
     facet_updates: u64,
+    /// Users whose facets changed since the last
+    /// [`ProfileStore::take_dirty_facets`] drain, recorded at every facet
+    /// mutation site so an incremental checkpoint can re-encode only them.
+    dirty_facets: BTreeSet<UserId>,
 }
 
 impl ProfileStore {
@@ -275,6 +279,7 @@ impl ProfileStore {
             visited_zips: Vec::new(),
         };
         self.facet_updates += 1;
+        self.dirty_facets.insert(id);
         self.users.insert(
             id,
             UserProfile {
@@ -336,6 +341,7 @@ impl ProfileStore {
         profile.attributes.insert(attr);
         if profile.facets.grant(attr) {
             self.facet_updates += 1;
+            self.dirty_facets.insert(user);
         }
         Ok(())
     }
@@ -386,6 +392,7 @@ impl ProfileStore {
         profile.recent_zips.insert(zip.to_string());
         if profile.facets.record_visit(sym) {
             self.facet_updates += 1;
+            self.dirty_facets.insert(user);
         }
         Ok(())
     }
@@ -411,6 +418,13 @@ impl ProfileStore {
     /// `targeting.facet_updates` telemetry counter).
     pub fn facet_updates(&self) -> u64 {
         self.facet_updates
+    }
+
+    /// Drains the set of users whose facets changed since the last drain
+    /// (sorted). Incremental checkpoints call this once per delta frame;
+    /// a full export implies a drain so the next delta is relative to it.
+    pub fn take_dirty_facets(&mut self) -> Vec<UserId> {
+        std::mem::take(&mut self.dirty_facets).into_iter().collect()
     }
 
     /// Freezes the interner and every user's facets into a [`FacetsState`]

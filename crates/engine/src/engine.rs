@@ -7,7 +7,10 @@ use adplatform::Platform;
 use adsim_types::{CampaignId, Error, SimTime, UserId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use treads_resilience::checkpoint::{ConfigEcho, EngineCheckpoint, ReportCounters};
+use treads_resilience::checkpoint::{
+    ConfigEcho, EngineCheckpoint, ReportCounters, ShardCheckpoint,
+};
+use treads_resilience::delta::{CheckpointFrame, DeltaHead, DeltaTracker, ShardDeltaSource};
 use treads_resilience::{FaultPlan, FaultReport};
 use treads_telemetry::{
     span, FlightEvent, FlightKind, RequestTrace, Telemetry, TraceEventKind, TraceId, SHED_SEQ,
@@ -34,6 +37,12 @@ pub struct EngineConfig {
     pub tick_ms: u64,
     /// Master seed; every user derives private substreams from it.
     pub seed: u64,
+    /// Overlap tick `t+1`'s session generation with tick `t`'s
+    /// merge/apply on the shard worker threads. Session generation is
+    /// pure in `(user, seed, day)` and the merge never reads browsing
+    /// buffers, so the overlap is a wall-clock optimization only: output
+    /// is byte-identical either way.
+    pub pipeline_sessions: bool,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +52,7 @@ impl Default for EngineConfig {
             session: SessionConfig::default(),
             tick_ms: DAY_MS,
             seed: 42,
+            pipeline_sessions: true,
         }
     }
 }
@@ -86,6 +96,13 @@ pub struct ResilienceOptions {
     /// Take an [`EngineCheckpoint`] after every N completed ticks
     /// (0 = never).
     pub checkpoint_every_ticks: u64,
+    /// When > 0, cadence checkpoints are emitted as incremental
+    /// [`CheckpointFrame`]s instead of full [`EngineCheckpoint`]s: every
+    /// `delta_base_every`-th frame is a full base, the rest are
+    /// [`treads_resilience::DeltaFrame`]s carrying only the slots mutated
+    /// since the previous frame (see [`ResilientOutcome::frames`]).
+    /// 0 keeps the legacy full-checkpoint behavior.
+    pub delta_base_every: u64,
 }
 
 impl Default for ResilienceOptions {
@@ -94,6 +111,7 @@ impl Default for ResilienceOptions {
             faults: FaultPlan::new(),
             max_retries_per_shard_tick: 3,
             checkpoint_every_ticks: 0,
+            delta_base_every: 0,
         }
     }
 }
@@ -106,8 +124,16 @@ pub struct ResilientOutcome {
     pub outcome: EngineOutcome,
     /// What was injected, recovered, and lost.
     pub faults: FaultReport,
-    /// Checkpoints taken at tick boundaries, in tick order.
+    /// Checkpoints taken at tick boundaries, in tick order (legacy
+    /// full-checkpoint mode: [`ResilienceOptions::delta_base_every`]` ==
+    /// 0`; empty otherwise).
     pub checkpoints: Vec<EngineCheckpoint>,
+    /// Incremental checkpoint frames, in tick order (delta mode:
+    /// [`ResilienceOptions::delta_base_every`]` > 0`; empty otherwise).
+    /// Fold any prefix ending at frame `i` with
+    /// [`treads_resilience::fold_frames`] to recover the full checkpoint
+    /// at that tick, byte-identical to what legacy mode would have taken.
+    pub frames: Vec<CheckpointFrame>,
 }
 
 /// Tally from folding one tick's merged events into the platform.
@@ -393,6 +419,36 @@ impl Engine {
         )
     }
 
+    /// [`Engine::resume_from`] for delta mode: folds a frame chain (one
+    /// full base plus any number of deltas, as produced in
+    /// [`ResilientOutcome::frames`]) back into a full checkpoint and
+    /// resumes from it. The fold verifies the chain discipline and each
+    /// frame's state digest before anything is mutated; a chain whose
+    /// dirty bookkeeping missed a mutated slot fails here with
+    /// [`Error::InvalidInput`] instead of resuming silently wrong.
+    pub fn resume_from_frames(
+        &self,
+        platform: &mut Platform,
+        sites: &SiteRegistry,
+        users: &[UserId],
+        extension_users: &BTreeSet<UserId>,
+        options: &ResilienceOptions,
+        frames: &[CheckpointFrame],
+    ) -> adsim_types::Result<ResilientOutcome> {
+        let folded = treads_resilience::fold_frames(frames)
+            .map_err(|e| Error::invalid(format!("invalid checkpoint frame chain: {e}")))?;
+        let mut telemetry = Telemetry::disabled();
+        self.run_core(
+            platform,
+            sites,
+            users,
+            extension_users,
+            &mut telemetry,
+            options,
+            Some(&folded),
+        )
+    }
+
     /// The [`ConfigEcho`] this engine stamps into checkpoints.
     fn config_echo(&self, users: usize) -> ConfigEcho {
         ConfigEcho {
@@ -503,12 +559,21 @@ impl Engine {
 
         let mut fault_report = FaultReport::default();
         let mut checkpoints: Vec<EngineCheckpoint> = Vec::new();
+        let mut frames: Vec<CheckpointFrame> = Vec::new();
+        // Delta-checkpoint bookkeeping: the tracker maintains last-value
+        // maps, journal high-water marks, and the rolling state digest.
+        // A resumed chain always restarts at a full base frame (frame 0).
+        let delta_mode = options.checkpoint_every_ticks > 0 && options.delta_base_every > 0;
+        let mut tracker = delta_mode.then(|| DeltaTracker::new(self.config.shards));
+        let mut frame_count = 0u64;
         // Fault counters exist (at zero) in every snapshot, so dashboards
         // and the CI snapshot check can *require* them without a fault.
         telemetry.count("faults.injected", 0);
         telemetry.count("faults.recovered", 0);
         telemetry.count("faults.unrecoverable", 0);
         telemetry.count("checkpoint.bytes", 0);
+        telemetry.count("checkpoint.delta_bytes", 0);
+        telemetry.count("checkpoint.dirty_slots", 0);
         // Targeting counters likewise exist at zero in every snapshot:
         // `compiled_evals` stays zero under `EvalMode::Tree`, and
         // `facet_updates` settles to its true value at run end.
@@ -533,6 +598,22 @@ impl Engine {
             exhausted = cp.exhausted.iter().copied().collect();
             fault_report = cp.faults.clone();
             tick_start = cp.next_tick_start;
+        }
+
+        // Prime every shard's browsing buffers for the first tick. Later
+        // ticks prefetch for tick t+1 while tick t merges and folds (when
+        // `pipeline_sessions` is on), so this is the only generation wait
+        // that sits fully on the critical path.
+        if tick_start < horizon {
+            let first_end = (tick_start + self.config.tick_ms).min(horizon);
+            span!(telemetry, "phase.session_gen_ns", {
+                crossbeam::scope(|s| {
+                    for shard in shards.iter_mut() {
+                        s.spawn(move |_| shard.prefetch_sessions(SimTime(first_end)));
+                    }
+                })
+                .expect("engine prefetch scope")
+            });
         }
         while tick_start < horizon {
             let tick_timer = telemetry.span();
@@ -729,78 +810,226 @@ impl Engine {
                 }
             });
 
-            let mut tick_flight: Vec<FlightEvent> = Vec::new();
-            let mut tick_traces: Vec<RequestTrace> = Vec::new();
-            let mut shard_flight_dropped = 0u64;
-            for batch in &mut batches {
-                report.page_views += batch.page_views;
-                report.opportunities += batch.stats.opportunities;
-                platform.stats.opportunities += batch.stats.opportunities;
-                platform.stats.won += batch.stats.won;
-                platform.stats.lost_to_background += batch.stats.lost_to_background;
-                platform.stats.unfilled += batch.stats.unfilled;
-                telemetry.merge_registry(&batch.telemetry);
-                tick_flight.extend(batch.flight.iter().copied());
-                tick_traces.append(&mut batch.traces);
-                shard_flight_dropped += batch.flight_dropped;
-            }
-            // Flight events sort by the same canonical key as the event
-            // merge, so journal content is shard-count-invariant (as long
-            // as no shard's per-tick ring overflowed).
-            tick_flight.sort_by_key(FlightEvent::key);
-            telemetry.append_events(tick_flight);
-            // Traces sort by their request key for the same invariance.
-            tick_traces.sort_by_key(RequestTrace::key);
-            for t in tick_traces {
-                telemetry.offer_trace(t);
-            }
-            if shard_flight_dropped > 0 {
-                telemetry.count("flight.dropped_in_shards", shard_flight_dropped);
+            // Delta mode derives each shard's frequency-cap dirty keys
+            // from its merged impression events: the shard bumped exactly
+            // the `(ad, user)` slots its surviving (post-dedup) batch
+            // delivered, so the delivery hot path carries no bookkeeping.
+            if let Some(tracker) = tracker.as_mut() {
+                for batch in &batches {
+                    for event in &batch.events {
+                        if let ShardEvent::Impression { pending, .. } = event {
+                            tracker.note_shard_freq(batch.shard, (pending.ad, pending.user));
+                        }
+                    }
+                }
             }
 
-            let merged = span!(telemetry, "phase.merge_ns", {
-                merge_batches(batches.into_iter().map(|b| b.events).collect())
-            })
-            .map_err(|e| Error::Internal {
-                what: format!("tick {tick_index}: {e}"),
-            })?;
-            let apply_timer = telemetry.span();
-            let fold = fold_tick_events(
-                platform,
-                merged,
-                SimTime(tick_end),
-                telemetry,
-                &mut exhausted,
-            );
-            report.pixel_fires += fold.pixel_fires;
-            report.impressions += fold.impressions;
-            telemetry.end_span("phase.apply_ns", apply_timer);
-            report.ticks += 1;
+            // Frame-tick shard data is collected *before* the overlap
+            // scope below hands the shard states to the prefetch workers:
+            // cursors, dirty frequency values, and extension-log suffixes
+            // all live on the shards.
+            let take_frame = options.checkpoint_every_ticks > 0
+                && (report.ticks + 1).is_multiple_of(options.checkpoint_every_ticks);
+            let mut full_cursors: Option<Vec<ShardCheckpoint>> = None;
+            let mut delta_sources: Option<Vec<ShardDeltaSource>> = None;
+            if take_frame {
+                if delta_mode && !frame_count.is_multiple_of(options.delta_base_every) {
+                    let tracker = tracker.as_mut().expect("delta mode has a tracker");
+                    let mut sources = Vec::with_capacity(shards.len());
+                    for (s, shard) in shards.iter_mut().enumerate() {
+                        let cursors = shard.take_dirty_cursors();
+                        let freq = tracker
+                            .drain_shard_freq_dirty(s)
+                            .into_iter()
+                            .map(|key| (key, shard.freq_count(key.0, key.1)))
+                            .collect();
+                        let mut ext = Vec::new();
+                        for (user, log) in shard.extensions() {
+                            let observations = log.observations();
+                            let mark = tracker.shard_ext_mark(s, *user);
+                            if observations.len() > mark {
+                                ext.push((*user, observations[mark..].to_vec()));
+                            }
+                        }
+                        sources.push(ShardDeltaSource {
+                            index: s as u64,
+                            cursors,
+                            freq,
+                            ext,
+                        });
+                    }
+                    delta_sources = Some(sources);
+                } else {
+                    if delta_mode {
+                        // A base frame captures everything; reset the
+                        // accumulated dirty flags so the next delta starts
+                        // from this cut.
+                        for shard in shards.iter_mut() {
+                            let _ = shard.take_dirty_cursors();
+                        }
+                    }
+                    full_cursors = Some(shards.iter().map(ShardState::export_cursors).collect());
+                }
+            }
 
-            // Tick-boundary checkpoint: everything below is now folded and
-            // frozen, so the capture is a consistent cut of the run.
-            if options.checkpoint_every_ticks > 0
-                && report.ticks.is_multiple_of(options.checkpoint_every_ticks)
-            {
-                let cp = EngineCheckpoint {
-                    config: echo.clone(),
-                    next_tick_start: tick_end,
-                    report: ReportCounters {
-                        users: report.users,
-                        shards: report.shards,
-                        ticks: report.ticks,
-                        page_views: report.page_views,
-                        pixel_fires: report.pixel_fires,
-                        opportunities: report.opportunities,
-                        impressions: report.impressions,
-                    },
-                    exhausted: exhausted.iter().copied().collect(),
-                    faults: fault_report.clone(),
-                    platform: platform.export_state(),
-                    shards: shards.iter().map(ShardState::export_cursors).collect(),
+            // The pipelined overlap: shard workers prefetch tick t+1's
+            // browsing sessions while this thread merges, folds, and
+            // checkpoints tick t. Generation is pure in (user, seed, day)
+            // and the merge/fold never touches browsing buffers, so the
+            // overlap cannot change any folded byte.
+            let prefetch_until = (tick_end + self.config.tick_ms).min(horizon);
+            let prefetch_needed = tick_end < horizon;
+            let overlap = self.config.pipeline_sessions && prefetch_needed;
+            let overlap_gen_ns = Mutex::new(0u64);
+            crossbeam::scope(|s| -> adsim_types::Result<()> {
+                if overlap {
+                    for shard in shards.iter_mut() {
+                        let overlap_gen_ns = &overlap_gen_ns;
+                        s.spawn(move |_| {
+                            let t0 = std::time::Instant::now();
+                            shard.prefetch_sessions(SimTime(prefetch_until));
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            let mut slowest = overlap_gen_ns.lock();
+                            *slowest = (*slowest).max(ns);
+                        });
+                    }
+                }
+
+                let mut tick_flight: Vec<FlightEvent> = Vec::new();
+                let mut tick_traces: Vec<RequestTrace> = Vec::new();
+                let mut shard_flight_dropped = 0u64;
+                for batch in &mut batches {
+                    report.page_views += batch.page_views;
+                    report.opportunities += batch.stats.opportunities;
+                    platform.stats.opportunities += batch.stats.opportunities;
+                    platform.stats.won += batch.stats.won;
+                    platform.stats.lost_to_background += batch.stats.lost_to_background;
+                    platform.stats.unfilled += batch.stats.unfilled;
+                    telemetry.merge_registry(&batch.telemetry);
+                    tick_flight.extend(batch.flight.iter().copied());
+                    tick_traces.append(&mut batch.traces);
+                    shard_flight_dropped += batch.flight_dropped;
+                }
+                // Flight events sort by the same canonical key as the
+                // event merge, so journal content is shard-count-invariant
+                // (as long as no shard's per-tick ring overflowed).
+                tick_flight.sort_by_key(FlightEvent::key);
+                telemetry.append_events(tick_flight);
+                // Traces sort by their request key for the same invariance.
+                tick_traces.sort_by_key(RequestTrace::key);
+                for t in tick_traces {
+                    telemetry.offer_trace(t);
+                }
+                if shard_flight_dropped > 0 {
+                    telemetry.count("flight.dropped_in_shards", shard_flight_dropped);
+                }
+
+                let merged = span!(telemetry, "phase.merge_ns", {
+                    merge_batches(
+                        std::mem::take(&mut batches)
+                            .into_iter()
+                            .map(|b| b.events)
+                            .collect(),
+                    )
+                })
+                .map_err(|e| Error::Internal {
+                    what: format!("tick {tick_index}: {e}"),
+                })?;
+                let apply_timer = telemetry.span();
+                let fold = fold_tick_events(
+                    platform,
+                    merged,
+                    SimTime(tick_end),
+                    telemetry,
+                    &mut exhausted,
+                );
+                report.pixel_fires += fold.pixel_fires;
+                report.impressions += fold.impressions;
+                telemetry.end_span("phase.apply_ns", apply_timer);
+                report.ticks += 1;
+
+                // Tick-boundary checkpoint frame: everything is now folded
+                // and frozen, so the capture is a consistent cut of the run.
+                let counters = ReportCounters {
+                    users: report.users,
+                    shards: report.shards,
+                    ticks: report.ticks,
+                    page_views: report.page_views,
+                    pixel_fires: report.pixel_fires,
+                    opportunities: report.opportunities,
+                    impressions: report.impressions,
                 };
-                telemetry.count("checkpoint.bytes", cp.to_bytes().len() as u64);
-                checkpoints.push(cp);
+                if let Some(shard_cursors) = full_cursors.take() {
+                    let cp = EngineCheckpoint {
+                        config: echo.clone(),
+                        next_tick_start: tick_end,
+                        report: counters,
+                        exhausted: exhausted.iter().copied().collect(),
+                        faults: fault_report.clone(),
+                        platform: platform.export_state(),
+                        shards: shard_cursors,
+                    };
+                    telemetry.count("checkpoint.bytes", cp.to_bytes().len() as u64);
+                    if let Some(tracker) = tracker.as_mut() {
+                        tracker.rebase(&cp, platform);
+                        frames.push(CheckpointFrame::Full(cp));
+                    } else {
+                        checkpoints.push(cp);
+                    }
+                } else if let Some(sources) = delta_sources.take() {
+                    let head = DeltaHead {
+                        config: echo.clone(),
+                        next_tick_start: tick_end,
+                        report: counters,
+                        exhausted: exhausted.iter().copied().collect(),
+                        faults: fault_report.clone(),
+                    };
+                    let frame = tracker
+                        .as_mut()
+                        .expect("delta sources only exist in delta mode")
+                        .take_delta(head, platform, sources);
+                    let dirty_slots = frame.billing_accounts.len()
+                        + frame.billing_campaigns.len()
+                        + frame.billing_ads.len()
+                        + frame.billing_links.len()
+                        + frame.freq.len()
+                        + frame
+                            .audience_adds
+                            .iter()
+                            .map(|(_, m)| m.len())
+                            .sum::<usize>()
+                        + frame.facets.len()
+                        + frame
+                            .shards
+                            .iter()
+                            .map(|s| s.users.len() + s.freq.len() + s.ext.len())
+                            .sum::<usize>();
+                    let frame = CheckpointFrame::Delta(frame);
+                    telemetry.count("checkpoint.delta_bytes", frame.to_bytes().len() as u64);
+                    telemetry.count("checkpoint.dirty_slots", dirty_slots as u64);
+                    frames.push(frame);
+                }
+                if take_frame {
+                    frame_count += 1;
+                }
+                Ok(())
+            })
+            .expect("engine overlap scope")?;
+
+            if overlap {
+                telemetry.observe_ns("phase.session_gen_ns", overlap_gen_ns.into_inner());
+            } else if prefetch_needed {
+                // Serialized mode (`pipeline_sessions = false`): generate
+                // the next tick's sessions on the critical path, after the
+                // fold — the configuration E15 measures the overlap against.
+                span!(telemetry, "phase.session_gen_ns", {
+                    crossbeam::scope(|s| {
+                        for shard in shards.iter_mut() {
+                            s.spawn(move |_| shard.prefetch_sessions(SimTime(prefetch_until)));
+                        }
+                    })
+                    .expect("engine prefetch scope")
+                });
             }
 
             tick_start = tick_end;
@@ -820,6 +1049,7 @@ impl Engine {
             outcome: EngineOutcome { report, extensions },
             faults: fault_report,
             checkpoints,
+            frames,
         })
     }
 }

@@ -3,8 +3,9 @@
 //! A shard exclusively owns a subset of users (assigned by
 //! [`treads_workload::ShardPlan`]) and everything keyed on them:
 //!
-//! * each user's **browsing schedule**, generated from the per-user
-//!   substream `session-user-{id}` — identical whichever shard runs it;
+//! * each user's **browsing schedule**, generated one day at a time from
+//!   the per-user-per-day substream `session-user-{id}-day-{d}` —
+//!   identical whichever shard (or pipeline stage) runs it;
 //! * each user's **auction RNG**, substream `engine-user-{id}` — likewise;
 //! * the shard's **frequency caps**, which are per-`(ad, user)` counters
 //!   and therefore never shared across shards;
@@ -33,6 +34,7 @@ use websim::{BrowsingEvent, ExtensionLog, SessionConfig, SessionSchedule, SiteRe
 use treads_resilience::checkpoint::{ExtensionSnapshot, ShardCheckpoint, UserCursor};
 use treads_resilience::LostWork;
 
+use crate::engine::DAY_MS;
 use crate::event::ShardEvent;
 
 /// One user's execution state inside its owning shard.
@@ -41,21 +43,50 @@ use crate::event::ShardEvent;
 /// supervisor snapshots a shard before a tick attempt and restores the
 /// snapshot wholesale, so a half-executed attempt can never leak partial
 /// cursor/RNG state into the retry.
+///
+/// Browsing schedules are **windowed**: only the not-yet-consumed suffix
+/// of already-generated days lives in `buf`. Day `d` of the schedule is a
+/// pure function of `(user, seed, d)`
+/// ([`SessionSchedule::generate_day_for_user`]), so days are materialized
+/// lazily — by [`ShardState::prefetch_sessions`] ahead of the tick that
+/// needs them (possibly on another thread, overlapped with the previous
+/// tick's merge), or on demand inside the tick as a fallback — and
+/// dropped once consumed. The total consumed-event count (`consumed`) is
+/// the only schedule state a checkpoint needs.
 #[derive(Clone)]
 struct UserRuntime {
     id: UserId,
     /// Auction randomness: substream `engine-user-{id}` of the engine seed.
     rng: StdRng,
-    /// The user's full browsing schedule, time-sorted.
-    events: Vec<BrowsingEvent>,
-    /// Index of the next unprocessed event.
-    cursor: usize,
+    /// Pending window of the browsing schedule: the unconsumed events of
+    /// every day generated so far, time-sorted.
+    buf: Vec<BrowsingEvent>,
+    /// Read head into `buf` (events before it are consumed).
+    buf_pos: usize,
+    /// Number of schedule days already generated into `buf`.
+    gen_days: u64,
+    /// Total browsing events consumed since the run began — the
+    /// checkpoint cursor (day-generation replays it on resume).
+    consumed: u64,
     /// Per-user event counter; becomes the `user_seq` merge-key component.
     seq: u64,
     /// Per-user flight-event counter: the `seq` tie-breaker of this user's
     /// journal entries. Advances only on journaled events, entirely from
     /// user-owned state, so it is shard-count-invariant like `seq`.
     fseq: u64,
+}
+
+impl UserRuntime {
+    /// The user's frozen checkpoint cursor.
+    fn cursor(&self) -> UserCursor {
+        UserCursor {
+            user: self.id,
+            rng: self.rng.state(),
+            cursor: self.consumed,
+            seq: self.seq,
+            fseq: self.fseq,
+        }
+    }
 }
 
 /// What a shard should record during a tick, decided once by the engine.
@@ -158,8 +189,20 @@ pub struct CrashSignal;
 pub struct ShardState {
     index: usize,
     users: Vec<UserRuntime>,
+    /// Per-user dirty flags since the last checkpoint frame: set whenever
+    /// a user consumes a browsing event (the only way cursor/RNG/seq
+    /// state can move), drained by [`Self::take_dirty_cursors`]. A
+    /// crash-restored snapshot restores the flags wholesale, so a flag
+    /// can be spuriously *set* after recovery (a harmless, slightly
+    /// larger delta) but never spuriously clear.
+    dirty: Vec<bool>,
     freq: FrequencyCaps,
     extensions: BTreeMap<UserId, ExtensionLog>,
+    /// Inputs of day-keyed schedule generation, retained so days can be
+    /// materialized lazily (see [`UserRuntime::buf`]).
+    site_ids: Vec<SiteId>,
+    session: SessionConfig,
+    seed: u64,
     /// Reusable per-decide buffers (candidate list, bid list), warm
     /// across every opportunity this shard ever runs.
     /// Pure scratch: cleared before use, so it carries no state between
@@ -168,8 +211,9 @@ pub struct ShardState {
 }
 
 impl ShardState {
-    /// Builds a shard for `users`, generating each user's browsing
-    /// schedule from its own substream of `seed`.
+    /// Builds a shard for `users`. Construction is cheap: browsing
+    /// schedules are generated day by day as ticks (or
+    /// [`Self::prefetch_sessions`]) demand them, not up front.
     pub fn new(
         index: usize,
         users: &[UserId],
@@ -179,18 +223,17 @@ impl ShardState {
         seed: u64,
         frequency_cap: u32,
     ) -> Self {
-        let runtimes = users
+        let runtimes: Vec<UserRuntime> = users
             .iter()
-            .map(|&id| {
-                let schedule = SessionSchedule::generate_for_user(id, sites, session, seed);
-                UserRuntime {
-                    id,
-                    rng: substream(seed, &format!("engine-user-{}", id.raw())),
-                    events: schedule.events().to_vec(),
-                    cursor: 0,
-                    seq: 0,
-                    fseq: 0,
-                }
+            .map(|&id| UserRuntime {
+                id,
+                rng: substream(seed, &format!("engine-user-{}", id.raw())),
+                buf: Vec::new(),
+                buf_pos: 0,
+                gen_days: 0,
+                consumed: 0,
+                seq: 0,
+                fseq: 0,
             })
             .collect();
         let extensions = users
@@ -200,9 +243,13 @@ impl ShardState {
             .collect();
         Self {
             index,
+            dirty: vec![false; runtimes.len()],
             users: runtimes,
             freq: FrequencyCaps::new(frequency_cap),
             extensions,
+            site_ids: sites.to_vec(),
+            session: *session,
+            seed,
             scratch: DeliveryScratch::new(),
         }
     }
@@ -210,6 +257,33 @@ impl ShardState {
     /// Number of users owned by this shard.
     pub fn user_count(&self) -> usize {
         self.users.len()
+    }
+
+    /// Materializes every schedule day starting before `until` that is
+    /// not yet generated, for every user, dropping consumed events first.
+    ///
+    /// Day generation is a pure function of `(user, seed, day)`, so this
+    /// can run on any thread at any time before the events are needed —
+    /// the engine overlaps tick `t+1`'s prefetch with tick `t`'s
+    /// merge/apply. Ticks that outrun the prefetch fall back to on-demand
+    /// generation with identical results.
+    pub fn prefetch_sessions(&mut self, until: SimTime) {
+        for user in &mut self.users {
+            if user.buf_pos > 0 {
+                user.buf.drain(..user.buf_pos);
+                user.buf_pos = 0;
+            }
+            while user.gen_days < self.session.days && user.gen_days * DAY_MS < until.millis() {
+                user.buf.extend(SessionSchedule::generate_day_for_user(
+                    user.id,
+                    &self.site_ids,
+                    &self.session,
+                    self.seed,
+                    user.gen_days,
+                ));
+                user.gen_days += 1;
+            }
+        }
     }
 
     /// Runs all of this shard's browsing events with `at < tick_end`.
@@ -280,15 +354,37 @@ impl ShardState {
         let mut tally = TickTally::default();
         let mut eligible_hist = Histogram::small_values();
         let mut candidate_hist = Histogram::small_values();
-        for user in &mut self.users {
+        for (ui, user) in self.users.iter_mut().enumerate() {
             let uid = user.id;
             let mut chain = if record { Some(Instant::now()) } else { None };
-            while user.cursor < user.events.len() {
-                let BrowsingEvent::PageView { site, at, .. } = user.events[user.cursor];
+            loop {
+                if user.buf_pos == user.buf.len() {
+                    // Window exhausted: generate the next day on demand if
+                    // it can still contribute events before `tick_end`
+                    // (prefetched shards never take this path).
+                    if user.gen_days >= self.session.days
+                        || user.gen_days * DAY_MS >= tick_end.millis()
+                    {
+                        break;
+                    }
+                    user.buf = SessionSchedule::generate_day_for_user(
+                        uid,
+                        &self.site_ids,
+                        &self.session,
+                        self.seed,
+                        user.gen_days,
+                    );
+                    user.buf_pos = 0;
+                    user.gen_days += 1;
+                    continue;
+                }
+                let BrowsingEvent::PageView { site, at, .. } = user.buf[user.buf_pos];
                 if at >= tick_end {
                     break;
                 }
-                user.cursor += 1;
+                user.buf_pos += 1;
+                user.consumed += 1;
+                self.dirty[ui] = true;
                 let site = match sites.get(site) {
                     Some(s) => s,
                     None => continue,
@@ -568,13 +664,32 @@ impl ShardState {
             shard: self.index,
             ..LostWork::default()
         };
-        for user in &mut self.users {
-            while user.cursor < user.events.len() {
-                let BrowsingEvent::PageView { site, at, .. } = user.events[user.cursor];
+        for (ui, user) in self.users.iter_mut().enumerate() {
+            loop {
+                if user.buf_pos == user.buf.len() {
+                    if user.gen_days >= self.session.days
+                        || user.gen_days * DAY_MS >= tick_end.millis()
+                    {
+                        break;
+                    }
+                    user.buf = SessionSchedule::generate_day_for_user(
+                        user.id,
+                        &self.site_ids,
+                        &self.session,
+                        self.seed,
+                        user.gen_days,
+                    );
+                    user.buf_pos = 0;
+                    user.gen_days += 1;
+                    continue;
+                }
+                let BrowsingEvent::PageView { site, at, .. } = user.buf[user.buf_pos];
                 if at >= tick_end {
                     break;
                 }
-                user.cursor += 1;
+                user.buf_pos += 1;
+                user.consumed += 1;
+                self.dirty[ui] = true;
                 // Unknown sites are skipped without counting, exactly as
                 // `run_tick` skips them without simulating.
                 let site = match sites.get(site) {
@@ -602,17 +717,7 @@ impl ShardState {
     pub fn export_cursors(&self) -> ShardCheckpoint {
         ShardCheckpoint {
             index: self.index as u64,
-            users: self
-                .users
-                .iter()
-                .map(|u| UserCursor {
-                    user: u.id,
-                    rng: u.rng.state(),
-                    cursor: u.cursor as u64,
-                    seq: u.seq,
-                    fseq: u.fseq,
-                })
-                .collect(),
+            users: self.users.iter().map(UserRuntime::cursor).collect(),
             freq: self.freq.entries(),
             extensions: self
                 .extensions
@@ -623,6 +728,38 @@ impl ShardState {
                 })
                 .collect(),
         }
+    }
+
+    /// Drains the per-user dirty flags, returning `(position, cursor)`
+    /// for every user whose schedule state moved since the last drain.
+    ///
+    /// Positions index the shard's deterministic user order (the same
+    /// order [`Self::export_cursors`] freezes), so a delta frame can
+    /// address cursors without repeating the full user list. Call this on
+    /// *every* checkpoint frame — full frames discard the result but must
+    /// still reset the flags so the next delta is relative to them.
+    pub fn take_dirty_cursors(&mut self) -> Vec<(u32, UserCursor)> {
+        let mut out = Vec::new();
+        for (ui, user) in self.users.iter().enumerate() {
+            if self.dirty[ui] {
+                out.push((ui as u32, user.cursor()));
+            }
+        }
+        for flag in &mut self.dirty {
+            *flag = false;
+        }
+        out
+    }
+
+    /// The current frequency-cap count for `(ad, user)` on this shard.
+    pub fn freq_count(&self, ad: adsim_types::AdId, user: UserId) -> u32 {
+        self.freq.count(ad, user)
+    }
+
+    /// The extension logs of this shard's Treads users (delta checkpoints
+    /// read append-only suffixes out of them).
+    pub fn extensions(&self) -> &BTreeMap<UserId, ExtensionLog> {
+        &self.extensions
     }
 
     /// Restores the replayable state frozen by [`Self::export_cursors`]
@@ -648,6 +785,12 @@ impl ShardState {
                 self.users.len()
             )));
         }
+        // Replay day generation to locate each frozen cursor: days are
+        // regenerated from day 0, fully-consumed ones discarded, until the
+        // consumed-event count is spent. Nothing is applied until every
+        // user's cursor is known to fit inside their schedule.
+        let mut windows: Vec<(Vec<BrowsingEvent>, usize, u64)> =
+            Vec::with_capacity(self.users.len());
         for (user, frozen) in self.users.iter().zip(&cp.users) {
             if user.id != frozen.user {
                 return Err(adsim_types::Error::invalid(format!(
@@ -655,14 +798,31 @@ impl ShardState {
                     frozen.user, user.id
                 )));
             }
-            if frozen.cursor as usize > user.events.len() {
-                return Err(adsim_types::Error::invalid(format!(
-                    "checkpoint cursor {} exceeds user {}'s schedule length {}",
-                    frozen.cursor,
+            let mut remaining = frozen.cursor;
+            let mut window = (Vec::new(), 0usize, 0u64);
+            for day in 0..self.session.days {
+                let events = SessionSchedule::generate_day_for_user(
                     user.id,
-                    user.events.len()
+                    &self.site_ids,
+                    &self.session,
+                    self.seed,
+                    day,
+                );
+                if remaining < events.len() as u64 {
+                    window = (events, remaining as usize, day + 1);
+                    remaining = 0;
+                    break;
+                }
+                remaining -= events.len() as u64;
+                window = (Vec::new(), 0, day + 1);
+            }
+            if remaining > 0 {
+                return Err(adsim_types::Error::invalid(format!(
+                    "checkpoint cursor {} exceeds user {}'s schedule length",
+                    frozen.cursor, user.id
                 )));
             }
+            windows.push(window);
         }
         if cp.extensions.len() != self.extensions.len()
             || cp
@@ -675,11 +835,19 @@ impl ShardState {
                 self.index
             )));
         }
-        for (user, frozen) in self.users.iter_mut().zip(&cp.users) {
+        for ((user, frozen), (buf, buf_pos, gen_days)) in
+            self.users.iter_mut().zip(&cp.users).zip(windows)
+        {
             user.rng = StdRng::restore(frozen.rng);
-            user.cursor = frozen.cursor as usize;
+            user.buf = buf;
+            user.buf_pos = buf_pos;
+            user.gen_days = gen_days;
+            user.consumed = frozen.cursor;
             user.seq = frozen.seq;
             user.fseq = frozen.fseq;
+        }
+        for flag in &mut self.dirty {
+            *flag = false;
         }
         self.freq.restore_entries(&cp.freq);
         self.extensions = cp

@@ -9,7 +9,8 @@
 //! reconstructs it from its own deterministic setup, and the
 //! [`ConfigEcho`] lets resume reject a mismatched host.
 //!
-//! Format: `b"TRCK"` magic, a `u32` version, then the fields in the
+//! Format: `b"TRCK"` magic, a `u32` version, a frame-kind byte (`0` =
+//! full, `1` = delta — see [`crate::delta`]), then the fields in the
 //! fixed order of the `encode` functions below. **Versioning rule:** any
 //! layout change — field added, removed, reordered, or re-typed — bumps
 //! [`CHECKPOINT_VERSION`]; the decoder rejects versions it does not know
@@ -37,7 +38,17 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"TRCK";
 ///   facet-update counter, per-user facets) to the platform section, so
 ///   a resumed run keeps assigning interner symbols in the same
 ///   first-intern order the original run would have.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// * v3 — inserts a frame-kind byte after the version
+///   ([`FRAME_FULL`]` = 0` or [`FRAME_DELTA`]` = 1`), introducing
+///   incremental [`crate::delta::DeltaFrame`]s alongside full
+///   checkpoints; per-user schedule cursors become consumed-event counts
+///   over day-keyed session generation.
+pub const CHECKPOINT_VERSION: u32 = 3;
+
+/// Frame-kind byte of a full checkpoint frame.
+pub const FRAME_FULL: u8 = 0;
+/// Frame-kind byte of an incremental delta frame ([`crate::delta`]).
+pub const FRAME_DELTA: u8 = 1;
 
 /// The engine configuration a checkpoint was taken under. Resume
 /// validates this against the host's engine to catch driver mismatches
@@ -136,59 +147,18 @@ pub struct EngineCheckpoint {
 }
 
 impl EngineCheckpoint {
-    /// Serializes to the versioned binary format.
+    /// Serializes to the versioned binary format (a v3 *full* frame).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_bytes(&CHECKPOINT_MAGIC);
         w.put_u32(CHECKPOINT_VERSION);
-
-        // Config echo.
-        w.put_u64(self.config.shards);
-        w.put_u64(self.config.seed);
-        w.put_u64(self.config.tick_ms);
-        w.put_u64(self.config.users);
-        w.put_u64(self.config.days);
-        w.put_u64(self.config.views_bits);
-
-        w.put_u64(self.next_tick_start);
-
-        // Report counters.
-        w.put_u64(self.report.users);
-        w.put_u64(self.report.shards);
-        w.put_u64(self.report.ticks);
-        w.put_u64(self.report.page_views);
-        w.put_u64(self.report.pixel_fires);
-        w.put_u64(self.report.opportunities);
-        w.put_u64(self.report.impressions);
-
-        w.put_u32(self.exhausted.len() as u32);
-        for c in &self.exhausted {
-            w.put_u64(c.raw());
-        }
-
-        // Fault accounting.
-        w.put_u64(self.faults.injected);
-        w.put_u64(self.faults.recovered);
-        w.put_u64(self.faults.unrecoverable);
-        w.put_u32(self.faults.lost.len() as u32);
-        for l in &self.faults.lost {
-            w.put_u64(l.tick);
-            w.put_u64(l.shard as u64);
-            w.put_u64(l.page_views);
-            w.put_u64(l.pixel_fires);
-            w.put_u64(l.opportunities);
-        }
-
-        encode_platform(&mut w, &self.platform);
-
-        w.put_u32(self.shards.len() as u32);
-        for shard in &self.shards {
-            encode_shard(&mut w, shard);
-        }
+        w.put_u8(FRAME_FULL);
+        encode_full_body(&mut w, self);
         w.into_bytes()
     }
 
     /// Deserializes a checkpoint, rejecting bad magic, unknown versions,
+    /// delta frames (decode those via [`crate::delta::CheckpointFrame`]),
     /// truncation, and trailing bytes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
         let mut r = Reader::new(bytes);
@@ -199,71 +169,18 @@ impl EngineCheckpoint {
         if version != CHECKPOINT_VERSION {
             return Err(DecodeError::UnsupportedVersion(version));
         }
-
-        let config = ConfigEcho {
-            shards: r.get_u64()?,
-            seed: r.get_u64()?,
-            tick_ms: r.get_u64()?,
-            users: r.get_u64()?,
-            days: r.get_u64()?,
-            views_bits: r.get_u64()?,
-        };
-        let next_tick_start = r.get_u64()?;
-        let report = ReportCounters {
-            users: r.get_u64()?,
-            shards: r.get_u64()?,
-            ticks: r.get_u64()?,
-            page_views: r.get_u64()?,
-            pixel_fires: r.get_u64()?,
-            opportunities: r.get_u64()?,
-            impressions: r.get_u64()?,
-        };
-        let exhausted = {
-            let n = r.get_u32()?;
-            (0..n)
-                .map(|_| Ok(CampaignId(r.get_u64()?)))
-                .collect::<Result<Vec<_>, DecodeError>>()?
-        };
-        let faults = {
-            let injected = r.get_u64()?;
-            let recovered = r.get_u64()?;
-            let unrecoverable = r.get_u64()?;
-            let n = r.get_u32()?;
-            let lost = (0..n)
-                .map(|_| {
-                    Ok(LostWork {
-                        tick: r.get_u64()?,
-                        shard: r.get_u64()? as usize,
-                        page_views: r.get_u64()?,
-                        pixel_fires: r.get_u64()?,
-                        opportunities: r.get_u64()?,
-                    })
-                })
-                .collect::<Result<Vec<_>, DecodeError>>()?;
-            FaultReport {
-                injected,
-                recovered,
-                unrecoverable,
-                lost,
+        match r.get_u8()? {
+            FRAME_FULL => {}
+            FRAME_DELTA => {
+                return Err(DecodeError::Invalid(
+                    "delta frame where full checkpoint expected",
+                ))
             }
-        };
-        let platform = decode_platform(&mut r)?;
-        let shards = {
-            let n = r.get_u32()?;
-            (0..n)
-                .map(|_| decode_shard(&mut r))
-                .collect::<Result<Vec<_>, DecodeError>>()?
-        };
+            _ => return Err(DecodeError::Invalid("frame kind byte")),
+        }
+        let cp = decode_full_body(&mut r)?;
         r.finish()?;
-        Ok(Self {
-            config,
-            next_tick_start,
-            report,
-            exhausted,
-            faults,
-            platform,
-            shards,
-        })
+        Ok(cp)
     }
 
     /// Rebuilds each shard's [`ExtensionLog`] map entries.
@@ -279,6 +196,122 @@ impl EngineCheckpoint {
             })
             .collect()
     }
+}
+
+/// Encodes everything after the magic/version/kind framing of a full
+/// checkpoint (shared with [`crate::delta`]'s frame codec).
+pub(crate) fn encode_full_body(w: &mut Writer, cp: &EngineCheckpoint) {
+    // Config echo.
+    w.put_u64(cp.config.shards);
+    w.put_u64(cp.config.seed);
+    w.put_u64(cp.config.tick_ms);
+    w.put_u64(cp.config.users);
+    w.put_u64(cp.config.days);
+    w.put_u64(cp.config.views_bits);
+
+    w.put_u64(cp.next_tick_start);
+
+    // Report counters.
+    w.put_u64(cp.report.users);
+    w.put_u64(cp.report.shards);
+    w.put_u64(cp.report.ticks);
+    w.put_u64(cp.report.page_views);
+    w.put_u64(cp.report.pixel_fires);
+    w.put_u64(cp.report.opportunities);
+    w.put_u64(cp.report.impressions);
+
+    w.put_u32(cp.exhausted.len() as u32);
+    for c in &cp.exhausted {
+        w.put_u64(c.raw());
+    }
+
+    // Fault accounting.
+    w.put_u64(cp.faults.injected);
+    w.put_u64(cp.faults.recovered);
+    w.put_u64(cp.faults.unrecoverable);
+    w.put_u32(cp.faults.lost.len() as u32);
+    for l in &cp.faults.lost {
+        w.put_u64(l.tick);
+        w.put_u64(l.shard as u64);
+        w.put_u64(l.page_views);
+        w.put_u64(l.pixel_fires);
+        w.put_u64(l.opportunities);
+    }
+
+    encode_platform(w, &cp.platform);
+
+    w.put_u32(cp.shards.len() as u32);
+    for shard in &cp.shards {
+        encode_shard(w, shard);
+    }
+}
+
+/// Decoder counterpart of [`encode_full_body`] (the caller frames it with
+/// magic/version/kind and calls `finish`).
+pub(crate) fn decode_full_body(r: &mut Reader<'_>) -> Result<EngineCheckpoint, DecodeError> {
+    let config = ConfigEcho {
+        shards: r.get_u64()?,
+        seed: r.get_u64()?,
+        tick_ms: r.get_u64()?,
+        users: r.get_u64()?,
+        days: r.get_u64()?,
+        views_bits: r.get_u64()?,
+    };
+    let next_tick_start = r.get_u64()?;
+    let report = ReportCounters {
+        users: r.get_u64()?,
+        shards: r.get_u64()?,
+        ticks: r.get_u64()?,
+        page_views: r.get_u64()?,
+        pixel_fires: r.get_u64()?,
+        opportunities: r.get_u64()?,
+        impressions: r.get_u64()?,
+    };
+    let exhausted = {
+        let n = r.get_u32()?;
+        (0..n)
+            .map(|_| Ok(CampaignId(r.get_u64()?)))
+            .collect::<Result<Vec<_>, DecodeError>>()?
+    };
+    let faults = {
+        let injected = r.get_u64()?;
+        let recovered = r.get_u64()?;
+        let unrecoverable = r.get_u64()?;
+        let n = r.get_u32()?;
+        let lost = (0..n)
+            .map(|_| {
+                Ok(LostWork {
+                    tick: r.get_u64()?,
+                    shard: r.get_u64()? as usize,
+                    page_views: r.get_u64()?,
+                    pixel_fires: r.get_u64()?,
+                    opportunities: r.get_u64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, DecodeError>>()?;
+        FaultReport {
+            injected,
+            recovered,
+            unrecoverable,
+            lost,
+        }
+    };
+    let platform = decode_platform(r)?;
+    let shards = {
+        let n = r.get_u32()?;
+        (0..n)
+            .map(|_| decode_shard(r))
+            .collect::<Result<Vec<_>, DecodeError>>()?
+    };
+    Ok(EngineCheckpoint {
+        config,
+        next_tick_start,
+        report,
+        exhausted,
+        faults,
+        platform,
+        shards,
+    })
 }
 
 fn encode_platform(w: &mut Writer, p: &PlatformState) {
@@ -362,19 +395,57 @@ fn encode_facets(w: &mut Writer, f: &FacetsState) {
     w.put_u32(f.users.len() as u32);
     for (user, facets) in &f.users {
         w.put_u64(user.raw());
-        let words = facets.attr_words();
-        w.put_u32(words.len() as u32);
-        for word in words {
-            w.put_u64(*word);
-        }
-        w.put_u32(facets.state());
-        w.put_u32(facets.zip());
-        let visited = facets.visited_zip_symbols();
-        w.put_u32(visited.len() as u32);
-        for z in visited {
-            w.put_u32(*z);
-        }
+        encode_profile_facets(w, facets);
     }
+}
+
+/// Encodes one user's facets: bitset words, geo symbols, sorted
+/// visited-ZIP symbols (shared with [`crate::delta`]'s frame codec).
+pub(crate) fn encode_profile_facets(w: &mut Writer, facets: &ProfileFacets) {
+    let words = facets.attr_words();
+    w.put_u32(words.len() as u32);
+    for word in words {
+        w.put_u64(*word);
+    }
+    w.put_u32(facets.state());
+    w.put_u32(facets.zip());
+    let visited = facets.visited_zip_symbols();
+    w.put_u32(visited.len() as u32);
+    for z in visited {
+        w.put_u32(*z);
+    }
+}
+
+/// Strict decoder counterpart of [`encode_profile_facets`]: every symbol
+/// reference must fall below `symbol_count`, and the visited-ZIP list
+/// must be strictly sorted.
+pub(crate) fn decode_profile_facets(
+    r: &mut Reader<'_>,
+    symbol_count: u32,
+) -> Result<ProfileFacets, DecodeError> {
+    let check_symbol = |sym: u32| {
+        if sym >= symbol_count {
+            Err(DecodeError::Invalid("facet symbol out of range"))
+        } else {
+            Ok(sym)
+        }
+    };
+    let w = r.get_u32()?;
+    let attr_words = (0..w)
+        .map(|_| r.get_u64())
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let state_sym = check_symbol(r.get_u32()?)?;
+    let zip_sym = check_symbol(r.get_u32()?)?;
+    let v = r.get_u32()?;
+    let visited = (0..v)
+        .map(|_| check_symbol(r.get_u32()?))
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    if !visited.windows(2).all(|pair| pair[0] < pair[1]) {
+        return Err(DecodeError::Invalid("visited-ZIP symbols not sorted"));
+    }
+    Ok(ProfileFacets::from_parts(
+        attr_words, state_sym, zip_sym, visited,
+    ))
 }
 
 /// Strict decoder counterpart of [`encode_facets`]: rejects duplicate
@@ -394,35 +465,13 @@ fn decode_facets(r: &mut Reader<'_>) -> Result<FacetsState, DecodeError> {
         }
     }
     let symbol_count = symbols.len() as u32;
-    let check_symbol = |sym: u32| {
-        if sym >= symbol_count {
-            Err(DecodeError::Invalid("facet symbol out of range"))
-        } else {
-            Ok(sym)
-        }
-    };
     let facet_updates = r.get_u64()?;
     let n = r.get_u32()?;
     let users = (0..n)
         .map(|_| {
             let user = UserId(r.get_u64()?);
-            let w = r.get_u32()?;
-            let attr_words = (0..w)
-                .map(|_| r.get_u64())
-                .collect::<Result<Vec<_>, DecodeError>>()?;
-            let state_sym = check_symbol(r.get_u32()?)?;
-            let zip_sym = check_symbol(r.get_u32()?)?;
-            let v = r.get_u32()?;
-            let visited = (0..v)
-                .map(|_| check_symbol(r.get_u32()?))
-                .collect::<Result<Vec<_>, DecodeError>>()?;
-            if !visited.windows(2).all(|pair| pair[0] < pair[1]) {
-                return Err(DecodeError::Invalid("visited-ZIP symbols not sorted"));
-            }
-            Ok((
-                user,
-                ProfileFacets::from_parts(attr_words, state_sym, zip_sym, visited),
-            ))
+            let facets = decode_profile_facets(r, symbol_count)?;
+            Ok((user, facets))
         })
         .collect::<Result<Vec<_>, DecodeError>>()?;
     Ok(FacetsState {
@@ -547,20 +596,54 @@ fn encode_shard(w: &mut Writer, shard: &ShardCheckpoint) {
         w.put_u64(e.user.raw());
         w.put_u32(e.observations.len() as u32);
         for o in &e.observations {
-            w.put_u64(o.ad.raw());
-            w.put_u64(o.at.0);
-            w.put_str(&o.creative.headline);
-            w.put_str(&o.creative.body);
-            w.put_bool(o.creative.image.is_some());
-            if let Some(image) = &o.creative.image {
-                w.put_bytes(image);
-            }
-            w.put_bool(o.creative.landing_url.is_some());
-            if let Some(url) = &o.creative.landing_url {
-                w.put_str(url);
-            }
+            encode_observed(w, o);
         }
     }
+}
+
+/// Encodes one captured extension observation (shared with
+/// [`crate::delta`]'s frame codec).
+pub(crate) fn encode_observed(w: &mut Writer, o: &ObservedAd) {
+    w.put_u64(o.ad.raw());
+    w.put_u64(o.at.0);
+    w.put_str(&o.creative.headline);
+    w.put_str(&o.creative.body);
+    w.put_bool(o.creative.image.is_some());
+    if let Some(image) = &o.creative.image {
+        w.put_bytes(image);
+    }
+    w.put_bool(o.creative.landing_url.is_some());
+    if let Some(url) = &o.creative.landing_url {
+        w.put_str(url);
+    }
+}
+
+/// Decoder counterpart of [`encode_observed`].
+pub(crate) fn decode_observed(r: &mut Reader<'_>) -> Result<ObservedAd, DecodeError> {
+    let ad = AdId(r.get_u64()?);
+    let at = SimTime(r.get_u64()?);
+    let headline = r.get_str()?;
+    let body = r.get_str()?;
+    let image = if r.get_bool()? {
+        Some(r.get_bytes()?)
+    } else {
+        None
+    };
+    let landing_url = if r.get_bool()? {
+        Some(r.get_str()?)
+    } else {
+        None
+    };
+    Ok(ObservedAd {
+        ad,
+        at,
+        creative: adplatform::AdCreative {
+            headline,
+            body,
+            image,
+            landing_url,
+        },
+    })
 }
 
 fn decode_shard(r: &mut Reader<'_>) -> Result<ShardCheckpoint, DecodeError> {
@@ -592,32 +675,7 @@ fn decode_shard(r: &mut Reader<'_>) -> Result<ShardCheckpoint, DecodeError> {
             let user = UserId(r.get_u64()?);
             let m = r.get_u32()?;
             let observations = (0..m)
-                .map(|_| {
-                    let ad = AdId(r.get_u64()?);
-                    let at = SimTime(r.get_u64()?);
-                    let headline = r.get_str()?;
-                    let body = r.get_str()?;
-                    let image = if r.get_bool()? {
-                        Some(r.get_bytes()?)
-                    } else {
-                        None
-                    };
-                    let landing_url = if r.get_bool()? {
-                        Some(r.get_str()?)
-                    } else {
-                        None
-                    };
-                    Ok(ObservedAd {
-                        ad,
-                        at,
-                        creative: adplatform::AdCreative {
-                            headline,
-                            body,
-                            image,
-                            landing_url,
-                        },
-                    })
-                })
+                .map(|_| decode_observed(r))
                 .collect::<Result<Vec<_>, DecodeError>>()?;
             Ok(ExtensionSnapshot { user, observations })
         })

@@ -23,11 +23,43 @@
 //!   cursors, shard frequency caps, extension logs, and fault accounting,
 //!   round-tripping through [`checkpoint::EngineCheckpoint::to_bytes`] /
 //!   [`checkpoint::EngineCheckpoint::from_bytes`].
+//! * [`delta`] — incremental [`delta::DeltaFrame`]s: TRCK v3 frames that
+//!   encode only the slots mutated since the previous frame, folding back
+//!   to a byte-identical full checkpoint via [`delta::fold_frames`] with
+//!   a per-frame [`delta::state_digest`] integrity check.
+//!
+//! # TRCK format versioning
+//!
+//! Every frame starts `b"TRCK"`, a little-endian `u32` version, and (from
+//! v3) a frame-kind byte. The version history:
+//!
+//! * **v1** — full checkpoints only: config echo, run counters, fault
+//!   accounting, platform state, per-shard cursors/caps/extension logs.
+//! * **v2** — appends the profile store's facet sidecar (interner symbol
+//!   table, facet-update counter, per-user facets) to the platform
+//!   section.
+//! * **v3** — inserts the frame-kind byte
+//!   ([`checkpoint::FRAME_FULL`]` = 0`, [`checkpoint::FRAME_DELTA`]` =
+//!   1`) and adds the delta-frame body format; full-frame bodies are
+//!   otherwise unchanged from v2.
+//!
+//! **Strict decoding, everywhere:** decoders reject bad magic, unknown
+//! versions, unknown frame kinds, truncated input, trailing bytes, and
+//! structurally impossible payloads (duplicate interner symbols, facet
+//! symbols past the table, unsorted visited-ZIP lists, journal suffixes
+//! whose base length does not match). Delta chains additionally carry a
+//! set-homomorphic state digest that [`delta::fold_frames`] re-derives
+//! from the folded state after every applied frame — dirty-set
+//! bookkeeping that misses a mutated slot fails resume loudly instead of
+//! resuming subtly wrong. There is exactly one valid encoding of any
+//! state, so "byte-identical checkpoint" is a meaningful oracle.
 //!
 //! The engine's supervisor (`treads-engine`) consumes the fault plan and
 //! checkpoint types; the provider's retry loop (`treads-core`) consumes
-//! the backoff policy and submission API. This crate sits *below* both in
-//! the dependency graph and knows nothing about either.
+//! the backoff policy and submission API; the serving front end
+//! (`treads-serving`) journals the same frames from its applier thread.
+//! This crate sits *below* all three in the dependency graph and knows
+//! nothing about them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,13 +68,18 @@ pub mod api;
 pub mod backoff;
 pub mod checkpoint;
 pub mod codec;
+pub mod delta;
 pub mod fault;
 
 pub use api::{FlakyPlatform, SubmissionApi};
 pub use backoff::BackoffPolicy;
 pub use checkpoint::{
     ConfigEcho, EngineCheckpoint, ReportCounters, ShardCheckpoint, UserCursor, CHECKPOINT_MAGIC,
-    CHECKPOINT_VERSION,
+    CHECKPOINT_VERSION, FRAME_DELTA, FRAME_FULL,
 };
 pub use codec::DecodeError;
+pub use delta::{
+    fold_frames, state_digest, CheckpointFrame, DeltaFrame, DeltaHead, DeltaTracker, ShardDelta,
+    ShardDeltaSource,
+};
 pub use fault::{ApiFault, EngineFault, FaultPlan, FaultReport, LostWork};

@@ -96,10 +96,64 @@ pub(crate) fn run_applier(
             "tick-close barrier collected batches from different ticks"
         );
 
+        // The single-writer step first: merge canonically, fold, refreeze,
+        // and hand the new snapshot to the blocked workers. Everything
+        // below it — per-batch counters, SLO judgement, trace retention —
+        // is bookkeeping the workers need not wait for, so releasing the
+        // barrier here lets session generation and admission for tick t+1
+        // overlap with the accounting of tick t (the serving twin of the
+        // batch engine's pipelined tick).
+        let events: Vec<_> = batches
+            .iter_mut()
+            .map(|b| std::mem::take(&mut b.events))
+            .collect();
+        let (snapshot, conflicts) = {
+            let mut guard = platform.write();
+            let p: &mut Platform = &mut guard;
+            for batch in &batches {
+                p.stats.opportunities += batch.stats.opportunities;
+                p.stats.won += batch.stats.won;
+                p.stats.lost_to_background += batch.stats.lost_to_background;
+                p.stats.unfilled += batch.stats.unfilled;
+            }
+            // Lossy merge: a duplicate key can only mean a replay bug, but
+            // the front end must degrade (first-writer-wins) and keep
+            // serving rather than panic. Conflicts are counted, and each
+            // leaves an always-retained trace naming the duplicated key.
+            let (merged, conflicts) = merge_batches_lossy(events);
+            let fold = fold_tick_events(p, merged, SimTime(tick_end), telemetry, &mut exhausted);
+            out.impressions += fold.impressions;
+            out.pixel_fires += fold.pixel_fires;
+            (Arc::new(p.billing.budget_snapshot()), conflicts)
+        };
+        out.ticks += 1;
+        for tx in resume_txs {
+            let _ = tx.send(snapshot.clone());
+        }
+
         let mut tick_latency = Histogram::latency_ns();
         let mut reg = Registry::new();
         let mut tick_traces: Vec<RequestTrace> = Vec::new();
         let mut tick_keys = Vec::new();
+        if !conflicts.is_empty() {
+            telemetry.count("serving.merge_conflicts", conflicts.len() as u64);
+            if tracing {
+                for c in &conflicts {
+                    let id = TraceId::from_key(seed, c.at, c.user.raw(), c.user_seq);
+                    let mut t = RequestTrace::tail(id, c.at, c.user.raw(), c.user_seq);
+                    let span = t.span("merge_conflict", None, c.at);
+                    t.event(
+                        span,
+                        TraceEventKind::MergeConflict {
+                            at: c.at.0,
+                            user: c.user.raw(),
+                            user_seq: c.user_seq,
+                        },
+                    );
+                    tick_traces.push(t);
+                }
+            }
+        }
         for batch in &mut batches {
             tick_traces.append(&mut batch.traces);
             tick_keys.append(&mut batch.trace_keys);
@@ -158,48 +212,6 @@ pub(crate) fn run_applier(
             }
         }
 
-        // The single-writer step: merge canonically, fold, refreeze.
-        let snapshot = {
-            let mut guard = platform.write();
-            let p: &mut Platform = &mut guard;
-            for batch in &batches {
-                p.stats.opportunities += batch.stats.opportunities;
-                p.stats.won += batch.stats.won;
-                p.stats.lost_to_background += batch.stats.lost_to_background;
-                p.stats.unfilled += batch.stats.unfilled;
-            }
-            // Lossy merge: a duplicate key can only mean a replay bug, but
-            // the front end must degrade (first-writer-wins) and keep
-            // serving rather than panic. Conflicts are counted, and each
-            // leaves an always-retained trace naming the duplicated key.
-            let (merged, conflicts) =
-                merge_batches_lossy(batches.into_iter().map(|b| b.events).collect());
-            if !conflicts.is_empty() {
-                telemetry.count("serving.merge_conflicts", conflicts.len() as u64);
-                if tracing {
-                    for c in &conflicts {
-                        let id = TraceId::from_key(seed, c.at, c.user.raw(), c.user_seq);
-                        let mut t = RequestTrace::tail(id, c.at, c.user.raw(), c.user_seq);
-                        let span = t.span("merge_conflict", None, c.at);
-                        t.event(
-                            span,
-                            TraceEventKind::MergeConflict {
-                                at: c.at.0,
-                                user: c.user.raw(),
-                                user_seq: c.user_seq,
-                            },
-                        );
-                        tick_traces.push(t);
-                    }
-                }
-            }
-            let fold = fold_tick_events(p, merged, SimTime(tick_end), telemetry, &mut exhausted);
-            out.impressions += fold.impressions;
-            out.pixel_fires += fold.pixel_fires;
-            Arc::new(p.billing.budget_snapshot())
-        };
-        out.ticks += 1;
-
         // Retention, in canonical key order so the collector's contents
         // are shard-count-invariant. Only retained traces are offered:
         // `trace.dropped` counts collector-capacity evictions, not the
@@ -211,11 +223,8 @@ pub(crate) fn run_applier(
             }
         }
 
-        // Release the barrier: workers first (they block on the new
-        // snapshot), then the front end's clock.
-        for tx in resume_txs {
-            let _ = tx.send(snapshot.clone());
-        }
+        // The front end's clock advances only once the tick is fully
+        // accounted (workers were released right after the fold above).
         let _ = ack_tx.send(());
     }
     out

@@ -162,9 +162,9 @@ impl ArrivalSchedule {
     }
 
     /// Flattens the batch engine's own workload into an arrival stream:
-    /// each user's [`SessionSchedule::generate_for_user`] events (the
-    /// exact per-user substreams the engine replays), concatenated in user
-    /// order and stably sorted by time.
+    /// each user's [`SessionSchedule::generate_day_for_user`] events (the
+    /// exact per-user-per-day substreams the engine replays), days
+    /// concatenated in order per user and stably sorted by time.
     ///
     /// Feeding this to the serving front end offers the platform the same
     /// opportunity multiset the batch engine simulates — the basis of the
@@ -177,10 +177,12 @@ impl ArrivalSchedule {
     ) -> Self {
         let mut arrivals = Vec::new();
         for &user in users {
-            let schedule = SessionSchedule::generate_for_user(user, sites, config, seed);
-            for event in schedule.events() {
-                let BrowsingEvent::PageView { user, site, at } = *event;
-                arrivals.push(Arrival { user, site, at });
+            for day in 0..config.days {
+                for event in SessionSchedule::generate_day_for_user(user, sites, config, seed, day)
+                {
+                    let BrowsingEvent::PageView { user, site, at } = event;
+                    arrivals.push(Arrival { user, site, at });
+                }
             }
         }
         // Stable: same-instant events keep per-user generation order,
@@ -290,10 +292,14 @@ mod tests {
         };
         let schedule = ArrivalSchedule::from_sessions(&us, &sites(), &config, 42);
         assert!(schedule.arrivals().windows(2).all(|w| w[0].at <= w[1].at));
-        // Per user, the arrival multiset equals that user's own session
-        // stream — the exact events the engine simulates.
+        // Per user, the arrival multiset equals that user's own day-keyed
+        // session stream — the exact events the engine simulates.
         for &user in &us {
-            let own = SessionSchedule::generate_for_user(user, &sites(), &config, 42);
+            let own: Vec<_> = (0..config.days)
+                .flat_map(|day| {
+                    SessionSchedule::generate_day_for_user(user, &sites(), &config, 42, day)
+                })
+                .collect();
             let mut mine: Vec<_> = schedule
                 .arrivals()
                 .iter()
@@ -305,7 +311,7 @@ mod tests {
                 })
                 .collect();
             mine.sort_by_key(|e| e.at());
-            assert_eq!(mine, own.events().to_vec());
+            assert_eq!(mine, own);
         }
     }
 }

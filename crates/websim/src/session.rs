@@ -118,8 +118,7 @@ impl SessionSchedule {
     ///
     /// Because the stream is keyed on the *user* — not on whichever worker
     /// happens to run them — the user browses bit-identically no matter
-    /// how a parallel driver shards the population. This is the engine's
-    /// session source.
+    /// how a parallel driver shards the population.
     pub fn generate_for_user(
         user: UserId,
         sites: &[SiteId],
@@ -128,6 +127,52 @@ impl SessionSchedule {
     ) -> Self {
         let mut rng = adsim_types::rng::substream(seed, &format!("session-user-{}", user.raw()));
         Self::generate(&[user], sites, config, &mut rng)
+    }
+
+    /// Generates one simulated day of one user's schedule from a
+    /// substream of `seed` keyed on `(user, day)`.
+    ///
+    /// This is the engine's session source: day `d`'s events are a pure
+    /// function of `(user, seed, d)`, independent of which shard (or
+    /// pipeline stage) generates them and of whether earlier days were
+    /// ever materialized. The engine exploits that purity to generate
+    /// tick `t+1`'s browsing while tick `t` is still being merged, and to
+    /// resume a checkpoint by regenerating only the days it needs.
+    ///
+    /// Shape per day: `floor(views_per_user_per_day)` views guaranteed
+    /// plus one more with probability `fract(views_per_user_per_day)`,
+    /// each at a uniform instant within `[day·86_400_000, (day+1)·86_400_000)`
+    /// on a uniformly chosen site, time-sorted.
+    pub fn generate_day_for_user(
+        user: UserId,
+        sites: &[SiteId],
+        config: &SessionConfig,
+        seed: u64,
+        day: u64,
+    ) -> Vec<BrowsingEvent> {
+        assert!(!sites.is_empty(), "schedule needs at least one site");
+        assert!(
+            day < config.days,
+            "day {} outside horizon {}",
+            day,
+            config.days
+        );
+        let mut rng =
+            adsim_types::rng::substream(seed, &format!("session-user-{}-day-{}", user.raw(), day));
+        let day_start = day * 86_400_000;
+        let expected = config.views_per_user_per_day;
+        let mut n = expected.floor() as u64;
+        if rng.gen::<f64>() < expected.fract() {
+            n += 1;
+        }
+        let mut events = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let at = SimTime(day_start + rng.gen_range(0..86_400_000u64));
+            let site = sites[rng.gen_range(0..sites.len())];
+            events.push(BrowsingEvent::PageView { user, site, at });
+        }
+        events.sort_by_key(|e| e.at());
+        events
     }
 
     /// The time-sorted events.
@@ -306,6 +351,37 @@ mod tests {
             let BrowsingEvent::PageView { user, .. } = e;
             assert_eq!(*user, UserId(5));
         }
+    }
+
+    #[test]
+    fn day_generation_is_windowed_and_pure() {
+        let sites = vec![SiteId(1), SiteId(2), SiteId(3)];
+        let config = SessionConfig {
+            views_per_user_per_day: 6.5,
+            days: 4,
+        };
+        for day in 0..config.days {
+            let a = SessionSchedule::generate_day_for_user(UserId(9), &sites, &config, 7, day);
+            // Pure in (user, seed, day): regenerating in any context is
+            // bit-identical — the basis of the pipelined tick overlap.
+            let b = SessionSchedule::generate_day_for_user(UserId(9), &sites, &config, 7, day);
+            assert_eq!(a, b);
+            // Windowed: every event lands inside the day.
+            let (lo, hi) = (day * 86_400_000, (day + 1) * 86_400_000);
+            assert!(a.iter().all(|e| {
+                let t = e.at().millis();
+                lo <= t && t < hi
+            }));
+            // Sorted and sized per the Bernoulli grid.
+            assert!(a.windows(2).all(|w| w[0].at() <= w[1].at()));
+            assert!(a.len() == 6 || a.len() == 7, "len {}", a.len());
+        }
+        // Distinct days (and users, and seeds) draw distinct substreams.
+        let d0 = SessionSchedule::generate_day_for_user(UserId(9), &sites, &config, 7, 0);
+        let d1 = SessionSchedule::generate_day_for_user(UserId(9), &sites, &config, 7, 1);
+        assert_ne!(d0, d1);
+        let other = SessionSchedule::generate_day_for_user(UserId(10), &sites, &config, 7, 0);
+        assert_ne!(d0, other);
     }
 
     #[test]
@@ -510,6 +586,39 @@ mod proptests {
             let mut rng2 = substream(seed, "session-prop");
             let again = SessionSchedule::generate(&users, &sites, &config, &mut rng2);
             prop_assert_eq!(schedule, again);
+        }
+
+        /// Day-keyed generation stays inside its day window, is sorted,
+        /// sized per the per-day Bernoulli grid, and pure per (user,
+        /// seed, day).
+        #[test]
+        fn day_generation_invariants(
+            user in 1u64..500,
+            n_sites in 1usize..5,
+            views in 0.0f64..10.0,
+            days in 1u64..5,
+            day_pick in 0u64..5,
+            seed in 0u64..1_000,
+        ) {
+            let day = day_pick % days;
+            let sites: Vec<SiteId> = (1..=n_sites as u64).map(SiteId).collect();
+            let config = SessionConfig {
+                views_per_user_per_day: views,
+                days,
+            };
+            let events =
+                SessionSchedule::generate_day_for_user(UserId(user), &sites, &config, seed, day);
+            let times: Vec<u64> = events.iter().map(|e| e.at().millis()).collect();
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&times, &sorted);
+            let (lo, hi) = (day * 86_400_000, (day + 1) * 86_400_000);
+            prop_assert!(times.iter().all(|&t| lo <= t && t < hi));
+            let min = views.floor() as usize;
+            prop_assert!(events.len() >= min && events.len() <= min + 1);
+            let again =
+                SessionSchedule::generate_day_for_user(UserId(user), &sites, &config, seed, day);
+            prop_assert_eq!(events, again);
         }
     }
 }

@@ -46,6 +46,12 @@ ENGINE_COUNTERS = [
     "faults.recovered",
     "faults.unrecoverable",
     "checkpoint.bytes",
+    # Delta checkpointing (TRCK v3): encoded delta-frame bytes and the
+    # number of dirty slots each frame carried. Zero-valued whenever the
+    # run checkpoints with full snapshots only (delta_base_every = 0), so
+    # their absence means the engine predates incremental persistence.
+    "checkpoint.delta_bytes",
+    "checkpoint.dirty_slots",
 ]
 
 ENGINE_HISTOGRAMS = [

@@ -23,6 +23,7 @@ use treads_repro::adplatform::billing::Invoice;
 use treads_repro::adplatform::compiled::EvalMode;
 use treads_repro::adplatform::reporting::{AdReport, Impression};
 use treads_repro::adsim_types::UserId;
+use treads_repro::engine::resilience::{fold_frames, CheckpointFrame};
 use treads_repro::engine::{
     Engine, EngineCheckpoint, EngineConfig, EngineReport, FaultPlan, FaultReport,
     ResilienceOptions, DAY_MS,
@@ -50,12 +51,23 @@ struct RunOutput {
     report: EngineReport,
     faults: FaultReport,
     checkpoint_bytes: Vec<Vec<u8>>,
+    /// TRCK v3 frame chain, populated only in delta mode
+    /// (`delta_base_every > 0`).
+    frames: Vec<CheckpointFrame>,
+}
+
+/// How a run starts: cold, resumed from a decoded full checkpoint, or
+/// resumed from a prefix of a base+delta frame chain.
+enum Resume<'a> {
+    Cold,
+    Checkpoint(&'a EngineCheckpoint),
+    Frames(&'a [CheckpointFrame]),
 }
 
 /// One full supervised engine run, built from scratch (scenario setup is
 /// itself seed-deterministic). With `resume` the engine continues a
 /// checkpointed run on the freshly built host instead of starting cold.
-fn run(shards: usize, options: &ResilienceOptions, resume: Option<&EngineCheckpoint>) -> RunOutput {
+fn run(shards: usize, options: &ResilienceOptions, resume: Resume) -> RunOutput {
     run_with_eval(shards, EvalMode::Compiled, options, resume)
 }
 
@@ -66,7 +78,7 @@ fn run_with_eval(
     shards: usize,
     eval: EvalMode,
     options: &ResilienceOptions,
-    resume: Option<&EngineCheckpoint>,
+    resume: Resume,
 ) -> RunOutput {
     let mut s = CohortScenario::setup(SEED, 60, 30);
     let names: Vec<String> = s
@@ -100,10 +112,10 @@ fn run_with_eval(
     });
     let extension_users: BTreeSet<UserId> = s.opted_in.iter().copied().collect();
     let resilient = match resume {
-        None => engine
+        Resume::Cold => engine
             .run_resilient(&mut s.platform, &sites, &s.users, &extension_users, options)
             .expect("supervised run completes"),
-        Some(cp) => engine
+        Resume::Checkpoint(cp) => engine
             .resume_from(
                 &mut s.platform,
                 &sites,
@@ -113,6 +125,16 @@ fn run_with_eval(
                 cp,
             )
             .expect("resume completes"),
+        Resume::Frames(frames) => engine
+            .resume_from_frames(
+                &mut s.platform,
+                &sites,
+                &s.users,
+                &extension_users,
+                options,
+                frames,
+            )
+            .expect("delta resume completes"),
     };
 
     let invoices = s
@@ -150,12 +172,13 @@ fn run_with_eval(
             .iter()
             .map(EngineCheckpoint::to_bytes)
             .collect(),
+        frames: resilient.frames,
     }
 }
 
 /// Fault-free oracle at a given shard count.
 fn oracle(shards: usize) -> RunOutput {
-    run(shards, &ResilienceOptions::default(), None)
+    run(shards, &ResilienceOptions::default(), Resume::Cold)
 }
 
 /// Asserts the simulation-visible outputs of `a` and `b` are identical
@@ -166,6 +189,56 @@ fn assert_same_simulation(a: &RunOutput, b: &RunOutput, context: &str) {
     assert_eq!(a.reveals, b.reveals, "decoded Treads differ: {context}");
     assert_eq!(a.log, b.log, "impression logs differ: {context}");
     assert_eq!(a.report, b.report, "engine reports differ: {context}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Delta chains under chaos: with any recoverable fault plan and any
+    /// base cadence, the delta-mode run's frame chain folds — at *every*
+    /// prefix — to a checkpoint byte-identical to the one the full-mode
+    /// run took at the same tick, at 1, 2, and 8 shards. The digest check
+    /// inside [`fold_frames`] makes this also a proof that the dirty-set
+    /// bookkeeping missed no mutated slot.
+    #[test]
+    fn delta_chains_fold_byte_identical_under_chaos(
+        fault_seed in 0u64..1000,
+        delta_base in 2u64..5,
+    ) {
+        for shards in [1usize, 2, 8] {
+            let plan = FaultPlan::random_recoverable(fault_seed, DAYS, shards, 3);
+            let full_options = ResilienceOptions {
+                faults: plan,
+                max_retries_per_shard_tick: 3,
+                checkpoint_every_ticks: 1,
+                delta_base_every: 0,
+            };
+            let delta_options = ResilienceOptions {
+                delta_base_every: delta_base,
+                ..full_options.clone()
+            };
+            let full = run(shards, &full_options, Resume::Cold);
+            let delta = run(shards, &delta_options, Resume::Cold);
+            assert_same_simulation(
+                &full,
+                &delta,
+                &format!("full vs delta cadence, fault seed {fault_seed}, {shards} shards"),
+            );
+            prop_assert_eq!(delta.frames.len(), full.checkpoint_bytes.len());
+            for i in 0..delta.frames.len() {
+                let folded = fold_frames(&delta.frames[..=i]).expect("frame chain folds");
+                prop_assert_eq!(
+                    folded.to_bytes(),
+                    full.checkpoint_bytes[i].clone(),
+                    "prefix {} of {} (base every {}, {} shards)",
+                    i,
+                    delta.frames.len(),
+                    delta_base,
+                    shards
+                );
+            }
+        }
+    }
 }
 
 proptest! {
@@ -182,8 +255,9 @@ proptest! {
                 faults: plan,
                 max_retries_per_shard_tick: 3,
                 checkpoint_every_ticks: 0,
+                delta_base_every: 0,
             };
-            let chaotic = run(shards, &options, None);
+            let chaotic = run(shards, &options, Resume::Cold);
             prop_assert_eq!(chaotic.faults.unrecoverable, 0);
             prop_assert!(chaotic.faults.lost.is_empty());
             assert_same_simulation(
@@ -192,7 +266,7 @@ proptest! {
                 &format!("fault seed {fault_seed}, {shards} shards"),
             );
             // The same chaos replays exactly, accounting included.
-            let replay = run(shards, &options, None);
+            let replay = run(shards, &options, Resume::Cold);
             prop_assert_eq!(&replay.faults, &chaotic.faults);
             assert_same_simulation(&chaotic, &replay, "chaos replay");
         }
@@ -213,8 +287,9 @@ fn targeted_faults_recover_at_every_shard_count() {
             faults: plan,
             max_retries_per_shard_tick: 3,
             checkpoint_every_ticks: 0,
+            delta_base_every: 0,
         };
-        let chaotic = run(shards, &options, None);
+        let chaotic = run(shards, &options, Resume::Cold);
         assert!(chaotic.faults.injected > 0, "faults were actually injected");
         assert_eq!(chaotic.faults.unrecoverable, 0);
         assert_same_simulation(
@@ -231,9 +306,10 @@ fn checkpoint_resume_round_trip_is_byte_identical() {
         faults: FaultPlan::new(),
         max_retries_per_shard_tick: 3,
         checkpoint_every_ticks: 2,
+        delta_base_every: 0,
     };
     for shards in [1usize, 2, 8] {
-        let full = run(shards, &options, None);
+        let full = run(shards, &options, Resume::Cold);
         // 5 ticks at a 2-tick cadence: checkpoints after ticks 2 and 4.
         assert_eq!(full.checkpoint_bytes.len(), 2);
 
@@ -244,7 +320,7 @@ fn checkpoint_resume_round_trip_is_byte_identical() {
             full.checkpoint_bytes[0],
             "checkpoint re-encode is canonical"
         );
-        let resumed = run(shards, &options, Some(&decoded));
+        let resumed = run(shards, &options, Resume::Checkpoint(&decoded));
         assert_same_simulation(&full, &resumed, &format!("resume at {shards} shards"));
         // The resumed run retakes the *later* checkpoint, byte for byte.
         assert_eq!(
@@ -255,7 +331,7 @@ fn checkpoint_resume_round_trip_is_byte_identical() {
 
     // A mismatched host is rejected before anything mutates.
     let decoded = {
-        let full = run(2, &options, None);
+        let full = run(2, &options, Resume::Cold);
         EngineCheckpoint::from_bytes(&full.checkpoint_bytes[0]).expect("decodes")
     };
     let mut s = CohortScenario::setup(SEED, 60, 30);
@@ -296,10 +372,11 @@ fn compiled_resume_matches_tree_and_compiled_full_runs() {
         faults: FaultPlan::new(),
         max_retries_per_shard_tick: 3,
         checkpoint_every_ticks: 2,
+        delta_base_every: 0,
     };
     for shards in [1usize, 2] {
-        let tree = run_with_eval(shards, EvalMode::Tree, &options, None);
-        let compiled = run_with_eval(shards, EvalMode::Compiled, &options, None);
+        let tree = run_with_eval(shards, EvalMode::Tree, &options, Resume::Cold);
+        let compiled = run_with_eval(shards, EvalMode::Compiled, &options, Resume::Cold);
         assert_same_simulation(
             &tree,
             &compiled,
@@ -311,7 +388,12 @@ fn compiled_resume_matches_tree_and_compiled_full_runs() {
         );
 
         let decoded = EngineCheckpoint::from_bytes(&compiled.checkpoint_bytes[0]).expect("decodes");
-        let resumed = run_with_eval(shards, EvalMode::Compiled, &options, Some(&decoded));
+        let resumed = run_with_eval(
+            shards,
+            EvalMode::Compiled,
+            &options,
+            Resume::Checkpoint(&decoded),
+        );
         assert_same_simulation(
             &compiled,
             &resumed,
@@ -423,6 +505,7 @@ fn serving_tick_under_shard_crash_degrades_instead_of_panicking() {
             faults: FaultPlan::new().crash_shard(0, 0, 2),
             max_retries_per_shard_tick: 3,
             checkpoint_every_ticks: 0,
+            delta_base_every: 0,
         },
     );
     assert_eq!(recoverable.faults.injected, 2);
@@ -444,6 +527,7 @@ fn serving_tick_under_shard_crash_degrades_instead_of_panicking() {
             faults: FaultPlan::new().crash_shard(0, 0, 10),
             max_retries_per_shard_tick: 2,
             checkpoint_every_ticks: 0,
+            delta_base_every: 0,
         },
     );
     assert_eq!(degraded.faults.injected, 3, "budget + 1 failing attempts");
@@ -502,6 +586,52 @@ fn serving_tick_under_shard_crash_degrades_instead_of_panicking() {
 }
 
 #[test]
+fn delta_resume_from_base_plus_two_deltas_is_byte_identical() {
+    // The CI chaos-smoke case: checkpoint every tick with a delta chain
+    // (full base every 8th frame → one base + four deltas over the 5-day
+    // run), hand a fresh host only the base and the first two deltas, and
+    // finish the run. Every simulation-visible output must be identical,
+    // and the frames the resumed run takes must fold to the same final
+    // state, at 1, 2, and 8 shards.
+    let options = ResilienceOptions {
+        faults: FaultPlan::new(),
+        max_retries_per_shard_tick: 3,
+        checkpoint_every_ticks: 1,
+        delta_base_every: 8,
+    };
+    for shards in [1usize, 2, 8] {
+        let uninterrupted = run(shards, &options, Resume::Cold);
+        assert_eq!(uninterrupted.frames.len() as u64, DAYS);
+        assert!(
+            matches!(uninterrupted.frames[0], CheckpointFrame::Full(_)),
+            "chain starts with a full base frame"
+        );
+        assert!(
+            uninterrupted.frames[1..]
+                .iter()
+                .all(|f| matches!(f, CheckpointFrame::Delta(_))),
+            "every later frame is a delta"
+        );
+
+        let resumed = run(shards, &options, Resume::Frames(&uninterrupted.frames[..3]));
+        assert_same_simulation(
+            &uninterrupted,
+            &resumed,
+            &format!("resume from base+2 deltas, {shards} shards"),
+        );
+        // The resumed run restarts its own chain (its first frame is a
+        // fresh base), but both chains must fold to the same final state.
+        let final_full = fold_frames(&uninterrupted.frames).expect("uninterrupted chain folds");
+        let resumed_full = fold_frames(&resumed.frames).expect("resumed chain folds");
+        assert_eq!(
+            resumed_full.to_bytes(),
+            final_full.to_bytes(),
+            "final folded state is byte-identical ({shards} shards)"
+        );
+    }
+}
+
+#[test]
 fn unrecoverable_crash_degrades_with_exact_accounting() {
     for shards in [2usize, 8] {
         let clean = oracle(shards);
@@ -510,8 +640,9 @@ fn unrecoverable_crash_degrades_with_exact_accounting() {
             faults: FaultPlan::new().crash_shard(1, 0, 10),
             max_retries_per_shard_tick: 2,
             checkpoint_every_ticks: 0,
+            delta_base_every: 0,
         };
-        let degraded = run(shards, &options, None);
+        let degraded = run(shards, &options, Resume::Cold);
         assert_eq!(degraded.faults.unrecoverable, 1);
         assert_eq!(degraded.faults.lost.len(), 1);
         let lost = &degraded.faults.lost[0];
@@ -538,7 +669,7 @@ fn unrecoverable_crash_degrades_with_exact_accounting() {
         assert!(degraded.report.impressions <= clean.report.impressions);
         assert_eq!(degraded.report.ticks, clean.report.ticks);
         // Degradation replays exactly too.
-        let replay = run(shards, &options, None);
+        let replay = run(shards, &options, Resume::Cold);
         assert_same_simulation(&degraded, &replay, "degraded replay");
         assert_eq!(replay.faults, degraded.faults);
     }
