@@ -146,6 +146,12 @@ pub struct CampaignStore {
     /// slice on the hot path, with no per-ad heap allocation.
     compiled: ProgramArena,
     eval: EvalMode,
+    /// Canonical digest of each ad's targeting spec, computed once at
+    /// `create_ad` and indexed like `compiled` (the digest of `AdId(n)`
+    /// is slot `n - 1`). Delivery stamps it onto every impression so
+    /// receipts can bind a delivery to its exact targeting parameters
+    /// without re-walking the spec on the hot path.
+    spec_digests: Vec<u64>,
 }
 
 impl CampaignStore {
@@ -201,6 +207,8 @@ impl CampaignStore {
         self.index.insert(id, &targeting);
         debug_assert_eq!(self.compiled.len() as u64 + 1, self.next_ad);
         debug_assert_eq!(self.ads.len() as u64 + 1, self.next_ad);
+        debug_assert_eq!(self.spec_digests.len() as u64 + 1, self.next_ad);
+        self.spec_digests.push(targeting.digest());
         self.compiled.push(&targeting, symbols);
         self.ads.push(Ad {
             id,
@@ -292,6 +300,14 @@ impl CampaignStore {
         &self.compiled
     }
 
+    /// The canonical targeting-spec digest of `ad`, or `None` for an ad
+    /// this store never created. O(1): computed at [`CampaignStore::create_ad`].
+    pub fn spec_digest(&self, ad: AdId) -> Option<u64> {
+        self.spec_digests
+            .get(ad.raw().checked_sub(1)? as usize)
+            .copied()
+    }
+
     /// Evaluates `ad`'s compiled program against `user`, or `None` for
     /// an ad this store never created (every ad created through
     /// [`CampaignStore::create_ad`] has a program).
@@ -340,6 +356,8 @@ mod tests {
         assert_eq!(s.ad(ad).expect("ad").status, AdStatus::PendingReview);
         assert!(!s.ad(ad).expect("ad").is_servable());
         assert_eq!(s.programs().len(), 1);
+        assert_eq!(s.spec_digest(ad), Some(spec().digest()));
+        assert_eq!(s.spec_digest(AdId(99)), None);
         s.ad_mut(ad).expect("ad").status = AdStatus::Approved;
         assert!(s.ad(ad).expect("ad").is_servable());
         assert_eq!(s.ad_count(), 1);

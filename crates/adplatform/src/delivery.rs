@@ -114,6 +114,11 @@ pub struct PendingImpression {
     pub at: SimTime,
     /// The second-price clearing CPM.
     pub clearing_cpm: Money,
+    /// Canonical digest of the winning ad's targeting spec (see
+    /// [`crate::targeting::TargetingSpec::digest`]) — carried through to
+    /// the impression log so delivery receipts bind each delivery to its
+    /// exact targeting parameters.
+    pub spec_digest: u64,
 }
 
 /// What [`decide_opportunity`] concluded for one opportunity.
@@ -593,6 +598,7 @@ pub fn decide_opportunity_traced_with_scratch<B: BudgetView, R: Rng>(
                 user: user.id,
                 at,
                 clearing_cpm,
+                spec_digest: campaigns.spec_digest(ad).unwrap_or(0),
             })
         }
         AuctionOutcome::LostToBackground | AuctionOutcome::Unfilled => None,
@@ -626,6 +632,7 @@ pub fn apply_impression(
         user: pending.user,
         at: pending.at,
         price,
+        spec_digest: pending.spec_digest,
     });
     price
 }

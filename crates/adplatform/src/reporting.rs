@@ -31,6 +31,10 @@ pub struct Impression {
     pub at: SimTime,
     /// The per-impression price charged.
     pub price: Money,
+    /// Canonical digest of the targeting spec the ad was decided under
+    /// ([`crate::targeting::TargetingSpec::digest`]); delivery receipts
+    /// bind each delivery to it.
+    pub spec_digest: u64,
 }
 
 /// The platform's exact impression log.
@@ -142,6 +146,7 @@ mod tests {
             user: UserId(user),
             at: SimTime(at),
             price: Money::micros(2_000),
+            spec_digest: 0,
         }
     }
 
@@ -247,6 +252,7 @@ mod proptests {
                     user: UserId(*user),
                     at: SimTime(i as u64),
                     price: Money::micros(2_000),
+                    spec_digest: 0,
                 });
             }
             for ad in 1u64..6 {

@@ -136,6 +136,78 @@ impl TargetingExpr {
             _ => {}
         }
     }
+
+    /// Appends the expression's canonical byte encoding: one tag byte per
+    /// variant, payloads little-endian, strings and child lists
+    /// length-prefixed (u32), floats as raw IEEE-754 bits. Unambiguous by
+    /// construction (every variant is self-delimiting), so equal encodings
+    /// imply equal trees — the property [`TargetingSpec::digest`] relies on.
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        match self {
+            TargetingExpr::Everyone => out.push(0),
+            TargetingExpr::Attr(a) => {
+                out.push(1);
+                out.extend_from_slice(&a.raw().to_le_bytes());
+            }
+            TargetingExpr::AgeRange { min, max } => {
+                out.push(2);
+                out.push(*min);
+                out.push(*max);
+            }
+            TargetingExpr::GenderIs(g) => {
+                out.push(3);
+                out.push(match g {
+                    Gender::Female => 0,
+                    Gender::Male => 1,
+                    Gender::Unspecified => 2,
+                });
+            }
+            TargetingExpr::InState(s) => {
+                out.push(4);
+                put_str(out, s);
+            }
+            TargetingExpr::InZip(z) => {
+                out.push(5);
+                put_str(out, z);
+            }
+            TargetingExpr::VisitedZip(z) => {
+                out.push(6);
+                put_str(out, z);
+            }
+            TargetingExpr::WithinRadius { lat, lon, km } => {
+                out.push(7);
+                out.extend_from_slice(&lat.to_bits().to_le_bytes());
+                out.extend_from_slice(&lon.to_bits().to_le_bytes());
+                out.extend_from_slice(&km.to_bits().to_le_bytes());
+            }
+            TargetingExpr::InAudience(a) => {
+                out.push(8);
+                out.extend_from_slice(&a.raw().to_le_bytes());
+            }
+            TargetingExpr::And(subs) => {
+                out.push(9);
+                out.extend_from_slice(&(subs.len() as u32).to_le_bytes());
+                for s in subs {
+                    s.encode_canonical(out);
+                }
+            }
+            TargetingExpr::Or(subs) => {
+                out.push(10);
+                out.extend_from_slice(&(subs.len() as u32).to_le_bytes());
+                for s in subs {
+                    s.encode_canonical(out);
+                }
+            }
+            TargetingExpr::Not(sub) => {
+                out.push(11);
+                sub.encode_canonical(out);
+            }
+        }
+    }
 }
 
 /// Great-circle distance between two (degree) coordinates, in kilometers
@@ -210,6 +282,29 @@ impl TargetingSpec {
             auds.extend(ex.referenced_audiences());
         }
         auds
+    }
+
+    /// Canonical 64-bit digest of the spec, stable across processes and
+    /// platform restarts.
+    ///
+    /// Delivery receipts bind each impression to the *exact* targeting
+    /// parameters it was decided under; the digest is what a receipt can
+    /// carry without shipping the whole expression tree. Two specs share
+    /// a digest iff their canonical encodings are byte-identical:
+    /// variant-tagged, length-prefixed, integers little-endian, floats as
+    /// IEEE-754 bit patterns (so `-0.0` and `0.0` digest differently —
+    /// they are different submissions even if they match the same users).
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(64);
+        self.include.encode_canonical(&mut bytes);
+        match &self.exclude {
+            None => bytes.push(0),
+            Some(ex) => {
+                bytes.push(1);
+                ex.encode_canonical(&mut bytes);
+            }
+        }
+        adsim_types::hash::sha256(&bytes).fingerprint()
     }
 }
 
@@ -386,6 +481,43 @@ mod tests {
         assert!((d - 306.0).abs() < 5.0, "Boston-NYC {d} km");
         // Zero distance.
         assert!(haversine_km(1.0, 2.0, 1.0, 2.0) < 1e-9);
+    }
+
+    #[test]
+    fn spec_digest_is_stable_and_discriminating() {
+        let a = TargetingSpec::including(TargetingExpr::Attr(AttributeId(1)));
+        // Same tree, independent construction: digests agree.
+        assert_eq!(
+            a.digest(),
+            TargetingSpec::including(TargetingExpr::Attr(AttributeId(1))).digest()
+        );
+        // Different attribute, different connective, or an added exclude
+        // each change the digest.
+        assert_ne!(
+            a.digest(),
+            TargetingSpec::including(TargetingExpr::Attr(AttributeId(2))).digest()
+        );
+        assert_ne!(
+            TargetingSpec::including(TargetingExpr::And(vec![])).digest(),
+            TargetingSpec::including(TargetingExpr::Or(vec![])).digest()
+        );
+        assert_ne!(
+            a.digest(),
+            TargetingSpec::including_excluding(
+                TargetingExpr::Attr(AttributeId(1)),
+                TargetingExpr::Everyone
+            )
+            .digest()
+        );
+        // Floats digest by bit pattern.
+        let near = |km| {
+            TargetingSpec::including(TargetingExpr::WithinRadius {
+                lat: 42.0,
+                lon: -71.0,
+                km,
+            })
+        };
+        assert_ne!(near(10.0).digest(), near(10.5).digest());
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! E19 — receipt-ledger overhead and audit soundness.
+//!
+//! The transparency ledger (DESIGN.md §15) makes every delivery emit a
+//! signed, hash-chained receipt inside the tick fold. This experiment
+//! prices that emission and checks the ledger's contracts end to end:
+//!
+//! * **Emission overhead**: the same binary with `ledger: true` vs
+//!   `ledger: false`, interleaved best-of-15, must stay under 2%.
+//! * **Shard-count invariance**: chains are bucketed by user pseudonym,
+//!   not engine shard, so 1-, 2-, and 8-shard runs must produce
+//!   byte-identical ledgers.
+//! * **Serving ≡ batch**: the serving front end fed the engine's own
+//!   arrival stream must emit the identical ledger.
+//! * **Audit soundness**: an honest publish audits clean; seeded
+//!   dishonest publishes are detected with exact attribution
+//!   (detected set == injected set) across many schedules.
+//!
+//! Results are merged into `BENCH_engine.json` under `"ledger"` (E15
+//! writes the rest of that file; run this after it, as
+//! `scripts/regen_experiments.sh` does).
+//!
+//! Knobs: `TREADS_SEED` (seed), `TREADS_LEDGER_USERS` (overhead
+//! population, default 20 000).
+
+use adplatform::campaign::AdCreative;
+use adplatform::profile::Gender;
+use adplatform::targeting::{TargetingExpr, TargetingSpec};
+use adplatform::{Platform, PlatformConfig};
+use adsim_types::{Money, UserId};
+use std::collections::BTreeSet;
+use std::time::Instant;
+use treads_bench::{banner, section, verdict};
+use treads_engine::resilience::{
+    receipts_from_impressions, FaultPlan, ReceiptLedger, LEDGER_CHAINS,
+};
+use treads_engine::{Engine, EngineConfig, DAY_MS};
+use treads_serving::{OpportunityRequest, ServingConfig, ServingEngine};
+use websim::{ArrivalSchedule, SessionConfig, SiteRegistry};
+
+/// Delivery-heavy workload with a realistic candidate set: `n` users,
+/// twelve always-on campaigns mixing broad and demographic targeting
+/// (so every auction ranks a dozen candidates, as a real platform
+/// would, rather than the three-ad toy auction that would overstate
+/// the ledger's relative cost), two sites (one carrying a retargeting
+/// pixel).
+fn build(n: u64, seed: u64) -> (Platform, SiteRegistry, Vec<UserId>) {
+    let mut p = Platform::us_2018(PlatformConfig::facebook_like(seed));
+    let adv = p.register_advertiser("ledger-advertiser");
+    let acct = p.open_account(adv).expect("account");
+    let roster: [(&str, i64, TargetingExpr); 12] = [
+        ("brand", 2, TargetingExpr::Everyone),
+        ("promo", 3, TargetingExpr::Everyone),
+        ("retarget", 5, TargetingExpr::Everyone),
+        ("awareness", 1, TargetingExpr::Everyone),
+        ("women", 4, TargetingExpr::GenderIs(Gender::Female)),
+        ("men", 4, TargetingExpr::GenderIs(Gender::Male)),
+        ("young", 3, TargetingExpr::AgeRange { min: 18, max: 34 }),
+        ("mid", 3, TargetingExpr::AgeRange { min: 35, max: 54 }),
+        ("senior", 3, TargetingExpr::AgeRange { min: 55, max: 99 }),
+        ("ohio", 2, TargetingExpr::InState("Ohio".to_string())),
+        ("local", 6, TargetingExpr::InZip("43004".to_string())),
+        ("visited", 6, TargetingExpr::VisitedZip("43004".to_string())),
+    ];
+    for (name, cpm, expr) in roster {
+        let camp = p
+            .create_campaign(acct, name, Money::dollars(cpm), None)
+            .expect("campaign");
+        p.submit_ad(
+            camp,
+            AdCreative::text(name, "ledger workload"),
+            TargetingSpec::including(expr),
+        )
+        .expect("ad");
+    }
+    let users: Vec<UserId> = (0..n)
+        .map(|i| {
+            p.register_user(
+                18 + (i % 60) as u8,
+                if i % 2 == 0 {
+                    Gender::Female
+                } else {
+                    Gender::Male
+                },
+                "Ohio",
+                "43004",
+            )
+        })
+        .collect();
+    let mut sites = SiteRegistry::new();
+    sites.create("feed.example", 2);
+    let shop = sites.create("shop.example", 1);
+    let pixel = p.create_pixel(acct, "shop pixel").expect("pixel");
+    sites.embed_pixel(shop, pixel);
+    (p, sites, users)
+}
+
+/// One batch run with the ledger toggled; returns wall time and, when
+/// the ledger is on, the full chains materialized from the platform's
+/// impression log — checked against the heads the run's
+/// commitment-only emission maintained (the materialization happens
+/// outside the timed region).
+fn measure(
+    n: u64,
+    seed: u64,
+    shards: usize,
+    session: SessionConfig,
+    ledger: bool,
+    materialize: bool,
+) -> (f64, u64, Option<ReceiptLedger>) {
+    let (mut p, sites, users) = build(n, seed);
+    let engine = Engine::new(EngineConfig {
+        shards,
+        session,
+        seed,
+        ledger,
+        ..EngineConfig::default()
+    });
+    let start = Instant::now();
+    let outcome = engine.run(&mut p, &sites, &users, &BTreeSet::new());
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let ledger = outcome.ledger.map(|commitment| {
+        if !materialize {
+            return commitment;
+        }
+        let full = receipts_from_impressions(commitment.seed(), commitment.tick_ms(), p.log.all());
+        assert_eq!(
+            full.heads(),
+            commitment.heads(),
+            "materialized chains must reproduce the emission commitment"
+        );
+        full
+    });
+    (elapsed_s, outcome.report.impressions, ledger)
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Merges the ledger section into `BENCH_engine.json`, replacing any
+/// earlier `"ledger"` section (always the file's last key) and
+/// tolerating a missing file (E15 not yet run).
+fn merge_into_bench(ledger_json: &str) {
+    let path = "BENCH_engine.json";
+    let base = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let base = match base.find(",\n  \"ledger\":") {
+        Some(i) => format!("{}\n}}\n", &base[..i]),
+        None => base,
+    };
+    let body = base
+        .trim_end()
+        .strip_suffix('}')
+        .expect("BENCH_engine.json is a JSON object")
+        .trim_end();
+    let joint = if body == "{" { "" } else { "," };
+    let merged = format!("{body}{joint}\n  \"ledger\": {ledger_json}\n}}\n");
+    std::fs::write(path, merged).expect("write BENCH_engine.json");
+}
+
+fn main() {
+    let seed = treads_bench::experiment_seed();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    banner(
+        "E19",
+        "Receipt ledger — emission overhead and audit soundness",
+    );
+
+    section("Emission overhead (same binary, ledger on vs off)");
+    // Interleaved best-of-15 min on each side, the E15 overhead idiom:
+    // scheduler noise only ever slows a run down, so min-of-k converges
+    // on the true cost of the three keyed word-folds per impression.
+    // Many shortish runs beat a few long ones here — the min needs
+    // samples, not per-sample duration.
+    let overhead_users = env_u64("TREADS_LEDGER_USERS", 20_000);
+    let overhead_shards = threads.clamp(1, 4);
+    let session = SessionConfig {
+        views_per_user_per_day: 4.0,
+        days: 2,
+    };
+    let mut off_s = f64::INFINITY;
+    let mut on_s = f64::INFINITY;
+    let mut receipts = 0u64;
+    let mut impressions = 0u64;
+    // One untimed warmup to fault in the binary and the allocator.
+    measure(overhead_users, seed, overhead_shards, session, true, false);
+    for _ in 0..15 {
+        off_s = off_s.min(measure(overhead_users, seed, overhead_shards, session, false, false).0);
+        let (s, imps, ledger) =
+            measure(overhead_users, seed, overhead_shards, session, true, false);
+        on_s = on_s.min(s);
+        impressions = imps;
+        receipts = ledger.expect("ledger on").len();
+    }
+    let overhead_pct = (on_s - off_s) / off_s * 100.0;
+    println!(
+        "  {overhead_users} users, {overhead_shards} shard(s), {impressions} impressions: \
+         {off_s:.3}s off, {on_s:.3}s on -> {overhead_pct:+.2}% overhead ({receipts} receipts)"
+    );
+    assert_eq!(
+        receipts, impressions,
+        "one receipt per delivered impression"
+    );
+
+    section("Shard-count invariance (1, 2, 8 shards, identical chains)");
+    let inv_session = SessionConfig {
+        views_per_user_per_day: 6.0,
+        days: 3,
+    };
+    let inv_users = 300;
+    let ledgers: Vec<ReceiptLedger> = [1usize, 2, 8]
+        .iter()
+        .map(|&shards| {
+            measure(inv_users, seed, shards, inv_session, true, true)
+                .2
+                .expect("ledger on")
+        })
+        .collect();
+    let shard_invariant = ledgers.iter().all(|l| *l == ledgers[0]);
+    println!(
+        "  {} receipts at every shard count, chains byte-identical: {}",
+        ledgers[0].len(),
+        shard_invariant
+    );
+
+    section("Serving front end vs batch engine (same arrival stream)");
+    let batch_ledger = &ledgers[0];
+    let serving_ledger = {
+        let (mut p, sites, users) = build(inv_users, seed);
+        let arrivals = ArrivalSchedule::from_sessions(&users, &sites.ids(), &inv_session, seed);
+        let engine = ServingEngine::new(ServingConfig {
+            shards: 2,
+            tick_ms: DAY_MS,
+            horizon_ms: inv_session.days * DAY_MS,
+            seed,
+            queue_watermark: u64::MAX,
+            ..ServingConfig::default()
+        });
+        let (outcome, _) = engine.serve(&mut p, &sites, &BTreeSet::new(), |frontend| {
+            let tickets: Vec<_> = arrivals
+                .arrivals()
+                .iter()
+                .map(|a| {
+                    frontend.submit(OpportunityRequest {
+                        user: a.user,
+                        site: a.site,
+                        at: a.at,
+                    })
+                })
+                .collect();
+            tickets.into_iter().for_each(|t| {
+                t.wait();
+            });
+        });
+        let commitment = outcome.ledger.expect("serving ledger on");
+        let full = receipts_from_impressions(commitment.seed(), commitment.tick_ms(), p.log.all());
+        assert_eq!(
+            full.heads(),
+            commitment.heads(),
+            "serving materialization must reproduce the emission commitment"
+        );
+        full
+    };
+    let serving_matches_batch = serving_ledger == *batch_ledger;
+    println!(
+        "  serving emitted {} receipts, ledger identical to batch: {}",
+        serving_ledger.len(),
+        serving_matches_batch
+    );
+
+    section("Audit soundness (honest clean; dishonest detected exactly)");
+    let (honest, injected) = batch_ledger.publish(&FaultPlan::new());
+    assert!(injected.is_empty());
+    let honest_audit_clean = batch_ledger.audit(&honest).is_clean();
+    println!("  honest publish audits clean: {honest_audit_clean}");
+    let mut dishonest_exact = true;
+    let mut schedules_applied = 0u64;
+    for fault_seed in 0..50u64 {
+        let plan = FaultPlan::random_dishonest(fault_seed, LEDGER_CHAINS);
+        let (published, injected) = batch_ledger.publish(&plan);
+        schedules_applied += injected.len() as u64;
+        let report = batch_ledger.audit(&published);
+        let mut detected = report.detected_set();
+        let mut expected: Vec<_> = injected
+            .iter()
+            .map(|i| (i.chain, i.kind, i.index))
+            .collect();
+        detected.sort();
+        expected.sort();
+        dishonest_exact &= detected == expected;
+    }
+    println!(
+        "  50 seeded dishonest schedules ({schedules_applied} tamperings): \
+         detected set == injected set: {dishonest_exact}"
+    );
+
+    let ledger_json = format!(
+        "{{\"users\": {overhead_users}, \"shards\": {overhead_shards}, \
+         \"impressions\": {impressions}, \"receipts\": {receipts}, \
+         \"plain_elapsed_s\": {off_s:.4}, \"ledger_elapsed_s\": {on_s:.4}, \
+         \"overhead_pct\": {overhead_pct:.3}, \"shard_invariant\": {shard_invariant}, \
+         \"serving_matches_batch\": {serving_matches_batch}, \
+         \"honest_audit_clean\": {honest_audit_clean}, \
+         \"dishonest_detected_exactly\": {dishonest_exact}}}"
+    );
+    merge_into_bench(&ledger_json);
+    println!("\n  merged \"ledger\" into BENCH_engine.json");
+
+    section("Verdicts");
+    verdict(
+        "ledger emission overhead stays under 2%",
+        overhead_pct < 2.0,
+    );
+    verdict(
+        "receipt chains are shard-count-invariant (1 vs 2 vs 8)",
+        shard_invariant,
+    );
+    verdict(
+        "serving front end emits the batch engine's exact ledger",
+        serving_matches_batch,
+    );
+    verdict("an honest publish audits clean", honest_audit_clean);
+    verdict(
+        "every seeded dishonest publish is detected with exact attribution",
+        dishonest_exact,
+    );
+}

@@ -11,6 +11,7 @@ use treads_resilience::checkpoint::{
     ConfigEcho, EngineCheckpoint, ReportCounters, ShardCheckpoint,
 };
 use treads_resilience::delta::{CheckpointFrame, DeltaHead, DeltaTracker, ShardDeltaSource};
+use treads_resilience::ledger::{receipts_from_impressions, ReceiptLedger};
 use treads_resilience::{FaultPlan, FaultReport};
 use treads_telemetry::{
     span, FlightEvent, FlightKind, RequestTrace, Telemetry, TraceEventKind, TraceId, SHED_SEQ,
@@ -43,6 +44,11 @@ pub struct EngineConfig {
     /// buffers, so the overlap is a wall-clock optimization only: output
     /// is byte-identical either way.
     pub pipeline_sessions: bool,
+    /// Emit a signed [`ReceiptLedger`] delivery receipt for every folded
+    /// impression. Receipts are appended at the single-writer fold, so
+    /// chains are byte-identical across shard counts; chain heads are
+    /// committed into every checkpoint frame taken.
+    pub ledger: bool,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +59,7 @@ impl Default for EngineConfig {
             tick_ms: DAY_MS,
             seed: 42,
             pipeline_sessions: true,
+            ledger: true,
         }
     }
 }
@@ -83,6 +90,9 @@ pub struct EngineOutcome {
     pub report: EngineReport,
     /// Extension logs of the users who ran the Treads extension.
     pub extensions: BTreeMap<UserId, ExtensionLog>,
+    /// The hash-chained delivery-receipt ledger the fold emitted
+    /// (`None` when [`EngineConfig::ledger`] is off).
+    pub ledger: Option<ReceiptLedger>,
 }
 
 /// Supervisor knobs for a resilient run.
@@ -161,16 +171,27 @@ pub struct TickFold {
 /// applier both fold through it, which is what makes a serving run with a
 /// fixed arrival schedule byte-identical to the batch engine fed the same
 /// opportunity stream.
+///
+/// When `ledger` is supplied, every applied impression also appends a
+/// signed [`treads_resilience::DeliveryReceipt`] — in this same canonical
+/// merge order, so receipt chains are byte-identical across shard counts
+/// and between the batch engine and the serving applier.
 pub fn fold_tick_events(
     platform: &mut Platform,
     merged: Vec<ShardEvent>,
     tick_end: SimTime,
     telemetry: &mut Telemetry,
     exhausted: &mut BTreeSet<CampaignId>,
+    mut ledger: Option<&mut ReceiptLedger>,
 ) -> TickFold {
     let recording = telemetry.is_enabled();
     let mut charged_campaigns: BTreeSet<CampaignId> = BTreeSet::new();
     let mut fold = TickFold::default();
+    if let Some(ledger) = ledger.as_deref_mut() {
+        // Event count bounds the tick's impressions, so no append below
+        // reallocates a chain mid-fold.
+        ledger.reserve(merged.len() as u64);
+    }
     for event in merged {
         match event {
             ShardEvent::PixelFire {
@@ -185,6 +206,15 @@ pub fn fold_tick_events(
             } => {
                 let price = platform.apply_impression(&pending);
                 fold.impressions += 1;
+                if let Some(ledger) = ledger.as_deref_mut() {
+                    ledger.append(
+                        pending.user,
+                        pending.ad,
+                        pending.spec_digest,
+                        pending.at,
+                        price,
+                    );
+                }
                 if recording {
                     charged_campaigns.insert(pending.campaign);
                     telemetry.record_event(FlightEvent {
@@ -208,6 +238,9 @@ pub fn fold_tick_events(
     }
     telemetry.count("engine.pixel_fires", fold.pixel_fires);
     telemetry.count("engine.impressions", fold.impressions);
+    if ledger.is_some() {
+        telemetry.count("ledger.receipts", fold.impressions);
+    }
 
     // A campaign can only cross its budget in a tick that charged it, so
     // checking the charged set covers every transition.
@@ -566,6 +599,16 @@ impl Engine {
         let delta_mode = options.checkpoint_every_ticks > 0 && options.delta_base_every > 0;
         let mut tracker = delta_mode.then(|| DeltaTracker::new(self.config.shards));
         let mut frame_count = 0u64;
+        // The receipt ledger is owned by the fold loop (the single
+        // writer), so chains grow in canonical merge order regardless of
+        // shard count. Emission is commitment-only: the platform's
+        // impression log already holds every receipt's content, so the
+        // run maintains just the heads and rematerializes chains on
+        // demand (`receipts_from_impressions`).
+        let mut ledger = self
+            .config
+            .ledger
+            .then(|| ReceiptLedger::commitment_only(seed, self.config.tick_ms));
         // Fault counters exist (at zero) in every snapshot, so dashboards
         // and the CI snapshot check can *require* them without a fault.
         telemetry.count("faults.injected", 0);
@@ -583,9 +626,28 @@ impl Engine {
         telemetry.count("trace.spans", 0);
         telemetry.count("trace.sampled", 0);
         telemetry.count("trace.dropped", 0);
+        // Ledger counters exist at zero so snapshot checks can require
+        // them even in runs that deliver nothing (or disable the ledger).
+        telemetry.count("ledger.receipts", 0);
+        telemetry.count("ledger.heads_committed", 0);
 
         let mut tick_start = 0u64;
         if let Some(cp) = resume {
+            // Receipt history cannot be rewritten across a resume: the
+            // chains are recomputed from the checkpoint's own impression
+            // log and must reproduce the heads the checkpoint committed.
+            // Checked before any state is restored.
+            if let Some(l) = ledger.as_mut() {
+                let rebuilt =
+                    receipts_from_impressions(seed, self.config.tick_ms, &cp.platform.impressions);
+                if !cp.ledger.is_empty() && rebuilt.heads() != cp.ledger {
+                    return Err(Error::invalid(
+                        "checkpoint ledger heads do not match receipts recomputed \
+                         from its impression log",
+                    ));
+                }
+                *l = rebuilt.into_commitment_only();
+            }
             platform.restore_state(&cp.platform);
             for (shard, frozen) in shards.iter_mut().zip(&cp.shards) {
                 shard.restore_cursors(frozen)?;
@@ -942,6 +1004,7 @@ impl Engine {
                     SimTime(tick_end),
                     telemetry,
                     &mut exhausted,
+                    ledger.as_mut(),
                 );
                 report.pixel_fires += fold.pixel_fires;
                 report.impressions += fold.impressions;
@@ -959,6 +1022,10 @@ impl Engine {
                     opportunities: report.opportunities,
                     impressions: report.impressions,
                 };
+                let committed_heads = match (take_frame, ledger.as_ref()) {
+                    (true, Some(l)) => l.heads(),
+                    _ => Vec::new(),
+                };
                 if let Some(shard_cursors) = full_cursors.take() {
                     let cp = EngineCheckpoint {
                         config: echo.clone(),
@@ -968,8 +1035,10 @@ impl Engine {
                         faults: fault_report.clone(),
                         platform: platform.export_state(),
                         shards: shard_cursors,
+                        ledger: committed_heads.clone(),
                     };
                     telemetry.count("checkpoint.bytes", cp.to_bytes().len() as u64);
+                    telemetry.count("ledger.heads_committed", committed_heads.len() as u64);
                     if let Some(tracker) = tracker.as_mut() {
                         tracker.rebase(&cp, platform);
                         frames.push(CheckpointFrame::Full(cp));
@@ -977,12 +1046,14 @@ impl Engine {
                         checkpoints.push(cp);
                     }
                 } else if let Some(sources) = delta_sources.take() {
+                    telemetry.count("ledger.heads_committed", committed_heads.len() as u64);
                     let head = DeltaHead {
                         config: echo.clone(),
                         next_tick_start: tick_end,
                         report: counters,
                         exhausted: exhausted.iter().copied().collect(),
                         faults: fault_report.clone(),
+                        ledger: committed_heads,
                     };
                     let frame = tracker
                         .as_mut()
@@ -1046,7 +1117,11 @@ impl Engine {
             extensions.extend(shard.into_extensions());
         }
         Ok(ResilientOutcome {
-            outcome: EngineOutcome { report, extensions },
+            outcome: EngineOutcome {
+                report,
+                extensions,
+                ledger,
+            },
             faults: fault_report,
             checkpoints,
             frames,

@@ -104,6 +104,7 @@ mod tests {
                 user: UserId(3),
                 at: SimTime(5),
                 clearing_cpm: Money::dollars(1),
+                spec_digest: 0,
             },
         };
         assert_eq!(imp.key(), (SimTime(5), UserId(3), 2));

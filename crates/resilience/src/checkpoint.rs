@@ -28,6 +28,7 @@ use websim::ExtensionLog;
 
 use crate::codec::{DecodeError, Reader, Writer};
 use crate::fault::{FaultReport, LostWork};
+use crate::ledger::LedgerHead;
 
 /// Leading magic bytes of every checkpoint.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"TRCK";
@@ -43,7 +44,13 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"TRCK";
 ///   incremental [`crate::delta::DeltaFrame`]s alongside full
 ///   checkpoints; per-user schedule cursors become consumed-event counts
 ///   over day-keyed session generation.
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// * v4 — appends the receipt ledger's committed chain heads
+///   ([`crate::ledger::LedgerHead`]) after the shard section of full and
+///   delta frames, and adds the targeting-spec digest to every encoded
+///   impression — the two fields that let an auditor recompute receipt
+///   chains from a checkpoint alone and refuse a resume that would
+///   rewrite receipt history.
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// Frame-kind byte of a full checkpoint frame.
 pub const FRAME_FULL: u8 = 0;
@@ -144,10 +151,14 @@ pub struct EngineCheckpoint {
     pub platform: PlatformState,
     /// Per-shard cursors, caps, and extension logs.
     pub shards: Vec<ShardCheckpoint>,
+    /// Committed receipt-chain heads (empty when the run's ledger is
+    /// disabled). Resume recomputes chains from `platform.impressions`
+    /// and refuses to continue from a checkpoint whose heads disagree.
+    pub ledger: Vec<LedgerHead>,
 }
 
 impl EngineCheckpoint {
-    /// Serializes to the versioned binary format (a v3 *full* frame).
+    /// Serializes to the versioned binary format (a v4 *full* frame).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_bytes(&CHECKPOINT_MAGIC);
@@ -244,6 +255,14 @@ pub(crate) fn encode_full_body(w: &mut Writer, cp: &EngineCheckpoint) {
     for shard in &cp.shards {
         encode_shard(w, shard);
     }
+
+    // Receipt-chain heads (v4).
+    w.put_u32(cp.ledger.len() as u32);
+    for h in &cp.ledger {
+        w.put_u32(h.chain);
+        w.put_u64(h.head);
+        w.put_u64(h.count);
+    }
 }
 
 /// Decoder counterpart of [`encode_full_body`] (the caller frames it with
@@ -303,6 +322,18 @@ pub(crate) fn decode_full_body(r: &mut Reader<'_>) -> Result<EngineCheckpoint, D
             .map(|_| decode_shard(r))
             .collect::<Result<Vec<_>, DecodeError>>()?
     };
+    let ledger = {
+        let n = r.get_u32()?;
+        (0..n)
+            .map(|_| {
+                Ok(LedgerHead {
+                    chain: r.get_u32()?,
+                    head: r.get_u64()?,
+                    count: r.get_u64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, DecodeError>>()?
+    };
     Ok(EngineCheckpoint {
         config,
         next_tick_start,
@@ -311,6 +342,7 @@ pub(crate) fn decode_full_body(r: &mut Reader<'_>) -> Result<EngineCheckpoint, D
         faults,
         platform,
         shards,
+        ledger,
     })
 }
 
@@ -357,6 +389,7 @@ fn encode_platform(w: &mut Writer, p: &PlatformState) {
         w.put_u64(i.user.raw());
         w.put_u64(i.at.0);
         w.put_i64(i.price.as_micros());
+        w.put_u64(i.spec_digest);
     }
 
     w.put_u64(p.stats.opportunities);
@@ -525,6 +558,7 @@ fn decode_platform(r: &mut Reader<'_>) -> Result<PlatformState, DecodeError> {
                 user: UserId(r.get_u64()?),
                 at: SimTime(r.get_u64()?),
                 price: Money::micros(r.get_i64()?),
+                spec_digest: r.get_u64()?,
             })
         })
         .collect::<Result<Vec<_>, DecodeError>>()?;
@@ -745,6 +779,7 @@ mod tests {
                     user: UserId(2),
                     at: SimTime(900),
                     price: Money::micros(2_000),
+                    spec_digest: 0xFEED,
                 }],
                 stats: DeliveryStats {
                     opportunities: 30,
@@ -790,6 +825,11 @@ mod tests {
                         at: SimTime(900),
                     }],
                 }],
+            }],
+            ledger: vec![LedgerHead {
+                chain: 0,
+                head: 0xDEAD_BEEF,
+                count: 1,
             }],
         }
     }
@@ -876,5 +916,53 @@ mod tests {
         assert_eq!(logs[0].0, UserId(2));
         assert_eq!(logs[0].1.user, Some(UserId(2)));
         assert_eq!(logs[0].1.observations().len(), 1);
+    }
+
+    mod strict_decode {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Every strict truncation of a valid checkpoint is a typed
+            /// [`DecodeError`], never a panic: the reader checks
+            /// remaining length before every slice and never trusts an
+            /// embedded count it cannot satisfy.
+            #[test]
+            fn truncations_yield_typed_errors(cut in 0usize..1 << 20) {
+                let bytes = sample().to_bytes();
+                let cut = cut % bytes.len();
+                prop_assert!(
+                    EngineCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+                    "a {cut}-byte prefix of a {}-byte checkpoint decoded",
+                    bytes.len()
+                );
+            }
+
+            /// Any single-bit corruption either fails with a typed
+            /// [`DecodeError`] or decodes to a checkpoint that re-encodes
+            /// to exactly the corrupted bytes — the codec accepts no
+            /// second, non-canonical spelling of any state, and it never
+            /// panics.
+            #[test]
+            fn bit_flips_never_panic_and_stay_canonical(
+                pos in 0usize..1 << 20,
+                bit in 0u32..8,
+            ) {
+                let mut bytes = sample().to_bytes();
+                let n = bytes.len();
+                bytes[pos % n] ^= 1 << bit;
+                if let Ok(decoded) = EngineCheckpoint::from_bytes(&bytes) {
+                    prop_assert_eq!(
+                        decoded.to_bytes(),
+                        bytes,
+                        "accepted a non-canonical encoding (flipped bit {} of byte {})",
+                        bit,
+                        pos % n
+                    );
+                }
+            }
+        }
     }
 }

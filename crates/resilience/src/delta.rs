@@ -1,4 +1,5 @@
-//! Incremental (delta) checkpoint frames — TRCK v3.
+//! Incremental (delta) checkpoint frames — introduced in TRCK v3 (v4
+//! adds the receipt-ledger chain heads, carried whole by every frame).
 //!
 //! A full [`EngineCheckpoint`] re-encodes the entire mutable state every
 //! time it is taken; at population scale that clone-and-encode dominates
@@ -72,6 +73,7 @@ use crate::checkpoint::{
 };
 use crate::codec::{DecodeError, Reader, Writer};
 use crate::fault::{FaultReport, LostWork};
+use crate::ledger::LedgerHead;
 
 // ---------------------------------------------------------------------------
 // Slot hashing
@@ -150,6 +152,7 @@ fn hash_impression(index: u64, i: &Impression) -> u64 {
         .u64(i.user.raw())
         .u64(i.at.0)
         .i64(i.price.as_micros())
+        .u64(i.spec_digest)
         .done()
 }
 
@@ -305,6 +308,10 @@ pub struct DeltaHead {
     pub exhausted: Vec<CampaignId>,
     /// Supervisor fault accounting so far.
     pub faults: FaultReport,
+    /// Receipt-ledger chain heads at the frame instant (empty when the
+    /// ledger is disabled; tiny — at most [`crate::ledger::LEDGER_CHAINS`]
+    /// entries — so carried whole like the other scalars).
+    pub ledger: Vec<LedgerHead>,
 }
 
 /// An incremental checkpoint frame: the state mutated since the previous
@@ -364,11 +371,14 @@ pub struct DeltaFrame {
     pub facets: Vec<(UserId, ProfileFacets)>,
     /// Per-shard deltas, in shard-index order.
     pub shards: Vec<ShardDelta>,
+    /// Receipt-ledger chain heads (carried whole; tiny). Excluded from
+    /// [`state_digest`] like every scalar carried whole by every frame.
+    pub ledger: Vec<LedgerHead>,
     /// [`state_digest`] of the state this frame folds up to.
     pub digest: u64,
 }
 
-/// A TRCK v3 frame: either a full checkpoint or a delta against the
+/// A TRCK frame: either a full checkpoint or a delta against the
 /// previous frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CheckpointFrame {
@@ -387,7 +397,7 @@ impl CheckpointFrame {
         }
     }
 
-    /// Serializes to the versioned TRCK v3 binary format.
+    /// Serializes to the versioned TRCK binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         match self {
             CheckpointFrame::Full(cp) => cp.to_bytes(),
@@ -511,6 +521,7 @@ fn encode_delta_body(w: &mut Writer, d: &DeltaFrame) {
         w.put_u64(i.user.raw());
         w.put_u64(i.at.0);
         w.put_i64(i.price.as_micros());
+        w.put_u64(i.spec_digest);
     }
 
     w.put_u64(d.pixel_base);
@@ -571,6 +582,13 @@ fn encode_delta_body(w: &mut Writer, d: &DeltaFrame) {
                 encode_observed(w, o);
             }
         }
+    }
+
+    w.put_u32(d.ledger.len() as u32);
+    for h in &d.ledger {
+        w.put_u32(h.chain);
+        w.put_u64(h.head);
+        w.put_u64(h.count);
     }
 
     w.put_u64(d.digest);
@@ -667,6 +685,7 @@ fn decode_delta_body(r: &mut Reader<'_>) -> Result<DeltaFrame, DecodeError> {
                 user: UserId(r.get_u64()?),
                 at: SimTime(r.get_u64()?),
                 price: adsim_types::Money::micros(r.get_i64()?),
+                spec_digest: r.get_u64()?,
             })
         })
         .collect::<Result<Vec<_>, DecodeError>>()?;
@@ -764,6 +783,17 @@ fn decode_delta_body(r: &mut Reader<'_>) -> Result<DeltaFrame, DecodeError> {
         })
         .collect::<Result<Vec<_>, DecodeError>>()?;
 
+    let n = r.get_u32()?;
+    let ledger = (0..n)
+        .map(|_| {
+            Ok(LedgerHead {
+                chain: r.get_u32()?,
+                head: r.get_u64()?,
+                count: r.get_u64()?,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+
     let digest = r.get_u64()?;
     Ok(DeltaFrame {
         config,
@@ -792,6 +822,7 @@ fn decode_delta_body(r: &mut Reader<'_>) -> Result<DeltaFrame, DecodeError> {
         symbols_suffix,
         facets,
         shards,
+        ledger,
         digest,
     })
 }
@@ -821,6 +852,7 @@ fn apply_delta(cur: &mut EngineCheckpoint, d: &DeltaFrame) -> Result<(), DecodeE
     cur.report = d.report;
     cur.exhausted = d.exhausted.clone();
     cur.faults = d.faults.clone();
+    cur.ledger = d.ledger.clone();
 
     let p = &mut cur.platform;
     p.clock_now = SimTime(d.clock_now);
@@ -1300,6 +1332,7 @@ impl DeltaTracker {
             report: head.report,
             exhausted: head.exhausted,
             faults: head.faults,
+            ledger: head.ledger,
             clock_now: platform.clock.now().0,
             stats: platform.stats,
             small_spend_waiver_micros: platform.billing.small_spend_waiver.as_micros(),
@@ -1377,6 +1410,7 @@ mod tests {
                     user: UserId(1),
                     at: SimTime(500),
                     price: Money::micros(2_000),
+                    spec_digest: 0xFEED,
                 }],
                 stats: DeliveryStats {
                     opportunities: 4,
@@ -1423,6 +1457,11 @@ mod tests {
                     observations: vec![],
                 }],
             }],
+            ledger: vec![LedgerHead {
+                chain: 0,
+                head: 0xDEAD_BEEF,
+                count: 1,
+            }],
         }
     }
 
@@ -1431,6 +1470,8 @@ mod tests {
     fn advanced() -> (EngineCheckpoint, DeltaFrame) {
         let mut next = base();
         next.next_tick_start = 2000;
+        next.ledger[0].head = 0xBEEF_CAFE;
+        next.ledger[0].count = 2;
         next.report.ticks = 2;
         next.report.page_views = 8;
         next.report.opportunities = 8;
@@ -1452,6 +1493,7 @@ mod tests {
             user: UserId(1),
             at: SimTime(1500),
             price: Money::micros(3_000),
+            spec_digest: 0xFACE,
         };
         p.impressions.push(imp);
         p.audience_members[0].1.push(UserId(2));
@@ -1507,6 +1549,7 @@ mod tests {
                 freq: vec![((AdId(1), UserId(1)), 2)],
                 ext: vec![(UserId(1), 0, vec![obs])],
             }],
+            ledger: next.ledger.clone(),
             digest: state_digest(&next),
         };
         (next, delta)
@@ -1617,5 +1660,50 @@ mod tests {
         let mut changed = cp.clone();
         changed.shards[0].users[1].seq += 1;
         assert_ne!(d1, state_digest(&changed));
+    }
+
+    mod strict_decode {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Every strict truncation of a valid delta frame is a typed
+            /// [`DecodeError`], never a panic.
+            #[test]
+            fn delta_truncations_yield_typed_errors(cut in 0usize..1 << 20) {
+                let bytes = CheckpointFrame::Delta(advanced().1).to_bytes();
+                let cut = cut % bytes.len();
+                prop_assert!(
+                    CheckpointFrame::from_bytes(&bytes[..cut]).is_err(),
+                    "a {cut}-byte prefix of a {}-byte frame decoded",
+                    bytes.len()
+                );
+            }
+
+            /// Any single-bit corruption of a delta frame either fails
+            /// with a typed [`DecodeError`] or decodes to a frame that
+            /// re-encodes to exactly the corrupted bytes — no
+            /// non-canonical acceptance, no panic.
+            #[test]
+            fn delta_bit_flips_never_panic_and_stay_canonical(
+                pos in 0usize..1 << 20,
+                bit in 0u32..8,
+            ) {
+                let mut bytes = CheckpointFrame::Delta(advanced().1).to_bytes();
+                let n = bytes.len();
+                bytes[pos % n] ^= 1 << bit;
+                if let Ok(decoded) = CheckpointFrame::from_bytes(&bytes) {
+                    prop_assert_eq!(
+                        decoded.to_bytes(),
+                        bytes,
+                        "accepted a non-canonical encoding (flipped bit {} of byte {})",
+                        bit,
+                        pos % n
+                    );
+                }
+            }
+        }
     }
 }

@@ -47,6 +47,99 @@ pub enum EngineFault {
     },
 }
 
+/// A dishonest-platform fault: the platform tampers with its *published*
+/// delivery-receipt ledger (see [`crate::ledger`]) while its internal
+/// state stays intact. Unlike [`EngineFault`]s these are not recovered
+/// from — they exist to be **detected** by the auditor, which is why the
+/// chaos proptest demands detected-set == injected-set.
+///
+/// Chain indices are taken modulo the chain's receipt count at publish
+/// time, so seeded schedules need not know run lengths in advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DishonestFault {
+    /// The platform omits one receipt from the published chain (a
+    /// delivery it billed for but hides from auditors).
+    DropReceipt {
+        /// Targeted chain.
+        chain: u32,
+        /// Receipt position (mod chain length).
+        index: u64,
+    },
+    /// The platform appends a fabricated receipt (a delivery it charges
+    /// for that never happened).
+    ForgeReceipt {
+        /// Targeted chain.
+        chain: u32,
+    },
+    /// The platform rewrites one receipt's price after signing it.
+    RewritePrice {
+        /// Targeted chain.
+        chain: u32,
+        /// Receipt position (mod chain length).
+        index: u64,
+    },
+    /// The platform swaps two adjacent receipts, rewriting delivery
+    /// order.
+    ReorderChain {
+        /// Targeted chain.
+        chain: u32,
+        /// Left position of the swapped pair (mod `len - 1`).
+        index: u64,
+    },
+    /// The platform publishes receipts faithfully but advertises a chain
+    /// head that does not match them (telling different parties
+    /// different histories).
+    EquivocateHead {
+        /// Targeted chain.
+        chain: u32,
+    },
+}
+
+/// What shape of ledger tampering an auditor found (or a plan injected).
+///
+/// The first five variants mirror [`DishonestFault`]; [`EquivocationKind::Tampered`]
+/// is the auditor's fallback for corruption matching none of the named
+/// shapes (never produced by a seeded plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EquivocationKind {
+    /// A receipt present in the recomputed chain is missing.
+    DroppedReceipt,
+    /// A receipt absent from the recomputed chain was published.
+    ForgedReceipt,
+    /// A published receipt differs from the recomputed one only in price.
+    RewrittenPrice,
+    /// Two adjacent receipts were swapped.
+    ReorderedChain,
+    /// Receipts match but the advertised head does not.
+    EquivocatedHead,
+    /// Same-length divergence matching no named shape.
+    Tampered,
+}
+
+impl DishonestFault {
+    /// The chain the fault targets.
+    pub fn chain(&self) -> u32 {
+        match *self {
+            DishonestFault::DropReceipt { chain, .. }
+            | DishonestFault::ForgeReceipt { chain }
+            | DishonestFault::RewritePrice { chain, .. }
+            | DishonestFault::ReorderChain { chain, .. }
+            | DishonestFault::EquivocateHead { chain } => chain,
+        }
+    }
+
+    /// The tampering shape an auditor should attribute to this fault.
+    pub fn kind(&self) -> EquivocationKind {
+        match self {
+            DishonestFault::DropReceipt { .. } => EquivocationKind::DroppedReceipt,
+            DishonestFault::ForgeReceipt { .. } => EquivocationKind::ForgedReceipt,
+            DishonestFault::RewritePrice { .. } => EquivocationKind::RewrittenPrice,
+            DishonestFault::ReorderChain { .. } => EquivocationKind::ReorderedChain,
+            DishonestFault::EquivocateHead { .. } => EquivocationKind::EquivocatedHead,
+        }
+    }
+}
+
 /// A fault injected into the platform's campaign-submission API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ApiFault {
@@ -70,6 +163,8 @@ pub struct FaultPlan {
     pub engine: Vec<EngineFault>,
     /// Faults striking the submission API.
     pub api: Vec<ApiFault>,
+    /// Ledger tampering the platform commits when *publishing* receipts.
+    pub dishonest: Vec<DishonestFault>,
 }
 
 impl FaultPlan {
@@ -109,14 +204,50 @@ impl FaultPlan {
         self
     }
 
+    /// Drops receipt `index` (mod chain length) from published `chain`.
+    pub fn drop_receipt(mut self, chain: u32, index: u64) -> Self {
+        self.dishonest
+            .push(DishonestFault::DropReceipt { chain, index });
+        self
+    }
+
+    /// Appends a fabricated receipt to published `chain`.
+    pub fn forge_receipt(mut self, chain: u32) -> Self {
+        self.dishonest.push(DishonestFault::ForgeReceipt { chain });
+        self
+    }
+
+    /// Rewrites the price of receipt `index` (mod chain length) on
+    /// published `chain`.
+    pub fn rewrite_price(mut self, chain: u32, index: u64) -> Self {
+        self.dishonest
+            .push(DishonestFault::RewritePrice { chain, index });
+        self
+    }
+
+    /// Swaps published receipts `index` and `index + 1` (mod `len - 1`)
+    /// on `chain`.
+    pub fn reorder_chain(mut self, chain: u32, index: u64) -> Self {
+        self.dishonest
+            .push(DishonestFault::ReorderChain { chain, index });
+        self
+    }
+
+    /// Publishes `chain`'s receipts faithfully under a mismatching head.
+    pub fn equivocate_head(mut self, chain: u32) -> Self {
+        self.dishonest
+            .push(DishonestFault::EquivocateHead { chain });
+        self
+    }
+
     /// True if the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.engine.is_empty() && self.api.is_empty()
+        self.engine.is_empty() && self.api.is_empty() && self.dishonest.is_empty()
     }
 
     /// Total number of scheduled faults (for `faults.injected` telemetry).
     pub fn len(&self) -> usize {
-        self.engine.len() + self.api.len()
+        self.engine.len() + self.api.len() + self.dishonest.len()
     }
 
     /// The crash faults striking `tick`, as `(shard, failing_attempts)`.
@@ -187,6 +318,42 @@ impl FaultPlan {
                     .engine
                     .push(EngineFault::DuplicateBatch { tick, shard }),
                 _ => plan.engine.push(EngineFault::DelayBatch { tick, shard }),
+            }
+        }
+        plan
+    }
+
+    /// Generates a random dishonest-platform schedule over `chains`
+    /// ledger chains: 1..=4 faults, each on a **distinct** chain (so the
+    /// auditor's per-chain attribution is exact), kind and position
+    /// seeded. Like every plan, the same seed replays the same schedule.
+    pub fn random_dishonest(seed: u64, chains: u32) -> Self {
+        let mut rng = substream(seed, "dishonest-plan");
+        let mut plan = FaultPlan {
+            seed,
+            ..Self::default()
+        };
+        let chains = chains.max(1);
+        let mut unstruck: Vec<u32> = (0..chains).collect();
+        let n_faults = rng.gen_range(1..=4u32.min(chains));
+        for _ in 0..n_faults {
+            let pick = rng.gen_range(0..unstruck.len());
+            let chain = unstruck.swap_remove(pick);
+            let index = rng.gen_range(0..u64::MAX / 2);
+            match rng.gen_range(0..5u32) {
+                0 => plan
+                    .dishonest
+                    .push(DishonestFault::DropReceipt { chain, index }),
+                1 => plan.dishonest.push(DishonestFault::ForgeReceipt { chain }),
+                2 => plan
+                    .dishonest
+                    .push(DishonestFault::RewritePrice { chain, index }),
+                3 => plan
+                    .dishonest
+                    .push(DishonestFault::ReorderChain { chain, index }),
+                _ => plan
+                    .dishonest
+                    .push(DishonestFault::EquivocateHead { chain }),
             }
         }
         plan
@@ -276,5 +443,45 @@ mod tests {
         // Different seeds diverge (with overwhelming probability).
         let c = FaultPlan::random_recoverable(10, 10, 4, 3);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dishonest_plans_replay_and_strike_distinct_chains() {
+        let a = FaultPlan::random_dishonest(7, 8);
+        let b = FaultPlan::random_dishonest(7, 8);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), a.dishonest.len());
+        let chains: Vec<u32> = a.dishonest.iter().map(DishonestFault::chain).collect();
+        let mut deduped = chains.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(chains.len(), deduped.len(), "one fault per chain");
+        assert!(chains.iter().all(|&c| c < 8));
+    }
+
+    #[test]
+    fn dishonest_builders_count_toward_len() {
+        let plan = FaultPlan::new()
+            .drop_receipt(0, 3)
+            .forge_receipt(1)
+            .rewrite_price(2, 0)
+            .reorder_chain(3, 1)
+            .equivocate_head(4);
+        assert_eq!(plan.len(), 5);
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.dishonest
+                .iter()
+                .map(DishonestFault::kind)
+                .collect::<Vec<_>>(),
+            vec![
+                EquivocationKind::DroppedReceipt,
+                EquivocationKind::ForgedReceipt,
+                EquivocationKind::RewrittenPrice,
+                EquivocationKind::ReorderedChain,
+                EquivocationKind::EquivocatedHead,
+            ]
+        );
     }
 }

@@ -27,6 +27,11 @@
 //!   encode only the slots mutated since the previous frame, folding back
 //!   to a byte-identical full checkpoint via [`delta::fold_frames`] with
 //!   a per-frame [`delta::state_digest`] integrity check.
+//! * [`ledger`] — the hash-chained [`ledger::ReceiptLedger`] of signed
+//!   delivery receipts, its [`fault::DishonestFault`] tampering family,
+//!   and the equivocation auditor ([`ledger::ReceiptLedger::audit`]).
+//!   Chain heads are committed into checkpoints (from v4) so resumes
+//!   cannot rewrite receipt history.
 //!
 //! # TRCK format versioning
 //!
@@ -42,6 +47,9 @@
 //!   ([`checkpoint::FRAME_FULL`]` = 0`, [`checkpoint::FRAME_DELTA`]` =
 //!   1`) and adds the delta-frame body format; full-frame bodies are
 //!   otherwise unchanged from v2.
+//! * **v4** — appends the receipt ledger's committed chain heads to
+//!   full and delta frames, and adds the targeting-spec digest to every
+//!   encoded impression.
 //!
 //! **Strict decoding, everywhere:** decoders reject bad magic, unknown
 //! versions, unknown frame kinds, truncated input, trailing bytes, and
@@ -70,6 +78,7 @@ pub mod checkpoint;
 pub mod codec;
 pub mod delta;
 pub mod fault;
+pub mod ledger;
 
 pub use api::{FlakyPlatform, SubmissionApi};
 pub use backoff::BackoffPolicy;
@@ -82,4 +91,10 @@ pub use delta::{
     fold_frames, state_digest, CheckpointFrame, DeltaFrame, DeltaHead, DeltaTracker, ShardDelta,
     ShardDeltaSource,
 };
-pub use fault::{ApiFault, EngineFault, FaultPlan, FaultReport, LostWork};
+pub use fault::{
+    ApiFault, DishonestFault, EngineFault, EquivocationKind, FaultPlan, FaultReport, LostWork,
+};
+pub use ledger::{
+    pseudonym, receipts_from_impressions, AuditFinding, AuditReport, DeliveryReceipt,
+    InjectedEquivocation, LedgerHead, PublishedLedger, ReceiptLedger, LEDGER_CHAINS,
+};

@@ -16,8 +16,8 @@ use adplatform::Platform;
 use adsim_types::{CampaignId, SimTime};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::RwLock;
-use treads_engine::{fold_tick_events, merge_batches_lossy};
-use treads_resilience::FaultReport;
+use treads_engine::{fold_tick_events, merge_batches_lossy, MergeError};
+use treads_resilience::{FaultReport, ReceiptLedger};
 use treads_telemetry::{
     Histogram, Registry, RequestTrace, SloTracker, Telemetry, TraceEventKind, TraceId,
 };
@@ -40,10 +40,12 @@ pub(crate) struct ApplierResult {
     /// End-to-end latency over every answered request.
     pub latency: Histogram,
     pub faults: FaultReport,
+    /// The receipt ledger grown at the fold (`None` when disabled).
+    pub ledger: Option<ReceiptLedger>,
 }
 
 impl ApplierResult {
-    fn new() -> Self {
+    fn new(ledger: Option<ReceiptLedger>) -> Self {
         Self {
             ticks: 0,
             requests: 0,
@@ -56,6 +58,7 @@ impl ApplierResult {
             pixel_fires: 0,
             latency: Histogram::latency_ns(),
             faults: FaultReport::default(),
+            ledger,
         }
     }
 }
@@ -71,9 +74,10 @@ pub(crate) fn run_applier(
     ack_tx: Sender<()>,
     slo: &mut SloTracker,
     telemetry: &mut Telemetry,
+    ledger: Option<ReceiptLedger>,
 ) -> ApplierResult {
     let tracing = telemetry.trace_config().enabled;
-    let mut out = ApplierResult::new();
+    let mut out = ApplierResult::new(ledger);
     // Campaigns already journaled crossing their budget (for the
     // once-per-campaign `BudgetExhausted` flight event).
     let mut exhausted: BTreeSet<CampaignId> = BTreeSet::new();
@@ -121,7 +125,14 @@ pub(crate) fn run_applier(
             // serving rather than panic. Conflicts are counted, and each
             // leaves an always-retained trace naming the duplicated key.
             let (merged, conflicts) = merge_batches_lossy(events);
-            let fold = fold_tick_events(p, merged, SimTime(tick_end), telemetry, &mut exhausted);
+            let fold = fold_tick_events(
+                p,
+                merged,
+                SimTime(tick_end),
+                telemetry,
+                &mut exhausted,
+                out.ledger.as_mut(),
+            );
             out.impressions += fold.impressions;
             out.pixel_fires += fold.pixel_fires;
             (Arc::new(p.billing.budget_snapshot()), conflicts)
@@ -133,27 +144,9 @@ pub(crate) fn run_applier(
 
         let mut tick_latency = Histogram::latency_ns();
         let mut reg = Registry::new();
-        let mut tick_traces: Vec<RequestTrace> = Vec::new();
+        let mut tick_traces: Vec<RequestTrace> =
+            record_merge_conflicts(&conflicts, seed, tracing, telemetry);
         let mut tick_keys = Vec::new();
-        if !conflicts.is_empty() {
-            telemetry.count("serving.merge_conflicts", conflicts.len() as u64);
-            if tracing {
-                for c in &conflicts {
-                    let id = TraceId::from_key(seed, c.at, c.user.raw(), c.user_seq);
-                    let mut t = RequestTrace::tail(id, c.at, c.user.raw(), c.user_seq);
-                    let span = t.span("merge_conflict", None, c.at);
-                    t.event(
-                        span,
-                        TraceEventKind::MergeConflict {
-                            at: c.at.0,
-                            user: c.user.raw(),
-                            user_seq: c.user_seq,
-                        },
-                    );
-                    tick_traces.push(t);
-                }
-            }
-        }
         for batch in &mut batches {
             tick_traces.append(&mut batch.traces);
             tick_keys.append(&mut batch.trace_keys);
@@ -228,4 +221,117 @@ pub(crate) fn run_applier(
         let _ = ack_tx.send(());
     }
     out
+}
+
+/// Tick-close bookkeeping for lossy-merge conflicts: bumps the
+/// `serving.merge_conflicts` counter and, when tracing, returns one tail
+/// trace per dropped event naming the duplicated `(at, user, user_seq)`
+/// key. Tail traces are always retained — a replayed batch must stay
+/// diagnosable even when head sampling would have skipped the request.
+fn record_merge_conflicts(
+    conflicts: &[MergeError],
+    seed: u64,
+    tracing: bool,
+    telemetry: &mut Telemetry,
+) -> Vec<RequestTrace> {
+    if conflicts.is_empty() {
+        return Vec::new();
+    }
+    telemetry.count("serving.merge_conflicts", conflicts.len() as u64);
+    if !tracing {
+        return Vec::new();
+    }
+    conflicts
+        .iter()
+        .map(|c| {
+            let id = TraceId::from_key(seed, c.at, c.user.raw(), c.user_seq);
+            let mut t = RequestTrace::tail(id, c.at, c.user.raw(), c.user_seq);
+            let span = t.span("merge_conflict", None, c.at);
+            t.event(
+                span,
+                TraceEventKind::MergeConflict {
+                    at: c.at.0,
+                    user: c.user.raw(),
+                    user_seq: c.user_seq,
+                },
+            );
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsim_types::{PixelId, UserId};
+    use treads_engine::ShardEvent;
+    use treads_telemetry::TraceConfig;
+
+    fn fire(at: u64, user: u64, seq: u64) -> ShardEvent {
+        ShardEvent::PixelFire {
+            at: SimTime(at),
+            user: UserId(user),
+            user_seq: seq,
+            pixel: PixelId(7),
+        }
+    }
+
+    /// The replay failure mode end to end: the same batch merged twice
+    /// degrades first-writer-wins, bumps `serving.merge_conflicts` once
+    /// per dropped event, and leaves one always-retained trace naming
+    /// each duplicated key — retained even though conflict traces never
+    /// ride on head sampling, and kept by the collector.
+    #[test]
+    fn duplicate_keys_count_and_leave_retained_traces() {
+        let batch = vec![fire(5, 2, 0), fire(9, 2, 1)];
+        let (merged, conflicts) = merge_batches_lossy(vec![batch.clone(), batch.clone()]);
+        assert_eq!(merged, batch, "lossy merge keeps the first writer");
+        assert_eq!(conflicts.len(), 2);
+
+        let mut telemetry = Telemetry::new();
+        // Head sampling off entirely: retention below must come from the
+        // tail path alone.
+        telemetry.set_trace_config(TraceConfig {
+            sample_per_mille: 0,
+            ..TraceConfig::default()
+        });
+        let traces = record_merge_conflicts(&conflicts, 31, true, &mut telemetry);
+        assert_eq!(
+            telemetry.metrics().counter("serving.merge_conflicts"),
+            2,
+            "every dropped event is counted"
+        );
+        assert_eq!(traces.len(), conflicts.len());
+        for (t, c) in traces.iter().zip(&conflicts) {
+            assert!(!t.sampled, "conflict traces never head-sample");
+            assert!(t.retained(), "conflict traces must be tail-retained");
+            assert_eq!(t.spans[0].name, "merge_conflict");
+            assert!(
+                t.events.iter().any(|e| e.kind
+                    == TraceEventKind::MergeConflict {
+                        at: c.at.0,
+                        user: c.user.raw(),
+                        user_seq: c.user_seq,
+                    }),
+                "trace must name the duplicated key"
+            );
+        }
+        for t in traces {
+            assert!(
+                telemetry.offer_trace(t),
+                "tail traces survive the collector"
+            );
+        }
+        assert_eq!(telemetry.traces().len(), 2);
+
+        // With tracing off the counter still advances; no traces built.
+        let mut quiet = Telemetry::new();
+        assert!(record_merge_conflicts(&conflicts, 31, false, &mut quiet).is_empty());
+        assert_eq!(quiet.metrics().counter("serving.merge_conflicts"), 2);
+
+        // A conflict-free tick touches neither counter nor collector.
+        let mut clean = Telemetry::new();
+        assert!(record_merge_conflicts(&[], 31, true, &mut clean).is_empty());
+        assert_eq!(clean.metrics().counter("serving.merge_conflicts"), 0);
+    }
 }

@@ -49,6 +49,12 @@ pub struct ServingConfig {
     /// this field is ignored. Like every telemetry knob, it can never
     /// change a simulation outcome.
     pub trace: TraceConfig,
+    /// Emit a signed delivery receipt for every folded impression (the
+    /// serving twin of [`treads_engine::EngineConfig::ledger`]). Receipts
+    /// are appended by the applier inside the fold, so chains are
+    /// byte-identical to the batch engine's under the same opportunity
+    /// stream.
+    pub ledger: bool,
 }
 
 impl Default for ServingConfig {
@@ -64,6 +70,7 @@ impl Default for ServingConfig {
             retry_after_ms: 10,
             slo: SloTarget::p99_ms(20),
             trace: TraceConfig::default(),
+            ledger: true,
         }
     }
 }
@@ -85,5 +92,6 @@ mod tests {
         assert_eq!(c.slo.target_ns, 20_000_000);
         assert!(c.trace.enabled);
         assert_eq!(c.trace.sample_per_mille, 10);
+        assert!(c.ledger, "receipt emission is on by default");
     }
 }

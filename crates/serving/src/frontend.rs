@@ -9,7 +9,7 @@ use adplatform::Platform;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use treads_engine::ResilienceOptions;
-use treads_resilience::FaultPlan;
+use treads_resilience::{FaultPlan, ReceiptLedger};
 use treads_telemetry::{
     RequestTrace, SloTracker, Telemetry, TraceConfig, TraceEventKind, TraceId, SHED_SEQ,
 };
@@ -303,6 +303,19 @@ impl ServingEngine {
         telemetry.count("faults.unrecoverable", 0);
         telemetry.count("targeting.compiled_evals", 0);
         telemetry.count("targeting.facet_updates", 0);
+        telemetry.count("ledger.receipts", 0);
+        // A serving run takes no checkpoints, so heads are never
+        // committed here; the counter still exists for snapshot checks.
+        telemetry.count("ledger.heads_committed", 0);
+
+        // The applier (the single writer) owns the receipt ledger, so
+        // receipts append in the same canonical fold order as the batch
+        // engine's. Commitment-only, like the batch engine: heads are
+        // maintained online, chains rematerialize from the impression
+        // log.
+        let ledger = cfg
+            .ledger
+            .then(|| ReceiptLedger::commitment_only(cfg.seed, cfg.tick_ms));
 
         let initial_budget = Arc::new(platform.billing.budget_snapshot());
         let mut slo = SloTracker::new(cfg.slo);
@@ -390,6 +403,7 @@ impl ServingEngine {
                     ack_tx,
                     slo_ref,
                     telemetry_ref,
+                    ledger,
                 )
             });
             let client_out = client(&frontend);
@@ -458,6 +472,7 @@ impl ServingEngine {
                 report,
                 extensions,
                 faults,
+                ledger: applier_out.ledger,
             },
             client_out,
         )

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use adsim_types::UserId;
-use treads_resilience::FaultReport;
+use treads_resilience::{FaultReport, ReceiptLedger};
 use treads_telemetry::Histogram;
 use websim::ExtensionLog;
 
@@ -106,6 +106,9 @@ pub struct ServingOutcome {
     /// What was injected, recovered, and lost — the serving twin of the
     /// batch supervisor's fault accounting.
     pub faults: FaultReport,
+    /// The hash-chained delivery-receipt ledger the applier emitted
+    /// (`None` when [`crate::ServingConfig::ledger`] is off).
+    pub ledger: Option<ReceiptLedger>,
 }
 
 #[cfg(test)]

@@ -82,6 +82,69 @@ impl ExtensionLog {
         }
         seen
     }
+
+    /// Cross-checks the platform's receipt claims against what the
+    /// browser actually rendered.
+    ///
+    /// Claims and observations match as a multiset on `(ad, at)` — a user
+    /// shown the same ad twice holds two observations and is owed two
+    /// receipts. The audit is symmetric: `unobserved` lists deliveries
+    /// the platform claims but the browser never rendered (a forged
+    /// receipt), `unreceipted` lists rendered ads the platform issued no
+    /// receipt for (a dropped one).
+    pub fn verify_claims(&self, claims: &[ReceiptClaim]) -> ClaimAudit {
+        let mut pending: Vec<(AdId, SimTime)> =
+            self.observations.iter().map(|o| (o.ad, o.at)).collect();
+        let mut audit = ClaimAudit::default();
+        for claim in claims {
+            match pending
+                .iter()
+                .position(|&(ad, at)| ad == claim.ad && at == claim.at)
+            {
+                Some(i) => {
+                    pending.swap_remove(i);
+                    audit.matched += 1;
+                }
+                None => audit.unobserved.push(*claim),
+            }
+        }
+        pending.sort_unstable_by_key(|&(ad, at)| (at, ad));
+        audit.unreceipted = pending;
+        audit
+    }
+}
+
+/// A delivery the platform *claims* it made to this user: an `(ad,
+/// instant)` pair lifted from its published receipt ledger.
+///
+/// Deliberately minimal — the extension sees only what the user's browser
+/// sees, so a claim is comparable exactly on the rendered ad identity and
+/// instant, never on platform-internal receipt fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReceiptClaim {
+    /// The ad the platform says it delivered.
+    pub ad: AdId,
+    /// When it says it delivered it.
+    pub at: SimTime,
+}
+
+/// Outcome of [`ExtensionLog::verify_claims`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClaimAudit {
+    /// Claims backed by a rendered observation.
+    pub matched: u64,
+    /// Claims the browser never rendered (forged receipts).
+    pub unobserved: Vec<ReceiptClaim>,
+    /// Rendered ads the platform issued no receipt for (dropped
+    /// receipts), sorted by `(at, ad)`.
+    pub unreceipted: Vec<(AdId, SimTime)>,
+}
+
+impl ClaimAudit {
+    /// True when every claim matched an observation and vice versa.
+    pub fn is_clean(&self) -> bool {
+        self.unobserved.is_empty() && self.unreceipted.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +173,61 @@ mod tests {
         assert!(log.is_empty());
         assert!(log.distinct_ads().is_empty());
         assert!(log.of_ad(AdId(1)).is_empty());
+    }
+
+    #[test]
+    fn claim_verification_is_a_multiset_match() {
+        let mut log = ExtensionLog::for_user(UserId(1));
+        log.observe(AdId(10), creative(1), SimTime(5));
+        log.observe(AdId(10), creative(1), SimTime(5));
+        log.observe(AdId(11), creative(2), SimTime(6));
+
+        // Honest claims: one per rendered ad, duplicates included.
+        let honest = vec![
+            ReceiptClaim {
+                ad: AdId(10),
+                at: SimTime(5),
+            },
+            ReceiptClaim {
+                ad: AdId(10),
+                at: SimTime(5),
+            },
+            ReceiptClaim {
+                ad: AdId(11),
+                at: SimTime(6),
+            },
+        ];
+        let audit = log.verify_claims(&honest);
+        assert!(audit.is_clean());
+        assert_eq!(audit.matched, 3);
+
+        // A forged claim surfaces as unobserved; a withheld one as
+        // unreceipted.
+        let tampered = vec![
+            ReceiptClaim {
+                ad: AdId(10),
+                at: SimTime(5),
+            },
+            ReceiptClaim {
+                ad: AdId(10),
+                at: SimTime(5),
+            },
+            ReceiptClaim {
+                ad: AdId(99),
+                at: SimTime(7),
+            },
+        ];
+        let audit = log.verify_claims(&tampered);
+        assert!(!audit.is_clean());
+        assert_eq!(audit.matched, 2);
+        assert_eq!(
+            audit.unobserved,
+            vec![ReceiptClaim {
+                ad: AdId(99),
+                at: SimTime(7),
+            }]
+        );
+        assert_eq!(audit.unreceipted, vec![(AdId(11), SimTime(6))]);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod session;
 pub mod site;
 
 pub use cookies::{CookieJar, CookiePolicy};
-pub use extension::{ExtensionLog, ObservedAd};
+pub use extension::{ClaimAudit, ExtensionLog, ObservedAd, ReceiptClaim};
 pub use landing::{LandingPage, LandingServer, VisitRecord};
 pub use loadgen::{Arrival, ArrivalSchedule, Burst, LoadProfile};
 pub use session::{BrowsingEvent, SessionConfig, SessionSchedule};

@@ -21,6 +21,12 @@ Either mode also accepts --trace (DESIGN.md §13): require the causal
 tracing counters (trace.spans / trace.sampled / trace.dropped), the
 trace-collector section, and at least one exemplar linking the
 request-latency histogram's tail to a retained trace id.
+
+Either mode also accepts --ledger (DESIGN.md §15): require the
+delivery-receipt ledger counters (ledger.receipts /
+ledger.heads_committed), which both engines always register —
+zero-valued when emission is disabled; when emission ran, one receipt
+per delivered impression.
 """
 
 import json
@@ -96,6 +102,14 @@ TRACE_COUNTERS = [
 ]
 TRACE_EXEMPLAR_HISTOGRAM = "serving.request_latency_ns"
 
+# Delivery-receipt ledger accounting (DESIGN.md §15): both engines
+# zero-register these whenever they run, so their absence means the run
+# predates the transparency ledger.
+LEDGER_COUNTERS = [
+    "ledger.receipts",
+    "ledger.heads_committed",
+]
+
 HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "p50", "p95", "p99", "buckets"]
 
 
@@ -108,9 +122,10 @@ def main() -> None:
     args = sys.argv[1:]
     serving = "--serving" in args
     trace = "--trace" in args
-    args = [a for a in args if a not in ("--serving", "--trace")]
+    ledger = "--ledger" in args
+    args = [a for a in args if a not in ("--serving", "--trace", "--ledger")]
     if len(args) != 1:
-        fail(f"usage: {sys.argv[0]} [--serving] [--trace] <snapshot.json>")
+        fail(f"usage: {sys.argv[0]} [--serving] [--trace] [--ledger] <snapshot.json>")
     path = args[0]
     try:
         with open(path, encoding="utf-8") as f:
@@ -125,6 +140,8 @@ def main() -> None:
     required_histograms = SERVING_HISTOGRAMS if serving else ENGINE_HISTOGRAMS
     if trace:
         required_counters = required_counters + TRACE_COUNTERS
+    if ledger:
+        required_counters = required_counters + LEDGER_COUNTERS
 
     counters = snap.get("counters")
     if not isinstance(counters, dict):
@@ -141,6 +158,12 @@ def main() -> None:
             fail("serving run answered no requests")
         if counters["serving.requests"] < counters["serving.shed"]:
             fail("serving.shed exceeds serving.requests")
+    if ledger and counters["ledger.receipts"] not in (0, counters["engine.impressions"]):
+        fail(
+            f"ledger.receipts ({counters['ledger.receipts']}) is neither 0 "
+            f"(emission off) nor one per delivered impression "
+            f"({counters['engine.impressions']})"
+        )
 
     histograms = snap.get("histograms")
     if not isinstance(histograms, dict):
@@ -206,7 +229,11 @@ def main() -> None:
         if "auction_decided" not in kinds:
             fail(f"flight journal has no auction_decided events (kinds: {sorted(kinds)})")
 
-    mode = ("serving" if serving else "engine") + ("+trace" if trace else "")
+    mode = (
+        ("serving" if serving else "engine")
+        + ("+trace" if trace else "")
+        + ("+ledger" if ledger else "")
+    )
     print(
         f"OK ({mode}): {path}: {len(counters)} counters, {len(histograms)} histograms, "
         f"{len(flight['events'])} flight events "

@@ -29,6 +29,7 @@ experiments=(
   e14_time_to_reveal
   e15_engine_scale
   e18_serving
+  e19_ledger
 )
 
 cargo build --release -p treads-bench --bins
@@ -37,7 +38,11 @@ total_match=0
 total_diverge=0
 for exp in "${experiments[@]}"; do
   echo "== exp_${exp}"
-  cargo run --release -q -p treads-bench --bin "exp_${exp}" >"$out/${exp}.txt" 2>&1
+  if ! cargo run --release -q -p treads-bench --bin "exp_${exp}" >"$out/${exp}.txt" 2>&1; then
+    echo "!! exp_${exp} failed (missing binary or runtime error); log follows:" >&2
+    cat "$out/${exp}.txt" >&2
+    exit 1
+  fi
   m=$(grep -c '\[MATCH\]' "$out/${exp}.txt" || true)
   d=$(grep -c '\[DIVERGES\]' "$out/${exp}.txt" || true)
   total_match=$((total_match + m))

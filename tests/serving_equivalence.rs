@@ -98,7 +98,7 @@ fn batch_footprint(seed: u64, population: u64, session: SessionConfig) -> Footpr
         session,
         tick_ms: DAY_MS,
         seed,
-        pipeline_sessions: true,
+        ..EngineConfig::default()
     });
     let outcome = engine.run(&mut f.platform, &f.sites, &f.users, &f.extension_users);
     Footprint {

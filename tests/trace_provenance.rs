@@ -112,7 +112,7 @@ fn batch_run(seed: u64, shards: usize, trace: Option<TraceConfig>) -> (Footprint
         session: SESSION,
         tick_ms: DAY_MS,
         seed,
-        pipeline_sessions: true,
+        ..EngineConfig::default()
     });
     let mut telemetry = match trace {
         Some(cfg) => {
